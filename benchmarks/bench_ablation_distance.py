@@ -1,0 +1,100 @@
+"""Ablation — why the distance needs all three components.
+
+The paper motivates each component (Section 2.3, Appendix A): d_perp
+separates parallel flows at different locations, d_theta separates
+co-located flows in different directions.  We ablate each weight to 0
+on a dataset constructed so that exactly one component carries the
+separating signal:
+
+* two corridors at the same angle, offset spatially -> only d_perp
+  separates them;
+* two co-located opposite-direction flows -> only d_theta separates
+  them.
+
+Ground truth: which (corridor, direction) a segment's trajectory
+belongs to.  Metric: pairwise F1 against the ground truth.
+"""
+
+import numpy as np
+
+from conftest import print_table
+from repro.cluster.dbscan import cluster_segments
+from repro.distance.weighted import SegmentDistance
+from repro.model.trajectory import Trajectory
+from repro.partition.approximate import partition_all
+from repro.quality.external import clustering_f1
+
+
+def build_dataset():
+    """Four flows of 6 trajectories each: (low y, east), (high y, east),
+    (low y, west), (high y, west).  Offsets 30 apart; eps will be ~5."""
+    rng = np.random.default_rng(3)
+    trajectories = []
+    truth_by_traj = {}
+    traj_id = 0
+    for flow, (y0, reverse) in enumerate(
+        [(0.0, False), (30.0, False), (0.0, True), (30.0, True)]
+    ):
+        for i in range(6):
+            x = np.linspace(0.0, 80.0, 14)
+            y = y0 + 1.0 * i + rng.normal(0, 0.1, 14)
+            points = np.column_stack([x, y])
+            if reverse:
+                points = points[::-1].copy()
+            trajectories.append(Trajectory(points, traj_id=traj_id))
+            truth_by_traj[traj_id] = flow
+            traj_id += 1
+    return trajectories, truth_by_traj
+
+
+def evaluate(segments, truth, eps, min_lns, **weights):
+    distance = SegmentDistance(**weights)
+    clusters, labels = cluster_segments(
+        segments, eps=eps, min_lns=min_lns, distance=distance
+    )
+    _, _, f1 = clustering_f1(labels, truth)
+    return len(clusters), f1
+
+
+def run():
+    trajectories, truth_by_traj = build_dataset()
+    segments, _ = partition_all(trajectories)
+    truth = np.array([truth_by_traj[int(t)] for t in segments.traj_ids])
+    eps, min_lns = 8.0, 4
+    results = {
+        "full distance": evaluate(segments, truth, eps, min_lns),
+        "w_theta = 0": evaluate(segments, truth, eps, min_lns, w_theta=0.0),
+        "w_perp = 0": evaluate(segments, truth, eps, min_lns, w_perp=0.0),
+        "w_par = 0": evaluate(segments, truth, eps, min_lns, w_par=0.0),
+        "undirected angle": evaluate(
+            segments, truth, eps, min_lns, directed=False
+        ),
+    }
+    return results
+
+
+def test_ablation_distance_components(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (name, str(n), f"{f1:.2f}") for name, (n, f1) in results.items()
+    ]
+    print_table(
+        "Ablation: distance components on 4 flows "
+        "(2 locations x 2 directions; ground-truth pairwise F1)",
+        rows, ("variant", "n_clusters", "pairwise F1"),
+    )
+    full_n, full_f1 = results["full distance"]
+    # The full distance separates all four flows essentially perfectly.
+    assert full_n == 4
+    assert full_f1 > 0.95
+    # Dropping the angle merges opposite directions.
+    no_theta_n, no_theta_f1 = results["w_theta = 0"]
+    assert no_theta_f1 < full_f1
+    assert no_theta_n < 4
+    # Undirected angle likewise merges the two directions at each site.
+    undirected_n, undirected_f1 = results["undirected angle"]
+    assert undirected_n == 2
+    assert undirected_f1 < full_f1
+    # Dropping the perpendicular component merges the two locations.
+    no_perp_n, no_perp_f1 = results["w_perp = 0"]
+    assert no_perp_f1 < full_f1

@@ -1,0 +1,101 @@
+"""Ablation — MDL partitioning against the trivial segmentations.
+
+Three ways to turn trajectories into segments:
+
+* **mdl** — Figure 8 (characteristic points);
+* **every-point** — one segment per consecutive point pair
+  (max preciseness, no conciseness; Section 4.1.3 warns short segments
+  degrade the angle distance and over-cluster);
+* **endpoints-only** — one segment per trajectory
+  (max conciseness; sub-trajectory structure is destroyed, which is the
+  whole point of the paper).
+
+Workload: the Figure-1 corridor set, where the only true structure is
+the common corridor.  Metrics: segment count, noise ratio, and whether
+the corridor is discovered (representative passes both corridor
+endpoints).
+"""
+
+import numpy as np
+
+from conftest import print_table
+from repro.cluster.dbscan import cluster_segments
+from repro.datasets.synthetic import generate_corridor_set
+from repro.model.cluster import Cluster
+from repro.model.segmentset import SegmentSet
+from repro.partition.approximate import partition_all
+from repro.representative.sweep import (
+    RepresentativeConfig,
+    generate_representative,
+)
+
+CORRIDOR_START = np.array([40.0, 50.0])
+CORRIDOR_END = np.array([80.0, 50.0])
+
+
+def corridor_found(segments, clusters, min_lns):
+    for cluster in clusters:
+        rep = generate_representative(
+            Cluster(cluster.cluster_id, cluster.member_indices, segments),
+            RepresentativeConfig(min_lns=min_lns),
+        )
+        if rep.shape[0] < 2:
+            continue
+        d_in = np.min(np.linalg.norm(rep - CORRIDOR_START, axis=1))
+        d_out = np.min(np.linalg.norm(rep - CORRIDOR_END, axis=1))
+        if d_in < 15.0 and d_out < 15.0:
+            return True
+    return False
+
+
+def segment_everything(trajectories, mode):
+    if mode == "mdl":
+        segments, _ = partition_all(trajectories)
+        return segments
+    cps = []
+    for trajectory in trajectories:
+        if mode == "every-point":
+            cps.append(list(range(len(trajectory))))
+        else:  # endpoints-only
+            cps.append([0, len(trajectory) - 1])
+    return SegmentSet.from_partitions(trajectories, cps)
+
+
+def run():
+    trajectories = generate_corridor_set(n_trajectories=12, seed=21)
+    eps, min_lns = 8.0, 4
+    results = {}
+    for mode in ("mdl", "every-point", "endpoints-only"):
+        segments = segment_everything(trajectories, mode)
+        clusters, labels = cluster_segments(segments, eps=eps, min_lns=min_lns)
+        results[mode] = {
+            "n_segments": len(segments),
+            "mean_length": segments.mean_length(),
+            "n_clusters": len(clusters),
+            "noise_ratio": float(np.mean(labels == -1)),
+            "corridor": corridor_found(segments, clusters, min_lns),
+        }
+    return results
+
+
+def test_ablation_partitioning(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (mode, r["n_segments"], f"{r['mean_length']:.1f}", r["n_clusters"],
+         f"{r['noise_ratio']:.2f}", r["corridor"])
+        for mode, r in results.items()
+    ]
+    print_table(
+        "Ablation: segmentation strategy on the Figure-1 corridor set",
+        rows,
+        ("strategy", "segments", "mean len", "clusters", "noise", "corridor found"),
+    )
+    mdl = results["mdl"]
+    every = results["every-point"]
+    endpoints = results["endpoints-only"]
+    # MDL sits between the two extremes in segment count...
+    assert endpoints["n_segments"] < mdl["n_segments"] < every["n_segments"]
+    # ...and it finds the corridor.
+    assert mdl["corridor"]
+    # One segment per trajectory destroys sub-trajectory structure.
+    assert not endpoints["corridor"]

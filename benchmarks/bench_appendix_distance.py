@@ -1,0 +1,84 @@
+"""Appendices A and C — distance-design and cost-design experiments.
+
+Appendix A: the naive endpoint-sum distance cannot rank a parallel
+segment against an equally-endpoint-displaced tilted one; the TRACLUS
+distance can (the angle term).
+
+Appendix C: because L(H) is formulated with segment *lengths* rather
+than endpoint coordinates, partitioning (and hence clustering) is
+invariant under translation — TR1/TR2 shifted by (10000, 10000) to
+TR3/TR4 must partition identically.
+"""
+
+import numpy as np
+
+from conftest import print_table
+from repro.distance.components import (
+    component_distances,
+    endpoint_sum_distance,
+)
+from repro.model.segment import Segment
+from repro.partition.approximate import approximate_partition
+from repro.partition.mdl import lh_cost
+
+
+def run():
+    # --- Appendix A geometry -------------------------------------------
+    l1 = Segment([0.0, 0.0], [200.0, 0.0], seg_id=0)
+    parallel = Segment([0.0, 100.0], [200.0, 100.0], seg_id=1)
+    tilted = Segment([0.0, 100.0], [200.0, -100.0], seg_id=2)
+    naive_parallel = endpoint_sum_distance(l1, parallel)
+    naive_tilted = endpoint_sum_distance(l1, tilted)
+    traclus_parallel = component_distances(l1, parallel).weighted_sum()
+    traclus_tilted = component_distances(l1, tilted).weighted_sum()
+
+    # --- Appendix C trajectories ----------------------------------------
+    tr1 = np.array([[100.0, 100.0], [200.0, 200.0], [300.0, 100.0]])
+    tr2 = np.array([[200.0, 200.0], [300.0, 300.0], [400.0, 200.0]])
+    tr3 = tr1 + 10000.0
+    tr4 = tr2 + 10000.0
+    partitions = {
+        "TR1": approximate_partition(tr1),
+        "TR2": approximate_partition(tr2),
+        "TR3": approximate_partition(tr3),
+        "TR4": approximate_partition(tr4),
+    }
+    lh_low = lh_cost(tr1, 0, 2)
+    lh_high = lh_cost(tr3, 0, 2)
+    return (
+        naive_parallel, naive_tilted, traclus_parallel, traclus_tilted,
+        partitions, lh_low, lh_high,
+    )
+
+
+def test_appendix_a_and_c(benchmark):
+    (naive_parallel, naive_tilted, traclus_parallel, traclus_tilted,
+     partitions, lh_low, lh_high) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    rows = [
+        ("A: naive dist(L1, parallel)", "equal (paper's fig: 200*sqrt2)",
+         f"{naive_parallel:.1f}"),
+        ("A: naive dist(L1, tilted)", "equal (paper's fig: 200*sqrt2)",
+         f"{naive_tilted:.1f}"),
+        ("A: TRACLUS dist(L1, parallel)", "smaller (more similar)",
+         f"{traclus_parallel:.1f}"),
+        ("A: TRACLUS dist(L1, tilted)", "larger", f"{traclus_tilted:.1f}"),
+        ("C: partition(TR1) == partition(TR3)", "same (shift-invariant)",
+         str(partitions["TR1"] == partitions["TR3"])),
+        ("C: partition(TR2) == partition(TR4)", "same (shift-invariant)",
+         str(partitions["TR2"] == partitions["TR4"])),
+        ("C: L(H) by length, low vs high coords", "equal by design",
+         f"{lh_low:.3f} vs {lh_high:.3f}"),
+    ]
+    print_table(
+        "Appendix A (angle importance) and C (shift invariance)",
+        rows, ("quantity", "paper", "measured"),
+    )
+    # Appendix A: equal under the naive measure, separated by TRACLUS.
+    assert naive_parallel == naive_tilted
+    assert traclus_parallel < traclus_tilted
+    # Appendix C: shift cannot change the partitioning or L(H).
+    assert partitions["TR1"] == partitions["TR3"]
+    assert partitions["TR2"] == partitions["TR4"]
+    assert lh_low == lh_high

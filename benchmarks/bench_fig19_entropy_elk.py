@@ -1,0 +1,38 @@
+"""Figure 19 — entropy vs ε on the Elk1993 data.
+
+Paper: minimum at ε = 25 with avg|N_eps| = 7.63; the visually-optimal
+ε = 27 sits two units away.  Reproduced shape: interior entropy
+minimum, extremes near the uniform maximum, avg|N_eps| at the minimum
+in the same order of magnitude.
+"""
+
+import numpy as np
+
+from conftest import print_table
+from repro.params.entropy import entropy_curve
+
+EPS_GRID = np.arange(1.0, 61.0)
+
+
+def test_fig19_entropy_curve(benchmark, elk_segments):
+    entropies, avg_sizes = benchmark.pedantic(
+        lambda: entropy_curve(elk_segments, EPS_GRID),
+        rounds=1, iterations=1,
+    )
+    best = int(np.argmin(entropies))
+    rows = [
+        ("entropy-minimising eps", "25", f"{EPS_GRID[best]:.0f}"),
+        ("avg |N_eps| at minimum", "7.63", f"{avg_sizes[best]:.2f}"),
+        ("entropy at minimum", "~11.37", f"{entropies[best]:.3f}"),
+        ("entropy at eps=1", "~11.48 (near max)", f"{entropies[0]:.3f}"),
+        ("entropy at eps=60", "~11.44 (rebound)", f"{entropies[-1]:.3f}"),
+        ("max possible entropy", "log2(numln)",
+         f"{np.log2(len(elk_segments)):.3f}"),
+    ]
+    print_table(
+        "Figure 19: entropy vs eps (Elk1993)",
+        rows, ("quantity", "paper", "measured"),
+    )
+    assert 0 < best < len(EPS_GRID) - 1
+    assert entropies[0] > entropies[best]
+    assert entropies[-1] > entropies[best]

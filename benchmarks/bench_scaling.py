@@ -1,0 +1,141 @@
+"""Lemmas 1 and 3 — complexity of the two phases.
+
+Lemma 1: Approximate Trajectory Partitioning is O(n) in the number of
+trajectory points (the number of MDL evaluations equals the number of
+segments; each evaluation spans one candidate partition).
+
+Lemma 3: Line Segment Clustering is O(n^2) without an index and
+O(n log n) with one.  We measure the grid-engine query's *candidate
+count* against brute force on growing corridor datasets — the grid
+engine examines a per-query candidate set that stays roughly constant
+while brute force examines all n.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import print_table
+from repro.cluster.neighborhood import BruteForceNeighborhood, GridNeighborhood
+from repro.datasets.synthetic import generate_corridor_set
+from repro.geometry.bbox import BoundingBox
+from repro.index.rtree import RTree
+from repro.partition.approximate import approximate_partition
+
+
+def random_walk_points(n, seed):
+    rng = np.random.default_rng(seed)
+    return np.column_stack(
+        [np.linspace(0, 3.0 * n, n), np.cumsum(rng.normal(0, 2.0, n))]
+    )
+
+
+def run_lemma1():
+    """Partitioning wall time at doubling trajectory lengths."""
+    rows = []
+    for n in (250, 500, 1000, 2000):
+        points = random_walk_points(n, seed=n)
+        start = time.perf_counter()
+        approximate_partition(points)
+        rows.append((n, time.perf_counter() - start))
+    return rows
+
+
+def constant_density_segments(n_traj, seed):
+    """Corridor sets tiled over a domain that grows with n, keeping the
+    local density constant — the regime where an index pays off (a
+    single corridor, by contrast, concentrates all n segments in one
+    neighborhood and nothing can prune them)."""
+    from repro.model.segmentset import SegmentSet
+    from repro.partition.approximate import partition_all
+
+    import numpy as np
+
+    tiles = max(1, n_traj // 20)
+    pieces = []
+    rng = np.random.default_rng(seed)
+    for tile in range(tiles):
+        offset = rng.uniform(0, 300.0 * tiles, 2)
+        trajectories = generate_corridor_set(
+            n_trajectories=min(20, n_traj - 20 * tile) or 20,
+            corridor_start=offset + [40.0, 50.0],
+            corridor_end=offset + [80.0, 50.0],
+            seed=seed + tile,
+            points_per_leg=10,
+        )
+        segments, _ = partition_all(trajectories)
+        pieces.append(segments)
+    starts = np.vstack([p.starts for p in pieces])
+    ends = np.vstack([p.ends for p in pieces])
+    return SegmentSet(starts, ends)
+
+
+def run_lemma3():
+    """Candidate counts per epsilon-query: brute vs grid vs R-tree."""
+    rows = []
+    for n_traj in (20, 80, 320):
+        segments = constant_density_segments(n_traj, seed=17)
+        eps = 8.0
+        brute = BruteForceNeighborhood(segments, eps)
+        grid = GridNeighborhood(segments, eps)
+        sample = range(0, len(segments), max(1, len(segments) // 50))
+        grid_candidates = np.mean(
+            [grid._grid.candidates_near(i, grid.candidate_radius).size
+             for i in sample]
+        )
+        # Consistency spot-check while we are here.
+        for i in list(sample)[:10]:
+            assert np.array_equal(brute.neighbors_of(i), grid.neighbors_of(i))
+        # R-tree window query for the same radius.
+        tree = RTree.bulk_load(
+            [
+                (BoundingBox.of_segment(segments.starts[i], segments.ends[i]), i)
+                for i in range(len(segments))
+            ]
+        )
+        tree_candidates = np.mean(
+            [
+                len(tree.query_window(
+                    BoundingBox.of_segment(
+                        segments.starts[i], segments.ends[i]
+                    ).expanded(grid.candidate_radius)
+                ))
+                for i in sample
+            ]
+        )
+        rows.append(
+            (len(segments), len(segments), grid_candidates, tree_candidates)
+        )
+    return rows
+
+
+def test_lemma1_partitioning_linear(benchmark):
+    rows = benchmark.pedantic(run_lemma1, rounds=1, iterations=1)
+    table = [(n, f"{t * 1000:.1f} ms") for n, t in rows]
+    print_table(
+        "Lemma 1: partitioning time vs trajectory length (paper: O(n))",
+        table, ("n points", "time"),
+    )
+    # Doubling n should scale time far below quadratically: an 8x point
+    # increase must cost well under 64x (allow generous slack for the
+    # varying candidate-partition spans).
+    assert rows[-1][1] / max(rows[0][1], 1e-9) < 40.0
+
+
+def test_lemma3_index_prunes_candidates(benchmark):
+    rows = benchmark.pedantic(run_lemma3, rounds=1, iterations=1)
+    table = [
+        (n, brute, f"{g:.1f}", f"{t:.1f}")
+        for n, brute, g, t in rows
+    ]
+    print_table(
+        "Lemma 3: mean candidates per eps-query (paper: O(n^2) brute vs "
+        "O(n log n) indexed)",
+        table, ("n segments", "brute candidates", "grid", "r-tree"),
+    )
+    # The indexed engines examine a vanishing fraction as n grows.
+    first_ratio = rows[0][2] / rows[0][0]
+    last_ratio = rows[-1][2] / rows[-1][0]
+    assert last_ratio < first_ratio
+    assert rows[-1][2] < rows[-1][0] * 0.5
+    assert rows[-1][3] < rows[-1][0] * 0.5

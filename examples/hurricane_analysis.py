@@ -1,0 +1,56 @@
+"""Hurricane-track analysis (the paper's Section 5.2 scenario).
+
+Generates an Atlantic-like basin, estimates (eps, MinLns) with the
+entropy heuristic, clusters, and writes the Figure-18-style SVG
+(thin green tracks, thick red representative trajectories).
+
+Run with:  python examples/hurricane_analysis.py [output.svg]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import TRACLUS, TraclusConfig, recommend_parameters
+from repro.datasets.hurricane import generate_hurricane_tracks
+from repro.partition.approximate import partition_all
+from repro.viz.svg import render_result_svg
+
+
+def main(output_path: str = "hurricane_clusters.svg") -> None:
+    tracks = generate_hurricane_tracks(n_storms=200, seed=1950)
+    print(f"{len(tracks)} storms, {sum(len(t) for t in tracks)} fixes")
+
+    # Phase 1 alone, to drive parameter selection (Section 4.4).
+    segments, _ = partition_all(tracks)
+    estimate = recommend_parameters(segments, eps_values=np.arange(2.0, 40.0))
+    min_lns = int(round(estimate.avg_neighborhood_size + 2.0))
+    print(
+        f"entropy-optimal eps = {estimate.eps:.0f} "
+        f"(avg |N_eps| = {estimate.avg_neighborhood_size:.2f}) "
+        f"-> MinLns = {min_lns}"
+    )
+
+    config = TraclusConfig(eps=estimate.eps, min_lns=min_lns)
+    result = TRACLUS(config).fit(tracks)
+
+    print(f"{len(result)} clusters, noise ratio {result.noise_ratio():.2f}")
+    for cluster in result:
+        rep = cluster.representative
+        heading = ""
+        if rep is not None and rep.shape[0] >= 2:
+            net = rep[-1] - rep[0]
+            heading = "westbound" if net[0] < 0 else "eastbound"
+            if abs(net[1]) > abs(net[0]):
+                heading = "northbound" if net[1] > 0 else "southbound"
+        print(
+            f"  cluster {cluster.cluster_id}: {len(cluster)} segments, "
+            f"{cluster.trajectory_cardinality()} storms, {heading}"
+        )
+
+    render_result_svg(result, output_path, show_noise=False)
+    print(f"wrote {output_path}")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -1,0 +1,50 @@
+"""Quickstart: cluster a handful of trajectories and inspect the result.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Trajectory, traclus
+from repro.viz.ascii import render_result_ascii
+
+
+def main() -> None:
+    # Build six trajectories that approach from scattered directions but
+    # share one corridor (the Figure 1 scenario of the paper).
+    rng = np.random.default_rng(7)
+    trajectories = []
+    for i in range(6):
+        entry = rng.uniform(-40, 0, 2) + np.array([0.0, 50.0])
+        exit_ = rng.uniform(0, 40, 2) + np.array([100.0, 50.0])
+        corridor_in = np.array([30.0, 50.0]) + rng.normal(0, 1, 2)
+        corridor_out = np.array([70.0, 50.0]) + rng.normal(0, 1, 2)
+        waypoints = np.vstack([entry, corridor_in, corridor_out, exit_])
+        # densify each leg
+        points = np.vstack([
+            np.linspace(a, b, 8, endpoint=False)
+            for a, b in zip(waypoints, waypoints[1:])
+        ] + [waypoints[-1][None, :]])
+        trajectories.append(Trajectory(points, traj_id=i))
+
+    # One call: partition (MDL), group (segment-DBSCAN), summarise.
+    # eps/min_lns are omitted, so the Section 4.4 entropy heuristic
+    # estimates them from the data.
+    result = traclus(trajectories)
+
+    print(f"parameters used: {result.parameters}")
+    print(f"clusters found:  {len(result)}")
+    print(f"noise segments:  {result.n_noise()} / {len(result.segments)}")
+    for cluster in result:
+        print(
+            f"  cluster {cluster.cluster_id}: {len(cluster)} segments from "
+            f"{cluster.trajectory_cardinality()} trajectories; "
+            f"representative has {len(cluster.representative)} points"
+        )
+
+    print()
+    print(render_result_ascii(result, width=90, height=24))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` works in fully offline environments where the
+``wheel`` package (required by the PEP 660 editable path) is not
+available — pip then falls back to the legacy ``setup.py develop``
+route.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Whole-trajectory baselines (Sections 1 and 6).
+
+The paper's motivating claim is that clustering trajectories *as a
+whole* misses common sub-trajectories.  To measure that claim we
+implement the comparators the paper discusses:
+
+* the regression-mixture (EM) trajectory clustering of Gaffney & Smyth
+  [7, 8] — the "most similar work";
+* the whole-trajectory similarity measures of the related-work section
+  — LCSS [20], EDR [5], and DTW [12] — plus a density-based
+  whole-trajectory clusterer built on any of them.
+"""
+
+from repro.baselines.measures import (
+    dtw_distance,
+    edr_distance,
+    lcss_similarity,
+    lcss_distance,
+)
+from repro.baselines.regression_mixture import (
+    RegressionMixtureClustering,
+    RegressionMixtureResult,
+)
+from repro.baselines.whole_traj import (
+    WholeTrajectoryDBSCAN,
+    trajectory_distance_matrix,
+)
+
+__all__ = [
+    "dtw_distance",
+    "edr_distance",
+    "lcss_similarity",
+    "lcss_distance",
+    "RegressionMixtureClustering",
+    "RegressionMixtureResult",
+    "WholeTrajectoryDBSCAN",
+    "trajectory_distance_matrix",
+]

@@ -1,0 +1,211 @@
+"""Regression-mixture trajectory clustering (Gaffney & Smyth, KDD 1999).
+
+The paper's closest prior work: each trajectory is modelled as noisy
+observations of a polynomial regression in a latent "time" variable,
+and the population is a K-component mixture
+
+    P(y_j | x_j, theta) = sum_k  f_k(y_j | x_j, theta_k) * w_k,
+
+fit by Expectation-Maximisation.  Each component k has polynomial
+coefficients ``B_k`` (one column per output dimension) and isotropic
+noise ``sigma_k^2``; trajectories (not points) are the units of
+cluster membership, so the E-step multiplies point likelihoods within
+a trajectory.
+
+This is a *whole-trajectory* method — the fundamental contrast with
+TRACLUS (Section 6: "clustering trajectories as a whole").  The
+benchmark ``bench_baseline_comparison.py`` shows it cannot isolate a
+common sub-trajectory that TRACLUS finds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+from repro.model.trajectory import Trajectory
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass
+class RegressionMixtureResult:
+    """Fitted mixture: per-trajectory hard labels, soft memberships,
+    component coefficients, noise variances, weights, and the final
+    log-likelihood trace."""
+
+    labels: np.ndarray
+    memberships: np.ndarray
+    coefficients: List[np.ndarray]
+    variances: np.ndarray
+    weights: np.ndarray
+    log_likelihoods: List[float]
+
+    @property
+    def n_components(self) -> int:
+        return self.weights.size
+
+    def predict_curve(self, component: int, n_points: int = 50) -> np.ndarray:
+        """The component's mean curve sampled on t in [0, 1] — the
+        mixture analogue of a representative trajectory."""
+        t = np.linspace(0.0, 1.0, n_points)
+        design = _design_matrix(t, self.coefficients[component].shape[0] - 1)
+        return design @ self.coefficients[component]
+
+
+def _design_matrix(t: np.ndarray, degree: int) -> np.ndarray:
+    """Vandermonde design matrix [1, t, t^2, ...]."""
+    return np.vander(t, degree + 1, increasing=True)
+
+
+class RegressionMixtureClustering:
+    """EM for a K-component polynomial regression mixture.
+
+    Parameters
+    ----------
+    n_components:
+        K, the number of clusters.
+    degree:
+        Polynomial degree of each component's mean curve (Gaffney &
+        Smyth use low-order polynomials; default 3).
+    max_iterations, tolerance:
+        EM stopping rule (relative log-likelihood improvement).
+    n_restarts:
+        Independent random initialisations; the best likelihood wins.
+    min_variance:
+        Variance floor preventing component collapse.
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        degree: int = 3,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        n_restarts: int = 3,
+        min_variance: float = 1e-6,
+        seed: int = 0,
+    ):
+        if n_components < 1:
+            raise ClusteringError(f"n_components must be >= 1, got {n_components}")
+        if degree < 0:
+            raise ClusteringError(f"degree must be >= 0, got {degree}")
+        self.n_components = int(n_components)
+        self.degree = int(degree)
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self.n_restarts = int(n_restarts)
+        self.min_variance = float(min_variance)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    def fit(self, trajectories: Sequence[Trajectory]) -> RegressionMixtureResult:
+        trajectories = list(trajectories)
+        if len(trajectories) < self.n_components:
+            raise ClusteringError(
+                f"{len(trajectories)} trajectories cannot fill "
+                f"{self.n_components} components"
+            )
+        # Normalised within-trajectory "time" as the regression input.
+        designs = []
+        outputs = []
+        for trajectory in trajectories:
+            t = np.linspace(0.0, 1.0, len(trajectory))
+            designs.append(_design_matrix(t, self.degree))
+            outputs.append(trajectory.points)
+
+        best: Optional[RegressionMixtureResult] = None
+        rng = np.random.default_rng(self.seed)
+        for _ in range(self.n_restarts):
+            candidate = self._fit_once(designs, outputs, rng)
+            if best is None or candidate.log_likelihoods[-1] > best.log_likelihoods[-1]:
+                best = candidate
+        return best
+
+    # ------------------------------------------------------------------
+    def _fit_once(
+        self,
+        designs: List[np.ndarray],
+        outputs: List[np.ndarray],
+        rng: np.random.Generator,
+    ) -> RegressionMixtureResult:
+        n_traj = len(designs)
+        k = self.n_components
+        dim = outputs[0].shape[1]
+
+        # Initialise memberships from a random hard assignment ensuring
+        # every component owns at least one trajectory.
+        assignment = rng.permutation(n_traj) % k
+        memberships = np.full((n_traj, k), 1e-3)
+        memberships[np.arange(n_traj), assignment] = 1.0
+        memberships /= memberships.sum(axis=1, keepdims=True)
+
+        weights = np.full(k, 1.0 / k)
+        coefficients = [np.zeros((self.degree + 1, dim)) for _ in range(k)]
+        variances = np.ones(k)
+        log_likelihoods: List[float] = []
+
+        for _ in range(self.max_iterations):
+            # ---- M-step: weighted least squares per component.
+            for c in range(k):
+                xtx = np.zeros((self.degree + 1, self.degree + 1))
+                xty = np.zeros((self.degree + 1, dim))
+                total_points = 0.0
+                for i in range(n_traj):
+                    w = memberships[i, c]
+                    xtx += w * designs[i].T @ designs[i]
+                    xty += w * designs[i].T @ outputs[i]
+                    total_points += w * designs[i].shape[0]
+                # Ridge jitter keeps the solve well-posed for tiny
+                # memberships.
+                xtx += 1e-9 * np.eye(self.degree + 1)
+                coefficients[c] = np.linalg.solve(xtx, xty)
+                sq_error = 0.0
+                for i in range(n_traj):
+                    residual = outputs[i] - designs[i] @ coefficients[c]
+                    sq_error += memberships[i, c] * float(np.sum(residual**2))
+                variances[c] = max(
+                    sq_error / max(total_points * dim, 1e-12), self.min_variance
+                )
+            weights = memberships.mean(axis=0)
+            weights = np.maximum(weights, 1e-12)
+            weights /= weights.sum()
+
+            # ---- E-step: per-trajectory log joint under each component.
+            log_resp = np.empty((n_traj, k))
+            for i in range(n_traj):
+                n_points = designs[i].shape[0]
+                for c in range(k):
+                    residual = outputs[i] - designs[i] @ coefficients[c]
+                    sq = float(np.sum(residual**2))
+                    log_resp[i, c] = (
+                        np.log(weights[c])
+                        - 0.5 * n_points * dim * (_LOG_2PI + np.log(variances[c]))
+                        - 0.5 * sq / variances[c]
+                    )
+            row_max = log_resp.max(axis=1, keepdims=True)
+            log_norm = row_max + np.log(
+                np.exp(log_resp - row_max).sum(axis=1, keepdims=True)
+            )
+            memberships = np.exp(log_resp - log_norm)
+            log_likelihood = float(log_norm.sum())
+            log_likelihoods.append(log_likelihood)
+            if (
+                len(log_likelihoods) > 1
+                and abs(log_likelihoods[-1] - log_likelihoods[-2])
+                <= self.tolerance * abs(log_likelihoods[-2])
+            ):
+                break
+
+        labels = memberships.argmax(axis=1)
+        return RegressionMixtureResult(
+            labels=labels,
+            memberships=memberships,
+            coefficients=coefficients,
+            variances=variances.copy(),
+            weights=weights.copy(),
+            log_likelihoods=log_likelihoods,
+        )

@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+Four subcommands, composable through CSV/JSON files:
+
+* ``cluster``  — run TRACLUS on a trajectory CSV, write JSON/SVG results;
+* ``params``   — run the Section 4.4 heuristic and print the estimates;
+* ``generate`` — write one of the built-in synthetic datasets to CSV;
+* ``render``   — render a trajectory CSV (optionally with a result JSON)
+  to SVG.
+
+Examples
+--------
+::
+
+    python -m repro generate hurricane --n 200 -o tracks.csv
+    python -m repro params tracks.csv
+    python -m repro cluster tracks.csv --eps 6 --min-lns 8 \
+        --json result.json --svg result.svg
+    python -m repro render tracks.csv -o tracks.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import TraclusConfig
+from repro.core.traclus import TRACLUS
+from repro.datasets.hurricane import generate_hurricane_tracks
+from repro.datasets.starkey import generate_deer1995, generate_elk1993
+from repro.datasets.synthetic import (
+    add_noise_trajectories,
+    generate_corridor_set,
+)
+from repro.io.csvio import read_trajectories_csv, write_trajectories_csv
+from repro.io.jsonio import result_to_dict
+from repro.params.heuristic import recommend_parameters
+from repro.partition.approximate import partition_all
+from repro.viz.svg import render_result_svg, render_trajectories_svg
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TRACLUS trajectory clustering (SIGMOD 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cluster = sub.add_parser("cluster", help="run TRACLUS on a trajectory CSV")
+    cluster.add_argument("input", help="trajectory CSV (see repro.io.csvio)")
+    cluster.add_argument("--eps", type=float, default=None,
+                         help="neighborhood radius (default: estimate)")
+    cluster.add_argument("--min-lns", type=float, default=None,
+                         help="density threshold (default: estimate)")
+    cluster.add_argument("--suppression", type=float, default=0.0,
+                         help="partitioning suppression constant (Sec 4.1.3)")
+    cluster.add_argument("--undirected", action="store_true",
+                         help="use the undirected angle distance")
+    cluster.add_argument("--use-weights", action="store_true",
+                         help="weighted eps-neighborhood cardinality")
+    cluster.add_argument("--gamma", type=float, default=0.0,
+                         help="representative smoothing gamma (Fig 15)")
+    cluster.add_argument("--json", dest="json_out", default=None,
+                         help="write the full result JSON here")
+    cluster.add_argument("--svg", dest="svg_out", default=None,
+                         help="write the visual-inspection SVG here")
+
+    params = sub.add_parser(
+        "params", help="estimate (eps, MinLns) with the entropy heuristic"
+    )
+    params.add_argument("input", help="trajectory CSV")
+    params.add_argument("--method", choices=("grid", "anneal"), default="grid")
+    params.add_argument("--eps-max", type=float, default=None,
+                        help="upper end of the eps search grid")
+    params.add_argument("--suppression", type=float, default=0.0)
+
+    generate = sub.add_parser("generate", help="write a synthetic dataset CSV")
+    generate.add_argument(
+        "dataset", choices=("hurricane", "elk", "deer", "corridor"),
+    )
+    generate.add_argument("--n", type=int, default=None,
+                          help="number of trajectories (dataset default)")
+    generate.add_argument("--points", type=int, default=None,
+                          help="points per trajectory where applicable")
+    generate.add_argument("--noise", type=float, default=0.0,
+                          help="noise trajectory fraction to mix in")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("-o", "--output", required=True)
+
+    render = sub.add_parser("render", help="render trajectories to SVG")
+    render.add_argument("input", help="trajectory CSV")
+    render.add_argument("-o", "--output", required=True)
+    render.add_argument("--width", type=int, default=900)
+    render.add_argument("--height", type=int, default=650)
+
+    return parser
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    trajectories = read_trajectories_csv(args.input)
+    config = TraclusConfig(
+        eps=args.eps,
+        min_lns=args.min_lns,
+        directed=not args.undirected,
+        suppression=args.suppression,
+        use_weights=args.use_weights,
+        gamma=args.gamma,
+    )
+    result = TRACLUS(config).fit(trajectories)
+    summary = result.summary()
+    print(
+        f"{int(summary['n_clusters'])} clusters over "
+        f"{int(summary['n_segments'])} segments "
+        f"({summary['noise_ratio']:.0%} noise); parameters: "
+        f"eps={result.parameters['eps']:.3g}, "
+        f"min_lns={result.parameters['min_lns']:.3g}"
+    )
+    for cluster in result:
+        print(
+            f"  cluster {cluster.cluster_id}: {len(cluster)} segments, "
+            f"{cluster.trajectory_cardinality()} trajectories"
+        )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(result_to_dict(result), handle, indent=2)
+        print(f"wrote {args.json_out}")
+    if args.svg_out:
+        render_result_svg(result, args.svg_out)
+        print(f"wrote {args.svg_out}")
+    return 0
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    trajectories = read_trajectories_csv(args.input)
+    segments, _ = partition_all(trajectories, suppression=args.suppression)
+    eps_values = (
+        np.arange(1.0, args.eps_max + 1.0) if args.eps_max else None
+    )
+    estimate = recommend_parameters(
+        segments, eps_values=eps_values, method=args.method
+    )
+    print(f"segments:            {len(segments)}")
+    print(f"entropy-optimal eps: {estimate.eps:.3g}")
+    print(f"entropy at optimum:  {estimate.entropy:.4f} bits")
+    print(f"avg |N_eps|:         {estimate.avg_neighborhood_size:.2f}")
+    print(
+        f"recommended MinLns:  {estimate.min_lns_low:.1f} .. "
+        f"{estimate.min_lns_high:.1f}"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "hurricane":
+        trajectories = generate_hurricane_tracks(
+            n_storms=args.n or 570, seed=args.seed
+        )
+    elif args.dataset == "elk":
+        trajectories = generate_elk1993(
+            n_animals=args.n or 33,
+            points_per_animal=args.points or 1430,
+            seed=args.seed,
+        )
+    elif args.dataset == "deer":
+        trajectories = generate_deer1995(
+            n_animals=args.n or 32,
+            points_per_animal=args.points or 627,
+            seed=args.seed,
+        )
+    else:  # corridor
+        trajectories = generate_corridor_set(
+            n_trajectories=args.n or 12, seed=args.seed
+        )
+    if args.noise > 0:
+        trajectories = add_noise_trajectories(
+            trajectories, noise_fraction=args.noise, seed=args.seed + 1
+        )
+    write_trajectories_csv(trajectories, args.output)
+    total = sum(len(t) for t in trajectories)
+    print(f"wrote {len(trajectories)} trajectories / {total} points "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    trajectories = read_trajectories_csv(args.input)
+    render_trajectories_svg(
+        trajectories, args.output, width=args.width, height=args.height
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "cluster": _cmd_cluster,
+    "params": _cmd_params,
+    "generate": _cmd_generate,
+    "render": _cmd_render,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point (also used by ``python -m repro``)."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""The grouping phase (Section 4): density-based clustering of line
+segments, the trajectory-cardinality filter, and the OPTICS extension
+discussed in Appendix D.
+"""
+
+from repro.cluster.neighborhood import (
+    BruteForceNeighborhood,
+    GridNeighborhood,
+    NeighborhoodEngine,
+    RTreeNeighborhood,
+    make_neighborhood_engine,
+)
+from repro.cluster.dbscan import LineSegmentDBSCAN, cluster_segments
+from repro.cluster.cardinality import filter_by_trajectory_cardinality
+from repro.cluster.optics import LineSegmentOPTICS, OpticsResult
+
+__all__ = [
+    "BruteForceNeighborhood",
+    "GridNeighborhood",
+    "NeighborhoodEngine",
+    "RTreeNeighborhood",
+    "make_neighborhood_engine",
+    "LineSegmentDBSCAN",
+    "cluster_segments",
+    "filter_by_trajectory_cardinality",
+    "LineSegmentOPTICS",
+    "OpticsResult",
+]

@@ -1,0 +1,6 @@
+"""The TRACLUS pipeline (Figure 4): partition, group, summarise."""
+
+from repro.core.config import TraclusConfig
+from repro.core.traclus import TRACLUS, traclus
+
+__all__ = ["TraclusConfig", "TRACLUS", "traclus"]

@@ -1,0 +1,103 @@
+"""Configuration of a TRACLUS run.
+
+Collects every knob the paper exposes — the two clustering parameters
+(with ``None`` meaning "estimate with the Section 4.4 heuristic"), the
+distance weights of Appendix B, the partitioning suppression of
+Section 4.1.3, the cardinality threshold of Figure 12 Step 3, and the
+smoothing γ of Figure 15 — into one validated, immutable object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.distance.weighted import SegmentDistance
+from repro.exceptions import ClusteringError
+
+
+@dataclass(frozen=True)
+class TraclusConfig:
+    """Parameters of one TRACLUS run.
+
+    Attributes
+    ----------
+    eps:
+        Neighborhood radius ε; ``None`` estimates it by minimising
+        neighborhood entropy (Section 4.4).
+    min_lns:
+        Density threshold MinLns; ``None`` derives it from the ε
+        estimate as ``avg|N_eps| + 2`` (the middle of the paper's
+        ``+1 ~ +3`` range).
+    w_perp, w_par, w_theta:
+        Distance-component weights (Appendix B; default all 1.0).
+    directed:
+        Use the directed angle distance (Definition 3); ``False`` for
+        undirected trajectories (Section 7.1 item 1).
+    suppression:
+        Constant added to ``cost_nopar`` during partitioning to favour
+        longer partitions (Section 4.1.3); 0 reproduces Figure 8
+        exactly.
+    cardinality_threshold:
+        Minimum trajectory cardinality ``|PTR(C)|`` (Figure 12 Step 3);
+        ``None`` uses MinLns.
+    use_weights:
+        Count ε-neighbors by summed trajectory weight instead of
+        cardinality (Section 4.2 extension).
+    gamma:
+        Representative-trajectory smoothing parameter γ (Figure 15).
+    neighborhood_method:
+        ``"auto"`` / ``"brute"`` / ``"grid"`` ε-query engine.
+    eps_search_values:
+        Optional explicit ε grid for the heuristic; ``None`` uses a
+        data-driven default.
+    eps_search_method:
+        ``"grid"`` (deterministic exhaustive) or ``"anneal"`` (the
+        paper's simulated annealing).
+    compute_representatives:
+        Disable to stop after the grouping phase (saves time in
+        parameter sweeps that only need labels).
+    """
+
+    eps: Optional[float] = None
+    min_lns: Optional[float] = None
+    w_perp: float = 1.0
+    w_par: float = 1.0
+    w_theta: float = 1.0
+    directed: bool = True
+    suppression: float = 0.0
+    cardinality_threshold: Optional[float] = None
+    use_weights: bool = False
+    gamma: float = 0.0
+    neighborhood_method: str = "auto"
+    eps_search_values: Optional[Sequence[float]] = None
+    eps_search_method: str = "grid"
+    compute_representatives: bool = True
+
+    def __post_init__(self):
+        if self.eps is not None and self.eps < 0:
+            raise ClusteringError(f"eps must be non-negative, got {self.eps}")
+        if self.min_lns is not None and self.min_lns <= 0:
+            raise ClusteringError(f"min_lns must be positive, got {self.min_lns}")
+        if self.suppression < 0:
+            raise ClusteringError(
+                f"suppression must be non-negative, got {self.suppression}"
+            )
+        if self.gamma < 0:
+            raise ClusteringError(f"gamma must be non-negative, got {self.gamma}")
+        if self.cardinality_threshold is not None and self.cardinality_threshold < 0:
+            raise ClusteringError(
+                "cardinality_threshold must be non-negative, got "
+                f"{self.cardinality_threshold}"
+            )
+        # Delegate weight validation to SegmentDistance.
+        self.distance()
+
+    def distance(self) -> SegmentDistance:
+        """The configured :class:`SegmentDistance`."""
+        return SegmentDistance(
+            w_perp=self.w_perp,
+            w_par=self.w_par,
+            w_theta=self.w_theta,
+            directed=self.directed,
+        )

@@ -1,0 +1,123 @@
+"""The TRACLUS algorithm (Figure 4).
+
+Two phases plus summarisation:
+
+1. **Partitioning** — every trajectory is partitioned at its
+   characteristic points by the MDL criterion (Figure 8); all
+   partitions accumulate into one segment set ``D``.
+2. **Grouping** — ``D`` is clustered by the line-segment DBSCAN of
+   Figure 12 (parameters from the Section 4.4 heuristic when not
+   given).
+3. **Representation** — each surviving cluster receives a
+   representative trajectory (Figure 15).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.dbscan import LineSegmentDBSCAN
+from repro.core.config import TraclusConfig
+from repro.exceptions import TrajectoryError
+from repro.model.result import ClusteringResult
+from repro.model.trajectory import Trajectory
+from repro.params.heuristic import recommend_parameters
+from repro.partition.approximate import partition_all
+from repro.representative.sweep import (
+    RepresentativeConfig,
+    generate_all_representatives,
+)
+
+
+class TRACLUS:
+    """TRAjectory CLUStering (Figure 4).
+
+    >>> from repro import TRACLUS, TraclusConfig
+    >>> result = TRACLUS(TraclusConfig(eps=30.0, min_lns=6)).fit(trajectories)
+    ... # doctest: +SKIP
+    """
+
+    def __init__(self, config: Optional[TraclusConfig] = None):
+        self.config = config if config is not None else TraclusConfig()
+
+    def fit(self, trajectories: Sequence[Trajectory]) -> ClusteringResult:
+        """Run the full pipeline on *trajectories*."""
+        trajectories = list(trajectories)
+        if not trajectories:
+            raise TrajectoryError("TRACLUS needs at least one trajectory")
+        dims = {t.dim for t in trajectories}
+        if len(dims) != 1:
+            raise TrajectoryError(
+                f"all trajectories must share one dimensionality, got {sorted(dims)}"
+            )
+        config = self.config
+        distance = config.distance()
+
+        # Phase 1: partitioning (Figure 4 lines 01-03).
+        segments, characteristic_points = partition_all(
+            trajectories, suppression=config.suppression
+        )
+
+        # Parameter selection (Section 4.4) when not fully specified.
+        eps = config.eps
+        min_lns = config.min_lns
+        parameters = {}
+        if eps is None or min_lns is None:
+            estimate = recommend_parameters(
+                segments,
+                eps_values=config.eps_search_values,
+                distance=distance,
+                method=config.eps_search_method,
+            )
+            if eps is None:
+                eps = estimate.eps
+            if min_lns is None:
+                min_lns = estimate.avg_neighborhood_size + 2.0
+            parameters["estimated_entropy"] = estimate.entropy
+            parameters["estimated_avg_neighborhood"] = (
+                estimate.avg_neighborhood_size
+            )
+
+        # Phase 2: grouping (Figure 4 line 04).
+        dbscan = LineSegmentDBSCAN(
+            eps=eps,
+            min_lns=min_lns,
+            distance=distance,
+            cardinality_threshold=config.cardinality_threshold,
+            use_weights=config.use_weights,
+            neighborhood_method=config.neighborhood_method,
+        )
+        clusters, labels = dbscan.fit(segments)
+
+        # Representative trajectories (Figure 4 lines 05-06).
+        if config.compute_representatives:
+            representative_config = RepresentativeConfig(
+                min_lns=min_lns, gamma=config.gamma
+            )
+            generate_all_representatives(clusters, representative_config)
+
+        parameters.update({"eps": float(eps), "min_lns": float(min_lns)})
+        return ClusteringResult(
+            clusters=clusters,
+            segments=segments,
+            labels=labels,
+            trajectories=trajectories,
+            characteristic_points=characteristic_points,
+            parameters=parameters,
+        )
+
+
+def traclus(
+    trajectories: Sequence[Trajectory],
+    eps: Optional[float] = None,
+    min_lns: Optional[float] = None,
+    **config_kwargs,
+) -> ClusteringResult:
+    """One-call TRACLUS.
+
+    ``eps``/``min_lns`` default to the Section 4.4 heuristic estimates;
+    any :class:`~repro.core.config.TraclusConfig` field can be given as
+    a keyword argument.
+    """
+    config = TraclusConfig(eps=eps, min_lns=min_lns, **config_kwargs)
+    return TRACLUS(config).fit(trajectories)

@@ -1,0 +1,41 @@
+"""Dataset substrate (Section 5.1).
+
+The paper evaluates on two real datasets that are unavailable offline;
+this package provides (a) *parsers* for the real file formats (HURDAT2
+Best Track; Starkey fixed-width telemetry) so real data plugs in
+unchanged, and (b) statistically-shaped *synthetic generators* that
+reproduce the structural properties the published results depend on —
+see DESIGN.md §2 for the substitution rationale.  It also builds the
+Figure-1/Figure-23 style corridor datasets used by the motivation and
+noise-robustness experiments.
+"""
+
+from repro.datasets.hurricane import (
+    generate_hurricane_tracks,
+    parse_hurdat2,
+)
+from repro.datasets.starkey import (
+    generate_starkey,
+    generate_elk1993,
+    generate_deer1995,
+    parse_starkey_telemetry,
+)
+from repro.datasets.synthetic import (
+    generate_common_subtrajectory_set,
+    generate_corridor_set,
+    add_noise_trajectories,
+    generate_random_walk,
+)
+
+__all__ = [
+    "generate_hurricane_tracks",
+    "parse_hurdat2",
+    "generate_starkey",
+    "generate_elk1993",
+    "generate_deer1995",
+    "parse_starkey_telemetry",
+    "generate_common_subtrajectory_set",
+    "generate_corridor_set",
+    "add_noise_trajectories",
+    "generate_random_walk",
+]

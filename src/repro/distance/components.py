@@ -1,0 +1,174 @@
+"""Scalar reference implementation of the three distance components.
+
+This module mirrors Definitions 1-3 and Formulas (1)-(5) of the paper
+as literally as possible; it is the ground truth the vectorized kernels
+are property-tested against.  All functions assume the caller has
+already ordered the segments so that ``li`` is the longer one — use
+:func:`ordered` or the :class:`repro.distance.weighted.SegmentDistance`
+facade if you have not.
+
+Degenerate (zero-length) segments get a well-defined extension:
+
+* both degenerate  -> ``d_perp`` is the point distance, ``d_par`` and
+  ``d_theta`` are 0 (two coincident points at distance r should be
+  neighbors at eps >= r);
+* only ``lj`` degenerate -> projections of its (equal) endpoints behave
+  normally and ``d_theta = 0`` since ``||Lj|| = 0``.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+from repro.geometry.point import euclidean, norm, dot
+from repro.geometry.projection import project_point_onto_line
+from repro.model.segment import Segment
+
+
+class ComponentDistances(NamedTuple):
+    """The three components for one ordered pair ``(Li, Lj)``."""
+
+    perpendicular: float
+    parallel: float
+    angle: float
+
+    def weighted_sum(
+        self, w_perp: float = 1.0, w_par: float = 1.0, w_theta: float = 1.0
+    ) -> float:
+        """``dist(Li, Lj)`` as defined at the end of Section 2.3."""
+        return (
+            w_perp * self.perpendicular
+            + w_par * self.parallel
+            + w_theta * self.angle
+        )
+
+
+def ordered(a: Segment, b: Segment) -> Tuple[Segment, Segment]:
+    """Order two segments so the first is ``Li`` (the longer one).
+
+    Ties are broken by the internal identifier ``seg_id`` (Lemma 2's
+    "the tie can be broken by comparing the internal identifier"): the
+    segment with the smaller id becomes ``Li``.
+    """
+    la, lb = a.length, b.length
+    if la > lb:
+        return a, b
+    if lb > la:
+        return b, a
+    return (a, b) if a.seg_id <= b.seg_id else (b, a)
+
+
+def lehmer_mean_order2(a: float, b: float) -> float:
+    """Lehmer mean of order 2, ``(a^2 + b^2) / (a + b)`` (Formula 1).
+
+    Defined as 0 when both inputs are 0 (the limit value): two segments
+    lying exactly on the same line have perpendicular distance 0.
+    """
+    if a < 0 or b < 0:
+        raise ValueError(f"Lehmer mean needs non-negative inputs, got {a}, {b}")
+    denominator = a + b
+    if denominator == 0.0:
+        return 0.0
+    return (a * a + b * b) / denominator
+
+
+def perpendicular_distance(li: Segment, lj: Segment) -> float:
+    """``d_perp(Li, Lj)`` (Definition 1).
+
+    ``l_perp1``/``l_perp2`` are the Euclidean distances from ``sj``/``ej``
+    to their projections onto the supporting line of ``Li``.
+    """
+    if li.is_degenerate():
+        # Both segments are points (Li is the longer one).
+        return euclidean(li.start, lj.start)
+    ps, _ = project_point_onto_line(li.start, li.end, lj.start)
+    pe, _ = project_point_onto_line(li.start, li.end, lj.end)
+    l_perp1 = euclidean(lj.start, ps)
+    l_perp2 = euclidean(lj.end, pe)
+    return lehmer_mean_order2(l_perp1, l_perp2)
+
+
+def parallel_distance(li: Segment, lj: Segment) -> float:
+    """``d_par(Li, Lj)`` (Definition 2).
+
+    ``l_par1`` is the smaller of the distances from the projection
+    ``ps`` to ``Li``'s endpoints; likewise ``l_par2`` for ``pe``; the
+    result is ``MIN(l_par1, l_par2)`` (MIN, not MAX, so broken
+    segments do not blow the distance up — see the Definition 2 remark).
+    """
+    if li.is_degenerate():
+        return 0.0
+    ps, _ = project_point_onto_line(li.start, li.end, lj.start)
+    pe, _ = project_point_onto_line(li.start, li.end, lj.end)
+    l_par1 = min(euclidean(ps, li.start), euclidean(ps, li.end))
+    l_par2 = min(euclidean(pe, li.start), euclidean(pe, li.end))
+    return min(l_par1, l_par2)
+
+
+def cosine_of_angle(li: Segment, lj: Segment) -> float:
+    """``cos(theta)`` via Formula (5), clamped into [-1, 1].
+
+    Returns 1.0 when either segment is degenerate (a point has no
+    direction; the angle contribution is then 0 anyway because
+    ``||Lj|| = 0``).
+    """
+    if li.is_degenerate() or lj.is_degenerate():
+        return 1.0
+    cos_theta = dot(li.vector, lj.vector) / (li.length * lj.length)
+    return max(-1.0, min(1.0, cos_theta))
+
+
+def angle_distance(li: Segment, lj: Segment, directed: bool = True) -> float:
+    """``d_theta(Li, Lj)`` (Definition 3).
+
+    With ``directed=True`` (the paper's default for trajectories with
+    directions) the whole length ``||Lj||`` is charged when the
+    directions differ by 90 degrees or more.  With ``directed=False``
+    the distance is simply ``||Lj|| * sin(theta)`` (Definition 3
+    remark), which treats a segment and its reverse as identical.
+
+    ``||Lj|| * sin(theta)`` is computed as the norm of the rejection of
+    ``Lj``'s vector from ``Li``'s direction — algebraically identical to
+    the sine form but numerically stable for near-parallel segments
+    (``sqrt(1 - cos^2)`` loses all precision there).
+    """
+    if lj.is_degenerate():
+        return 0.0
+    if li.is_degenerate():
+        # A point has no direction; by convention theta = 0.
+        return 0.0
+    lj_len = lj.length
+    u, v = li.vector, lj.vector
+    dot_uv = dot(u, v)
+    if directed and dot_uv <= 0.0:  # 90 <= theta <= 180
+        return lj_len
+    rejection = v - (dot_uv / dot(u, u)) * u
+    return norm(rejection)  # == ||Lj|| * sin(theta)
+
+
+def component_distances(
+    a: Segment, b: Segment, directed: bool = True
+) -> ComponentDistances:
+    """All three components for an *unordered* pair of segments.
+
+    The pair is ordered internally (longer segment becomes ``Li``), so
+    the result is symmetric: ``component_distances(a, b) ==
+    component_distances(b, a)``.
+    """
+    li, lj = ordered(a, b)
+    return ComponentDistances(
+        perpendicular=perpendicular_distance(li, lj),
+        parallel=parallel_distance(li, lj),
+        angle=angle_distance(li, lj, directed=directed),
+    )
+
+
+def endpoint_sum_distance(a: Segment, b: Segment) -> float:
+    """The naive baseline of Appendix A: the sum of the Euclidean
+    distances between corresponding endpoints.
+
+    Appendix A's Figure 24 shows why this is inadequate: it cannot
+    separate a parallel segment from a perpendicular one at equal
+    endpoint displacement, because it ignores the angle.
+    """
+    return euclidean(a.start, b.start) + euclidean(a.end, b.end)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid geometric input (e.g. mismatched dimensions)."""
+
+
+class DegenerateSegmentError(GeometryError):
+    """Raised when an operation requires a segment of non-zero length."""
+
+
+class TrajectoryError(ReproError):
+    """Raised for malformed trajectories (too few points, bad shape)."""
+
+
+class PartitionError(ReproError):
+    """Raised when trajectory partitioning receives invalid input."""
+
+
+class ClusteringError(ReproError):
+    """Raised for invalid clustering parameters or state."""
+
+
+class ParameterSearchError(ReproError):
+    """Raised when the parameter-selection heuristics cannot proceed."""
+
+
+class DatasetError(ReproError):
+    """Raised by dataset generators and parsers on invalid input."""
+
+
+class IndexError_(ReproError):
+    """Raised by the spatial index substrate (named with a trailing
+    underscore to avoid shadowing the built-in :class:`IndexError`)."""

@@ -1,0 +1,30 @@
+"""Extensions sketched in Section 7.1 of the paper.
+
+* :mod:`repro.extensions.embedding` — constant-shift embedding turning
+  the non-metric segment distance into a squared-Euclidean one
+  (item 3: indexing a non-metric distance, reference [18]);
+* :mod:`repro.extensions.temporal` — a time-aware distance wrapper
+  (item 5: "take account of temporal information during clustering");
+* :mod:`repro.extensions.circular` — circular-motion representatives
+  via an angular sweep (item 4: "support various types of movement
+  patterns, especially circular motion").
+"""
+
+from repro.extensions.circular import (
+    circularity,
+    fit_circle,
+    generate_adaptive_representative,
+    generate_circular_representative,
+)
+from repro.extensions.embedding import ConstantShiftEmbedding
+from repro.extensions.temporal import TemporalSegment, TemporalSegmentDistance
+
+__all__ = [
+    "ConstantShiftEmbedding",
+    "TemporalSegment",
+    "TemporalSegmentDistance",
+    "circularity",
+    "fit_circle",
+    "generate_adaptive_representative",
+    "generate_circular_representative",
+]

@@ -1,0 +1,38 @@
+"""Low-level d-dimensional geometry substrate.
+
+The paper's distance function (Section 2.3) is built from point/vector
+primitives: Euclidean norms, dot products, projections of a point onto
+the supporting line of a segment (Formula 4), the intersecting angle of
+two segments (Formula 5), and a 2-D axis rotation used when generating
+representative trajectories (Formula 9).  This subpackage implements all
+of them over plain NumPy arrays.
+"""
+
+from repro.geometry.point import (
+    as_point,
+    as_points,
+    dot,
+    euclidean,
+    norm,
+    unit,
+)
+from repro.geometry.projection import (
+    project_point_onto_line,
+    projection_coefficient,
+)
+from repro.geometry.rotation import Rotation2D, angle_to_x_axis
+from repro.geometry.bbox import BoundingBox
+
+__all__ = [
+    "as_point",
+    "as_points",
+    "dot",
+    "euclidean",
+    "norm",
+    "unit",
+    "project_point_onto_line",
+    "projection_coefficient",
+    "Rotation2D",
+    "angle_to_x_axis",
+    "BoundingBox",
+]

@@ -1,0 +1,83 @@
+"""Point and vector primitives.
+
+A *point* is a 1-D :class:`numpy.ndarray` of ``float64`` with ``d >= 2``
+entries; a *point array* is a 2-D array of shape ``(n, d)``.  These
+helpers normalise user input (lists, tuples, integer arrays) into that
+canonical form and provide the handful of vector operations the rest of
+the library builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def as_point(value: ArrayLike) -> np.ndarray:
+    """Coerce *value* to a 1-D float64 point.
+
+    Raises :class:`GeometryError` if the input is not 1-D or has fewer
+    than two coordinates (the paper works in d >= 2 dimensions).
+    """
+    point = np.asarray(value, dtype=np.float64)
+    if point.ndim != 1:
+        raise GeometryError(f"a point must be 1-D, got shape {point.shape}")
+    if point.shape[0] < 2:
+        raise GeometryError(
+            f"a point needs at least 2 coordinates, got {point.shape[0]}"
+        )
+    if not np.all(np.isfinite(point)):
+        raise GeometryError(f"point has non-finite coordinates: {point!r}")
+    return point
+
+
+def as_points(values: Union[Iterable[ArrayLike], np.ndarray]) -> np.ndarray:
+    """Coerce *values* to a 2-D ``(n, d)`` float64 array of points."""
+    points = np.asarray(values, dtype=np.float64)
+    if points.ndim != 2:
+        raise GeometryError(f"points must be 2-D (n, d), got shape {points.shape}")
+    if points.shape[1] < 2:
+        raise GeometryError(
+            f"points need at least 2 coordinates, got {points.shape[1]}"
+        )
+    if not np.all(np.isfinite(points)):
+        raise GeometryError("point array has non-finite coordinates")
+    return points
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> float:
+    """Dot product of two vectors as a Python float."""
+    return float(np.dot(a, b))
+
+
+def norm(vector: np.ndarray) -> float:
+    """Euclidean norm ``||v||`` of a vector as a Python float."""
+    return float(np.linalg.norm(vector))
+
+
+def euclidean(a: ArrayLike, b: ArrayLike) -> float:
+    """Euclidean distance between two points."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise GeometryError(
+            f"dimension mismatch: {a.shape} vs {b.shape}"
+        )
+    return float(np.linalg.norm(a - b))
+
+
+def unit(vector: np.ndarray) -> np.ndarray:
+    """Unit vector in the direction of *vector*.
+
+    Raises :class:`GeometryError` for the zero vector, which has no
+    direction.
+    """
+    length = np.linalg.norm(vector)
+    if length == 0.0:
+        raise GeometryError("the zero vector has no direction")
+    return np.asarray(vector, dtype=np.float64) / length

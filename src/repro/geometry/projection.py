@@ -1,0 +1,52 @@
+"""Projection of points onto the supporting line of a segment.
+
+Implements Formula (4) of the paper: for a segment ``Li = si ei`` and a
+point ``p``, the projection is ``ps = si + u * (ei - si)`` with
+``u = ((p - si) . (ei - si)) / ||ei - si||^2``.
+
+The projection is onto the *infinite* supporting line, not clamped to
+the segment — the paper's perpendicular/parallel distances rely on the
+unclamped value (a projection point may fall before ``si`` or past
+``ei``; the parallel distance then measures how far outside it fell).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import DegenerateSegmentError
+
+
+def projection_coefficient(
+    start: np.ndarray, end: np.ndarray, point: np.ndarray
+) -> float:
+    """Return the scalar ``u`` of Formula (4).
+
+    ``u = 0`` means *point* projects exactly onto *start*, ``u = 1``
+    onto *end*; values outside [0, 1] fall outside the segment.
+
+    Raises :class:`DegenerateSegmentError` when ``start == end`` because
+    a zero-length segment has no supporting line.
+    """
+    direction = end - start
+    squared_length = float(np.dot(direction, direction))
+    if squared_length == 0.0:
+        raise DegenerateSegmentError(
+            "cannot project onto a zero-length segment"
+        )
+    return float(np.dot(point - start, direction)) / squared_length
+
+
+def project_point_onto_line(
+    start: np.ndarray, end: np.ndarray, point: np.ndarray
+) -> Tuple[np.ndarray, float]:
+    """Project *point* onto the line through *start* and *end*.
+
+    Returns ``(projection_point, u)`` where ``u`` is the coefficient of
+    :func:`projection_coefficient`.
+    """
+    u = projection_coefficient(start, end, point)
+    projection = start + u * (end - start)
+    return projection, u

@@ -1,0 +1,71 @@
+"""2-D axis rotation used by representative-trajectory generation.
+
+Formula (9) of the paper rotates the coordinate axes so the X axis is
+parallel to a cluster's *average direction vector*:
+
+    [x']   [ cos phi   sin phi ] [x]
+    [y'] = [ -sin phi  cos phi ] [y]
+
+Note this is an *axis* rotation (alias transform): the point stays put
+and the coordinate frame turns by ``phi``, which is why the matrix is
+the transpose of the usual counter-clockwise point rotation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+
+
+def angle_to_x_axis(vector: np.ndarray) -> float:
+    """Angle ``phi`` (radians, in (-pi, pi]) from the +X axis to *vector*.
+
+    The paper obtains ``phi`` via the inner product with the unit vector
+    ``x_hat``; we use :func:`math.atan2`, which additionally recovers the
+    sign so that rotation works for vectors below the X axis too.
+    """
+    vector = np.asarray(vector, dtype=np.float64)
+    if vector.shape != (2,):
+        raise GeometryError(f"axis rotation is 2-D only, got shape {vector.shape}")
+    if vector[0] == 0.0 and vector[1] == 0.0:
+        raise GeometryError("zero vector has no angle")
+    return math.atan2(float(vector[1]), float(vector[0]))
+
+
+class Rotation2D:
+    """Rotation of the coordinate *axes* by ``phi`` radians.
+
+    ``forward`` maps XY coordinates into the rotated X'Y' frame
+    (Formula 9); ``inverse`` maps back ("undo the rotation", Figure 15
+    line 11).
+    """
+
+    __slots__ = ("phi", "_matrix", "_inverse")
+
+    def __init__(self, phi: float):
+        self.phi = float(phi)
+        c, s = math.cos(self.phi), math.sin(self.phi)
+        # Axis rotation: [x', y'] = [[c, s], [-s, c]] @ [x, y]
+        self._matrix = np.array([[c, s], [-s, c]], dtype=np.float64)
+        self._inverse = self._matrix.T  # rotation matrices are orthogonal
+
+    @classmethod
+    def aligning_x_axis_with(cls, vector: np.ndarray) -> "Rotation2D":
+        """Rotation that makes the X' axis parallel to *vector*."""
+        return cls(angle_to_x_axis(vector))
+
+    def forward(self, points: np.ndarray) -> np.ndarray:
+        """Rotate ``(n, 2)`` points (or a single point) into X'Y'."""
+        points = np.asarray(points, dtype=np.float64)
+        return points @ self._matrix.T
+
+    def inverse(self, points: np.ndarray) -> np.ndarray:
+        """Rotate ``(n, 2)`` points (or a single point) back into XY."""
+        points = np.asarray(points, dtype=np.float64)
+        return points @ self._inverse.T
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Rotation2D(phi={self.phi:.6f})"

@@ -1,0 +1,394 @@
+"""A from-scratch R-tree (Guttman 1984, the paper's reference [10]).
+
+Supports one-by-one insertion with quadratic split and
+Sort-Tile-Recursive (STR) bulk loading, window (intersection) queries,
+and nearest-neighbor queries by box distance.  Entries are
+``(BoundingBox, payload)`` pairs; for TRACLUS the payload is the
+segment index.
+
+The tree exists to demonstrate Lemma 3's O(n log n) claim — the
+production neighborhood engine uses the uniform grid, but both
+structures answer the identical candidate queries and the scaling
+benchmark exercises the R-tree directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import IndexError_
+from repro.geometry.bbox import BoundingBox
+
+
+class RTreeEntry:
+    """A leaf entry: a box plus an opaque payload."""
+
+    __slots__ = ("box", "payload")
+
+    def __init__(self, box: BoundingBox, payload):
+        self.box = box
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RTreeEntry({self.box!r}, payload={self.payload!r})"
+
+
+class _Node:
+    __slots__ = ("is_leaf", "entries", "children", "box")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.entries: List[RTreeEntry] = []   # used when leaf
+        self.children: List["_Node"] = []     # used when internal
+        self.box: Optional[BoundingBox] = None
+
+    def items(self):
+        return self.entries if self.is_leaf else self.children
+
+    def recompute_box(self) -> None:
+        boxes = [e.box for e in self.entries] if self.is_leaf else [
+            c.box for c in self.children
+        ]
+        self.box = BoundingBox.union_all(boxes) if boxes else None
+
+
+class RTree:
+    """Guttman R-tree with quadratic split.
+
+    Parameters
+    ----------
+    max_entries:
+        Node capacity M (>= 4).  ``min_entries`` defaults to ``M // 2``.
+    """
+
+    def __init__(self, max_entries: int = 16, min_entries: Optional[int] = None):
+        if max_entries < 4:
+            raise IndexError_(f"max_entries must be >= 4, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.min_entries = (
+            int(min_entries) if min_entries is not None else max_entries // 2
+        )
+        if not 1 <= self.min_entries <= self.max_entries // 2:
+            raise IndexError_(
+                f"min_entries must be in [1, {self.max_entries // 2}], "
+                f"got {self.min_entries}"
+            )
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def insert(self, box: BoundingBox, payload) -> None:
+        """Insert one entry (Guttman's Insert with quadratic split)."""
+        entry = RTreeEntry(box, payload)
+        leaf, path = self._choose_leaf(entry.box)
+        leaf.entries.append(entry)
+        self._adjust_upward(leaf, path)
+        self._size += 1
+
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Iterable[Tuple[BoundingBox, object]],
+        max_entries: int = 16,
+    ) -> "RTree":
+        """Sort-Tile-Recursive bulk loading.
+
+        Produces a balanced tree with near-full nodes; far better query
+        boxes than repeated insertion for static data (and O(n log n)
+        build time, dominated by the sorts).
+        """
+        tree = cls(max_entries=max_entries)
+        entries = [RTreeEntry(box, payload) for box, payload in items]
+        if not entries:
+            return tree
+        tree._size = len(entries)
+
+        # Build leaf level with STR tiling.
+        nodes = tree._str_pack_leaves(entries)
+        height = 1
+        while len(nodes) > 1:
+            nodes = tree._str_pack_internal(nodes)
+            height += 1
+        tree._root = nodes[0]
+        tree._height = height
+        return tree
+
+    def _str_pack_leaves(self, entries: List[RTreeEntry]) -> List[_Node]:
+        groups = self._str_tile([e.box.center for e in entries], entries)
+        nodes = []
+        for group in groups:
+            node = _Node(is_leaf=True)
+            node.entries = group
+            node.recompute_box()
+            nodes.append(node)
+        return nodes
+
+    def _str_pack_internal(self, children: List[_Node]) -> List[_Node]:
+        groups = self._str_tile([c.box.center for c in children], children)
+        nodes = []
+        for group in groups:
+            node = _Node(is_leaf=False)
+            node.children = group
+            node.recompute_box()
+            nodes.append(node)
+        return nodes
+
+    def _str_tile(self, centers: Sequence[np.ndarray], items: list) -> List[list]:
+        """Tile items into groups of <= max_entries using the STR
+        recursion over dimensions."""
+        n = len(items)
+        capacity = self.max_entries
+        n_nodes = math.ceil(n / capacity)
+        if n_nodes <= 1:
+            return [list(items)]
+        dim = centers[0].shape[0]
+        order = sorted(range(n), key=lambda k: tuple(centers[k]))
+
+        def chunk(indices: List[int]) -> List[List[int]]:
+            """Split into capacity-sized groups, rebalancing the last
+            two so no group falls below min_entries (STR would
+            otherwise leave one underfull node per level)."""
+            groups = [
+                indices[k : k + capacity]
+                for k in range(0, len(indices), capacity)
+            ]
+            if len(groups) >= 2 and len(groups[-1]) < self.min_entries:
+                deficit = self.min_entries - len(groups[-1])
+                groups[-1] = groups[-2][-deficit:] + groups[-1]
+                groups[-2] = groups[-2][:-deficit]
+            return groups
+
+        def tile(indices: List[int], axis: int) -> List[List[int]]:
+            if axis >= dim - 1 or len(indices) <= capacity:
+                return chunk(indices)
+            remaining_axes = dim - axis
+            n_groups = math.ceil(len(indices) / capacity)
+            n_slabs = math.ceil(n_groups ** (1.0 / remaining_axes))
+            slab_size = math.ceil(len(indices) / n_slabs)
+            indices = sorted(indices, key=lambda k: float(centers[k][axis]))
+            slabs = [
+                indices[k : k + slab_size]
+                for k in range(0, len(indices), slab_size)
+            ]
+            groups: List[List[int]] = []
+            for slab in slabs:
+                slab = sorted(slab, key=lambda k: float(centers[k][axis + 1]))
+                groups.extend(tile(slab, axis + 1))
+            return groups
+
+        return [[items[k] for k in group] for group in tile(order, 0)]
+
+    # -- Guttman insertion internals ---------------------------------------
+    def _choose_leaf(self, box: BoundingBox) -> Tuple[_Node, List[_Node]]:
+        """Descend picking the child needing least enlargement."""
+        node = self._root
+        path: List[_Node] = []
+        while not node.is_leaf:
+            path.append(node)
+            best = min(
+                node.children,
+                key=lambda c: (c.box.enlargement(box), c.box.volume()),
+            )
+            node = best
+        return node, path
+
+    def _adjust_upward(self, node: _Node, path: List[_Node]) -> None:
+        node.recompute_box()
+        overflow = node if len(node.items()) > self.max_entries else None
+        while path:
+            parent = path.pop()
+            if overflow is not None:
+                left, right = self._split(overflow)
+                parent.children.remove(overflow)
+                parent.children.extend([left, right])
+                overflow = parent if len(parent.children) > self.max_entries else None
+            parent.recompute_box()
+        if overflow is not None:
+            # Root overflowed: grow the tree.
+            left, right = self._split(overflow)
+            new_root = _Node(is_leaf=False)
+            new_root.children = [left, right]
+            new_root.recompute_box()
+            self._root = new_root
+            self._height += 1
+
+    def _split(self, node: _Node) -> Tuple[_Node, _Node]:
+        """Guttman's quadratic split."""
+        items = list(node.items())
+        boxes = [it.box for it in items]
+
+        # PickSeeds: the pair wasting the most volume together.
+        worst, seeds = -math.inf, (0, 1)
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                waste = (
+                    boxes[i].union(boxes[j]).volume()
+                    - boxes[i].volume()
+                    - boxes[j].volume()
+                )
+                if waste > worst:
+                    worst, seeds = waste, (i, j)
+
+        left = _Node(is_leaf=node.is_leaf)
+        right = _Node(is_leaf=node.is_leaf)
+        groups = (left, right)
+        group_boxes = [boxes[seeds[0]], boxes[seeds[1]]]
+        assigned = {seeds[0]: 0, seeds[1]: 1}
+
+        remaining = [k for k in range(len(items)) if k not in assigned]
+        while remaining:
+            # If one group must take everything left to reach min_entries:
+            for g in (0, 1):
+                need = self.min_entries - sum(
+                    1 for v in assigned.values() if v == g
+                )
+                if need >= len(remaining):
+                    for k in remaining:
+                        assigned[k] = g
+                        group_boxes[g] = group_boxes[g].union(boxes[k])
+                    remaining = []
+                    break
+            if not remaining:
+                break
+            # PickNext: maximal difference in enlargement.
+            best_k, best_diff, best_g = None, -math.inf, 0
+            for k in remaining:
+                d0 = group_boxes[0].enlargement(boxes[k])
+                d1 = group_boxes[1].enlargement(boxes[k])
+                diff = abs(d0 - d1)
+                if diff > best_diff:
+                    best_k, best_diff = k, diff
+                    best_g = 0 if d0 < d1 else 1
+            assigned[best_k] = best_g
+            group_boxes[best_g] = group_boxes[best_g].union(boxes[best_k])
+            remaining.remove(best_k)
+
+        for k, g in assigned.items():
+            target = groups[g]
+            if node.is_leaf:
+                target.entries.append(items[k])
+            else:
+                target.children.append(items[k])
+        left.recompute_box()
+        right.recompute_box()
+        return left, right
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_window(self, window: BoundingBox) -> List[RTreeEntry]:
+        """All entries whose boxes intersect *window*."""
+        if self._root.box is None:
+            return []
+        results: List[RTreeEntry] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.box is None or not node.box.intersects(window):
+                continue
+            if node.is_leaf:
+                results.extend(
+                    e for e in node.entries if e.box.intersects(window)
+                )
+            else:
+                stack.extend(node.children)
+        return results
+
+    def query_point(self, point: np.ndarray) -> List[RTreeEntry]:
+        """All entries whose boxes contain *point*."""
+        point = np.asarray(point, dtype=np.float64)
+        window = BoundingBox(point, point)
+        return self.query_window(window)
+
+    def nearest(self, point: np.ndarray, k: int = 1) -> List[RTreeEntry]:
+        """The *k* entries whose boxes are closest to *point* (best-first
+        search on box distance)."""
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        if self._root.box is None:
+            return []
+        point = np.asarray(point, dtype=np.float64)
+        counter = 0  # tie-breaker so heapq never compares nodes
+        heap: List[Tuple[float, int, object, bool]] = []
+        heapq.heappush(
+            heap, (self._root.box.min_distance_to_point(point), counter, self._root, False)
+        )
+        results: List[RTreeEntry] = []
+        while heap and len(results) < k:
+            dist, _, item, is_entry = heapq.heappop(heap)
+            if is_entry:
+                results.append(item)
+                continue
+            node = item
+            if node.is_leaf:
+                for e in node.entries:
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (e.box.min_distance_to_point(point), counter, e, True),
+                    )
+            else:
+                for c in node.children:
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (c.box.min_distance_to_point(point), counter, c, False),
+                    )
+        return results
+
+    # -- invariant checking (used heavily by tests) --------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`IndexError_` if any structural invariant is
+        violated: node fan-out bounds (root exempt), box containment,
+        and uniform leaf depth."""
+        if self._root.box is None:
+            if self._size != 0:
+                raise IndexError_("non-empty tree with empty root box")
+            return
+
+        leaf_depths = set()
+
+        def visit(node: _Node, depth: int) -> None:
+            count = len(node.items())
+            if node is not self._root and count < self.min_entries:
+                raise IndexError_(
+                    f"underfull node: {count} < {self.min_entries}"
+                )
+            if count > self.max_entries:
+                raise IndexError_(
+                    f"overfull node: {count} > {self.max_entries}"
+                )
+            if node.is_leaf:
+                leaf_depths.add(depth)
+                for e in node.entries:
+                    if not node.box.contains_box(e.box):
+                        raise IndexError_("leaf box does not contain entry box")
+            else:
+                for c in node.children:
+                    if not node.box.contains_box(c.box):
+                        raise IndexError_("node box does not contain child box")
+                    visit(c, depth + 1)
+
+        visit(self._root, 1)
+        if len(leaf_depths) > 1:
+            raise IndexError_(f"leaves at multiple depths: {sorted(leaf_depths)}")
+
+    def __repr__(self) -> str:
+        return (
+            f"RTree(n={self._size}, height={self._height}, "
+            f"max_entries={self.max_entries})"
+        )

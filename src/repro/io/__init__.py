@@ -1,0 +1,18 @@
+"""Trajectory serialisation: CSV and JSON round trips."""
+
+from repro.io.csvio import read_trajectories_csv, write_trajectories_csv
+from repro.io.jsonio import (
+    read_trajectories_json,
+    write_trajectories_json,
+    result_to_dict,
+    write_result_json,
+)
+
+__all__ = [
+    "read_trajectories_csv",
+    "write_trajectories_csv",
+    "read_trajectories_json",
+    "write_trajectories_json",
+    "result_to_dict",
+    "write_result_json",
+]

@@ -1,0 +1,119 @@
+"""CSV trajectory I/O.
+
+The on-disk format is long/tidy: one row per point,
+
+    traj_id, x, y[, z, ...][, t]
+
+with a header naming the columns.  ``weight`` and ``label`` are
+carried in optional per-trajectory metadata columns (repeated on every
+row of the trajectory; the first row wins on read).
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import List, Sequence, TextIO, Union
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.model.trajectory import Trajectory
+
+
+def write_trajectories_csv(
+    trajectories: Sequence[Trajectory],
+    destination: Union[str, TextIO],
+    include_times: bool = False,
+) -> None:
+    """Write trajectories in the long CSV format."""
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8", newline="") as handle:
+            write_trajectories_csv(trajectories, handle, include_times)
+            return
+    trajectories = list(trajectories)
+    if not trajectories:
+        raise DatasetError("refusing to write an empty dataset")
+    dims = {t.dim for t in trajectories}
+    if len(dims) != 1:
+        raise DatasetError(
+            f"all trajectories must share one dimensionality to share a "
+            f"CSV header, got dims {sorted(dims)}"
+        )
+    dim = trajectories[0].dim
+    coordinate_names = [f"c{k}" for k in range(dim)]
+    header = ["traj_id", *coordinate_names, "weight", "label"]
+    if include_times:
+        header.append("t")
+    writer = csv.writer(destination)
+    writer.writerow(header)
+    for trajectory in trajectories:
+        for row_index, point in enumerate(trajectory.points):
+            row: List = [trajectory.traj_id, *point.tolist(),
+                         trajectory.weight, trajectory.label]
+            if include_times:
+                time = (
+                    trajectory.times[row_index]
+                    if trajectory.times is not None
+                    else row_index
+                )
+                row.append(time)
+            writer.writerow(row)
+
+
+def read_trajectories_csv(source: Union[str, TextIO]) -> List[Trajectory]:
+    """Read trajectories written by :func:`write_trajectories_csv`.
+
+    Grouping is by ``traj_id`` in file order; the coordinate columns
+    are every ``c*`` column in header order.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8", newline="") as handle:
+            return read_trajectories_csv(handle)
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise DatasetError("empty CSV input") from None
+    try:
+        id_col = header.index("traj_id")
+    except ValueError:
+        raise DatasetError("CSV header must contain a 'traj_id' column") from None
+    coord_cols = [k for k, name in enumerate(header) if name.startswith("c")]
+    if not coord_cols:
+        raise DatasetError("CSV header has no coordinate (c*) columns")
+    weight_col = header.index("weight") if "weight" in header else None
+    label_col = header.index("label") if "label" in header else None
+    time_col = header.index("t") if "t" in header else None
+
+    groups: "dict[int, dict]" = {}
+    order: List[int] = []
+    for row in reader:
+        if not row:
+            continue
+        traj_id = int(row[id_col])
+        if traj_id not in groups:
+            groups[traj_id] = {
+                "points": [],
+                "times": [],
+                "weight": float(row[weight_col]) if weight_col is not None else 1.0,
+                "label": row[label_col] if label_col is not None else "",
+            }
+            order.append(traj_id)
+        groups[traj_id]["points"].append([float(row[k]) for k in coord_cols])
+        if time_col is not None:
+            groups[traj_id]["times"].append(float(row[time_col]))
+
+    trajectories: List[Trajectory] = []
+    for traj_id in order:
+        group = groups[traj_id]
+        times = np.asarray(group["times"]) if group["times"] else None
+        trajectories.append(
+            Trajectory(
+                np.asarray(group["points"], dtype=np.float64),
+                traj_id=traj_id,
+                weight=group["weight"],
+                times=times,
+                label=group["label"],
+            )
+        )
+    return trajectories

@@ -1,0 +1,103 @@
+"""JSON trajectory and result serialisation.
+
+Trajectories serialise as a list of objects; a clustering result
+serialises to a structure holding cluster memberships, noise indices,
+representative polylines and the run parameters — enough to archive an
+experiment without pickling live objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence, TextIO, Union
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.model.result import ClusteringResult
+from repro.model.trajectory import Trajectory
+
+
+def write_trajectories_json(
+    trajectories: Sequence[Trajectory],
+    destination: Union[str, TextIO],
+    indent: int = 0,
+) -> None:
+    """Write trajectories as a JSON array."""
+    payload = [
+        {
+            "traj_id": t.traj_id,
+            "weight": t.weight,
+            "label": t.label,
+            "points": t.points.tolist(),
+            **({"times": t.times.tolist()} if t.times is not None else {}),
+        }
+        for t in trajectories
+    ]
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent or None)
+        return
+    json.dump(payload, destination, indent=indent or None)
+
+
+def read_trajectories_json(source: Union[str, TextIO]) -> List[Trajectory]:
+    """Read trajectories written by :func:`write_trajectories_json`."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    if not isinstance(payload, list):
+        raise DatasetError("expected a JSON array of trajectory objects")
+    trajectories: List[Trajectory] = []
+    for item in payload:
+        times = np.asarray(item["times"]) if "times" in item else None
+        trajectories.append(
+            Trajectory(
+                np.asarray(item["points"], dtype=np.float64),
+                traj_id=int(item["traj_id"]),
+                weight=float(item.get("weight", 1.0)),
+                times=times,
+                label=item.get("label", ""),
+            )
+        )
+    return trajectories
+
+
+def result_to_dict(result: ClusteringResult) -> dict:
+    """A JSON-ready dictionary describing a clustering result."""
+    return {
+        "parameters": result.parameters,
+        "n_segments": len(result.segments),
+        "labels": result.labels.tolist(),
+        "clusters": [
+            {
+                "cluster_id": c.cluster_id,
+                "member_indices": c.member_indices.tolist(),
+                "trajectory_cardinality": c.trajectory_cardinality(),
+                "representative": (
+                    c.representative.tolist()
+                    if c.representative is not None
+                    else None
+                ),
+            }
+            for c in result.clusters
+        ],
+        "characteristic_points": result.characteristic_points,
+        "summary": result.summary(),
+    }
+
+
+def write_result_json(
+    result: ClusteringResult,
+    destination: Union[str, TextIO],
+    indent: int = 2,
+) -> None:
+    """Archive a clustering result as JSON."""
+    payload = result_to_dict(result)
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent)
+        return
+    json.dump(payload, destination, indent=indent)

@@ -1,0 +1,25 @@
+"""Core data model: trajectories, line segments, clusters, results.
+
+Section 2.1 of the paper defines a *trajectory* as a sequence of
+d-dimensional points, a *trajectory partition* as a line segment between
+two points of the same trajectory, and a *cluster* as a set of trajectory
+partitions together with a *representative trajectory*.  This subpackage
+holds those types plus :class:`SegmentSet`, the columnar store that all
+distance kernels and the clustering algorithm operate on.
+"""
+
+from repro.model.segment import Segment
+from repro.model.trajectory import Trajectory
+from repro.model.segmentset import SegmentSet
+from repro.model.cluster import Cluster, NOISE, UNCLASSIFIED
+from repro.model.result import ClusteringResult
+
+__all__ = [
+    "Segment",
+    "Trajectory",
+    "SegmentSet",
+    "Cluster",
+    "ClusteringResult",
+    "NOISE",
+    "UNCLASSIFIED",
+]

@@ -1,0 +1,106 @@
+"""The result object returned by the TRACLUS pipeline (Figure 4's two
+outputs: the set of clusters and their representative trajectories)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.model.cluster import Cluster, NOISE
+from repro.model.segmentset import SegmentSet
+from repro.model.trajectory import Trajectory
+
+
+class ClusteringResult:
+    """Everything produced by one TRACLUS run.
+
+    Attributes
+    ----------
+    clusters:
+        The surviving clusters (after the trajectory-cardinality filter).
+    segments:
+        The full partition set ``D`` the grouping phase ran on.
+    labels:
+        ``(len(segments),)`` int64 array; ``>= 0`` cluster id, ``-1``
+        noise.  Labels are aligned with :attr:`segments`.
+    trajectories:
+        The input trajectories, in the order given to the pipeline.
+    characteristic_points:
+        Per-trajectory characteristic point indices from the
+        partitioning phase.
+    parameters:
+        The (epsilon, min_lns) pair the grouping phase actually used,
+        plus any extra diagnostics the pipeline chooses to attach.
+    """
+
+    def __init__(
+        self,
+        clusters: Sequence[Cluster],
+        segments: SegmentSet,
+        labels: np.ndarray,
+        trajectories: Sequence[Trajectory],
+        characteristic_points: Sequence[Sequence[int]],
+        parameters: Optional[Dict[str, float]] = None,
+    ):
+        self.clusters: List[Cluster] = list(clusters)
+        self.segments = segments
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.trajectories: List[Trajectory] = list(trajectories)
+        self.characteristic_points: List[List[int]] = [
+            list(cps) for cps in characteristic_points
+        ]
+        self.parameters: Dict[str, float] = dict(parameters or {})
+
+    # -- protocol --------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of clusters (``numclus``)."""
+        return len(self.clusters)
+
+    def __iter__(self) -> Iterator[Cluster]:
+        return iter(self.clusters)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusteringResult(n_clusters={len(self)}, "
+            f"n_segments={len(self.segments)}, n_noise={self.n_noise()})"
+        )
+
+    # -- summaries ---------------------------------------------------------
+    def n_noise(self) -> int:
+        """Number of noise segments."""
+        return int(np.sum(self.labels == NOISE))
+
+    def noise_indices(self) -> np.ndarray:
+        """Indices (into :attr:`segments`) of noise segments."""
+        return np.nonzero(self.labels == NOISE)[0]
+
+    def noise_ratio(self) -> float:
+        """Fraction of segments labelled noise."""
+        if len(self.segments) == 0:
+            return 0.0
+        return self.n_noise() / len(self.segments)
+
+    def representative_trajectories(self) -> List[np.ndarray]:
+        """Representative polylines, one ``(k, d)`` array per cluster
+        (clusters whose representative was not computed are skipped)."""
+        return [c.representative for c in self.clusters if c.representative is not None]
+
+    def cluster_sizes(self) -> List[int]:
+        return [len(c) for c in self.clusters]
+
+    def mean_cluster_size(self) -> float:
+        sizes = self.cluster_sizes()
+        return float(np.mean(sizes)) if sizes else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary used by the benchmark harnesses."""
+        return {
+            "n_trajectories": float(len(self.trajectories)),
+            "n_segments": float(len(self.segments)),
+            "n_clusters": float(len(self)),
+            "n_noise": float(self.n_noise()),
+            "noise_ratio": self.noise_ratio(),
+            "mean_cluster_size": self.mean_cluster_size(),
+            **{k: float(v) for k, v in self.parameters.items()},
+        }

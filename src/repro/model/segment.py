@@ -1,0 +1,121 @@
+"""The :class:`Segment` type — one trajectory partition (Section 2.1).
+
+A segment is a directed straight line from ``start`` to ``end``; the
+direction matters because the angle distance (Definition 3) penalises
+segments pointing the opposite way.  Each segment remembers the
+trajectory it was extracted from (``traj_id``, for the
+trajectory-cardinality filter of Definition 10) and carries the
+trajectory's weight for the weighted-clustering extension.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import as_point
+
+
+class Segment:
+    """A directed d-dimensional line segment with provenance.
+
+    Parameters
+    ----------
+    start, end:
+        d-dimensional endpoints.  Zero-length segments are allowed at
+        construction (real telemetry contains repeated fixes) but most
+        distance operations reject them; :meth:`is_degenerate` tells
+        callers which case they hold.
+    traj_id:
+        Identifier of the source trajectory.
+    seg_id:
+        Internal identifier, unique within a :class:`SegmentSet`; used
+        to break ties when ordering equal-length segments (Lemma 2).
+    weight:
+        Weight inherited from the source trajectory.
+    """
+
+    __slots__ = ("start", "end", "traj_id", "seg_id", "weight")
+
+    def __init__(
+        self,
+        start: Union[Sequence[float], np.ndarray],
+        end: Union[Sequence[float], np.ndarray],
+        traj_id: int = -1,
+        seg_id: int = -1,
+        weight: float = 1.0,
+    ):
+        self.start = as_point(start)
+        self.end = as_point(end)
+        if self.start.shape != self.end.shape:
+            raise GeometryError(
+                f"segment endpoints disagree in dimension: "
+                f"{self.start.shape} vs {self.end.shape}"
+            )
+        self.traj_id = int(traj_id)
+        self.seg_id = int(seg_id)
+        self.weight = float(weight)
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return int(self.start.shape[0])
+
+    @property
+    def vector(self) -> np.ndarray:
+        """Direction vector ``end - start``."""
+        return self.end - self.start
+
+    @property
+    def length(self) -> float:
+        """Euclidean length ``||L||``."""
+        return float(np.linalg.norm(self.end - self.start))
+
+    @property
+    def midpoint(self) -> np.ndarray:
+        return (self.start + self.end) / 2.0
+
+    def is_degenerate(self) -> bool:
+        """True when the segment has no usable *numerical* length.
+
+        This is slightly stronger than ``start == end``: a segment whose
+        coordinates differ by ~1e-160 has a squared length that is
+        subnormal (or underflows to 0.0), so ``1 / length^2`` overflows
+        and projections onto it are undefined — such segments are
+        degenerate for every distance computation.  The threshold is the
+        smallest *normal* float64.
+        """
+        direction = self.end - self.start
+        return float(np.dot(direction, direction)) < np.finfo(np.float64).tiny
+
+    def reversed(self) -> "Segment":
+        """The same segment traversed in the opposite direction."""
+        return Segment(self.end, self.start, self.traj_id, self.seg_id, self.weight)
+
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox.of_segment(self.start, self.end)
+
+    # -- protocol --------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Segment):
+            return NotImplemented
+        return (
+            np.array_equal(self.start, other.start)
+            and np.array_equal(self.end, other.end)
+            and self.traj_id == other.traj_id
+            and self.seg_id == other.seg_id
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.start.tobytes(), self.end.tobytes(), self.traj_id, self.seg_id)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Segment({self.start.tolist()} -> {self.end.tolist()}, "
+            f"traj={self.traj_id}, id={self.seg_id})"
+        )

@@ -1,0 +1,32 @@
+"""Trajectory partitioning (Section 3): MDL cost model, the O(n)
+approximate algorithm of Figure 8, the exact dynamic-programming
+optimum, and the precision measurement comparing the two.
+"""
+
+from repro.partition.mdl import (
+    encoded_cost,
+    lh_cost,
+    ldh_cost,
+    mdl_par,
+    mdl_nopar,
+)
+from repro.partition.approximate import (
+    approximate_partition,
+    partition_trajectory,
+    partition_all,
+)
+from repro.partition.exact import exact_partition
+from repro.partition.precision import partitioning_precision
+
+__all__ = [
+    "encoded_cost",
+    "lh_cost",
+    "ldh_cost",
+    "mdl_par",
+    "mdl_nopar",
+    "approximate_partition",
+    "partition_trajectory",
+    "partition_all",
+    "exact_partition",
+    "partitioning_precision",
+]

@@ -1,0 +1,29 @@
+"""Clustering quality: the paper's QMeasure (Section 5.1, Formula 11)
+plus external ground-truth metrics used by the test-suite and ablation
+benches."""
+
+from repro.quality.qmeasure import (
+    QualityBreakdown,
+    cluster_sse,
+    noise_penalty,
+    quality_measure,
+)
+from repro.quality.external import (
+    adjusted_rand_index,
+    clustering_f1,
+    contingency,
+    noise_rate,
+    purity,
+)
+
+__all__ = [
+    "QualityBreakdown",
+    "cluster_sse",
+    "noise_penalty",
+    "quality_measure",
+    "adjusted_rand_index",
+    "clustering_f1",
+    "contingency",
+    "noise_rate",
+    "purity",
+]

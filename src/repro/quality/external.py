@@ -1,0 +1,141 @@
+"""External (ground-truth-based) clustering quality metrics.
+
+The paper validates clusters by visual inspection; on synthetic data we
+also know the *generating* structure (which corridor each trajectory
+used), so the test-suite and ablation benches can score clusterings
+against it.  Conventions:
+
+* ``labels`` — per-item cluster ids, ``-1`` meaning noise;
+* ``truth``  — per-item ground-truth class ids (no noise notion).
+
+Noise items are excluded from pair-counting metrics by default (DBSCAN
+declining to cluster an item is not an assignment error) and reported
+separately via :func:`noise_rate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+
+
+def _check(labels: np.ndarray, truth: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels, dtype=np.int64)
+    truth = np.asarray(truth, dtype=np.int64)
+    if labels.shape != truth.shape or labels.ndim != 1:
+        raise ClusteringError(
+            f"labels/truth must be congruent 1-D arrays, got "
+            f"{labels.shape} vs {truth.shape}"
+        )
+    return labels, truth
+
+
+def noise_rate(labels: np.ndarray) -> float:
+    """Fraction of items labelled noise (-1)."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return 0.0
+    return float(np.mean(labels == -1))
+
+
+def contingency(labels: np.ndarray, truth: np.ndarray) -> Dict[Tuple[int, int], int]:
+    """Joint counts over non-noise items: (cluster, class) -> count."""
+    labels, truth = _check(labels, truth)
+    table: Dict[Tuple[int, int], int] = {}
+    for label, klass in zip(labels, truth):
+        if label == -1:
+            continue
+        key = (int(label), int(klass))
+        table[key] = table.get(key, 0) + 1
+    return table
+
+
+def purity(labels: np.ndarray, truth: np.ndarray) -> float:
+    """Weighted purity of the clustering over non-noise items.
+
+    Each cluster votes for its majority ground-truth class; purity is
+    the fraction of non-noise items matching their cluster's majority.
+    1.0 when every cluster is class-pure; returns 1.0 for an empty
+    (all-noise) clustering by the usual vacuous convention.
+    """
+    table = contingency(labels, truth)
+    if not table:
+        return 1.0
+    per_cluster: Dict[int, Dict[int, int]] = {}
+    for (label, klass), count in table.items():
+        per_cluster.setdefault(label, {})[klass] = count
+    correct = sum(max(classes.values()) for classes in per_cluster.values())
+    total = sum(table.values())
+    return correct / total
+
+
+def adjusted_rand_index(
+    labels: np.ndarray, truth: np.ndarray, include_noise: bool = False
+) -> float:
+    """Adjusted Rand Index between the clustering and the ground truth.
+
+    With ``include_noise=False`` (default) noise items are dropped
+    before pair counting; with ``include_noise=True`` noise becomes its
+    own cluster (useful to punish over-aggressive noise labelling).
+    Returns 1.0 for identical partitions, ~0 for random agreement.
+    """
+    labels, truth = _check(labels, truth)
+    if not include_noise:
+        keep = labels != -1
+        labels, truth = labels[keep], truth[keep]
+    n = labels.size
+    if n < 2:
+        return 1.0
+
+    def comb2(x: np.ndarray) -> float:
+        return float(np.sum(x * (x - 1) / 2.0))
+
+    cluster_ids, cluster_inverse = np.unique(labels, return_inverse=True)
+    class_ids, class_inverse = np.unique(truth, return_inverse=True)
+    table = np.zeros((cluster_ids.size, class_ids.size), dtype=np.int64)
+    np.add.at(table, (cluster_inverse, class_inverse), 1)
+
+    sum_ij = comb2(table.astype(np.float64))
+    sum_i = comb2(table.sum(axis=1).astype(np.float64))
+    sum_j = comb2(table.sum(axis=0).astype(np.float64))
+    total_pairs = n * (n - 1) / 2.0
+    expected = sum_i * sum_j / total_pairs
+    maximum = (sum_i + sum_j) / 2.0
+    if maximum == expected:
+        return 1.0
+    return float((sum_ij - expected) / (maximum - expected))
+
+
+def clustering_f1(
+    labels: np.ndarray, truth: np.ndarray
+) -> Tuple[float, float, float]:
+    """Pairwise precision / recall / F1 over non-noise items.
+
+    A pair is *positive* when both items share a ground-truth class;
+    *predicted positive* when they share a cluster.
+    """
+    labels, truth = _check(labels, truth)
+    keep = labels != -1
+    labels, truth = labels[keep], truth[keep]
+    n = labels.size
+    if n < 2:
+        return 1.0, 1.0, 1.0
+    same_cluster = labels[:, None] == labels[None, :]
+    same_class = truth[:, None] == truth[None, :]
+    upper = np.triu_indices(n, k=1)
+    predicted = same_cluster[upper]
+    actual = same_class[upper]
+    tp = float(np.sum(predicted & actual))
+    fp = float(np.sum(predicted & ~actual))
+    fn = float(np.sum(~predicted & actual))
+    precision = tp / (tp + fp) if tp + fp > 0 else 1.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return precision, recall, f1

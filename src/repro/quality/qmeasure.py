@@ -1,0 +1,88 @@
+"""QMeasure — Formula (11).
+
+``QMeasure = Total SSE + Noise Penalty`` where
+
+* Total SSE sums, per cluster, ``(1 / 2|C|) * sum_{x in C} sum_{y in C}
+  dist(x, y)^2`` (the pairwise form of the sum of squared errors);
+* the Noise Penalty applies the same quantity to the noise set ``N``,
+  so that classifying real cluster members as noise (too small an ε /
+  too large a MinLns) is punished.
+
+Smaller is better.  The paper uses QMeasure as "a hint of the
+clustering quality" — within a fixed MinLns it tracks the visually best
+ε (Figures 17 and 20).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from repro.distance.matrix import pairwise_distance_matrix
+from repro.distance.weighted import SegmentDistance
+from repro.model.cluster import Cluster, NOISE
+from repro.model.segmentset import SegmentSet
+
+
+class QualityBreakdown(NamedTuple):
+    """Total SSE, noise penalty, and their sum (the QMeasure)."""
+
+    total_sse: float
+    noise_penalty: float
+
+    @property
+    def qmeasure(self) -> float:
+        return self.total_sse + self.noise_penalty
+
+
+def _half_mean_squared_pairwise(
+    segments: SegmentSet,
+    indices: np.ndarray,
+    distance: SegmentDistance,
+) -> float:
+    """``(1 / 2m) * sum_ij dist(i, j)^2`` over the index subset."""
+    m = indices.size
+    if m == 0:
+        return 0.0
+    matrix = pairwise_distance_matrix(segments, distance, indices)
+    return float(np.sum(matrix**2) / (2.0 * m))
+
+
+def cluster_sse(
+    cluster: Cluster, distance: Optional[SegmentDistance] = None
+) -> float:
+    """SSE of one cluster in the pairwise form of Formula (11)."""
+    if distance is None:
+        distance = SegmentDistance()
+    return _half_mean_squared_pairwise(
+        cluster.segments, cluster.member_indices, distance
+    )
+
+
+def noise_penalty(
+    segments: SegmentSet,
+    labels: np.ndarray,
+    distance: Optional[SegmentDistance] = None,
+) -> float:
+    """The noise term of Formula (11): half the mean squared pairwise
+    distance over all noise segments."""
+    if distance is None:
+        distance = SegmentDistance()
+    labels = np.asarray(labels)
+    noise_indices = np.nonzero(labels == NOISE)[0]
+    return _half_mean_squared_pairwise(segments, noise_indices, distance)
+
+
+def quality_measure(
+    clusters: Sequence[Cluster],
+    segments: SegmentSet,
+    labels: np.ndarray,
+    distance: Optional[SegmentDistance] = None,
+) -> QualityBreakdown:
+    """Full Formula (11) over a clustering outcome."""
+    if distance is None:
+        distance = SegmentDistance()
+    total_sse = sum(cluster_sse(c, distance) for c in clusters)
+    penalty = noise_penalty(segments, labels, distance)
+    return QualityBreakdown(total_sse=float(total_sse), noise_penalty=penalty)

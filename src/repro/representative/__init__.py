@@ -1,0 +1,23 @@
+"""Representative Trajectory Generation (Section 4.3).
+
+The representative trajectory of a cluster is a sweep-line average: the
+axes are rotated so X' runs along the cluster's *average direction
+vector* (Definition 11), the segment endpoints are sorted by X', and a
+vertical sweep records the average Y' of all segments crossing each
+position where at least MinLns segments are present (Figure 15).
+"""
+
+from repro.representative.direction import average_direction_vector, major_axis
+from repro.representative.sweep import (
+    RepresentativeConfig,
+    generate_representative,
+    generate_all_representatives,
+)
+
+__all__ = [
+    "average_direction_vector",
+    "major_axis",
+    "RepresentativeConfig",
+    "generate_representative",
+    "generate_all_representatives",
+]

@@ -1,0 +1,161 @@
+"""The sweep-line representative trajectory algorithm (Figure 15).
+
+Steps, following the paper:
+
+1. compute the cluster's average direction vector (Definition 11);
+2. rotate the axes so X' is parallel to it (Formula 9) — we use a
+   Householder frame, which reduces to the paper's 2-D rotation up to a
+   reflection and generalises to any dimension ("the same approach can
+   be applied also to three dimensions");
+3. sort the segment endpoints by X' value;
+4. sweep: at each endpoint position ``p``, count the segments whose X'
+   extent contains ``p``; if the count reaches MinLns and ``p`` is at
+   least γ past the previously inserted position, insert the average of
+   the crossing segments' coordinates at that position (interpolated
+   along each segment), mapped back to the original frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+from repro.model.cluster import Cluster
+from repro.representative.direction import major_axis
+
+
+@dataclass(frozen=True)
+class RepresentativeConfig:
+    """Knobs of Figure 15.
+
+    Attributes
+    ----------
+    min_lns:
+        The sweep threshold MinLns — positions crossed by fewer
+        segments are skipped.
+    gamma:
+        Smoothing parameter γ: minimum X' gap between consecutive
+        inserted points.  With the default 0.0, exact-duplicate sweep
+        positions are still collapsed (a strictly positive gap is
+        required), matching the intent of "a previous point located too
+        close ... is skipped".
+    """
+
+    min_lns: float = 3.0
+    gamma: float = 0.0
+
+    def __post_init__(self):
+        if self.min_lns <= 0:
+            raise ClusteringError(f"min_lns must be positive, got {self.min_lns}")
+        if self.gamma < 0:
+            raise ClusteringError(f"gamma must be non-negative, got {self.gamma}")
+
+
+def _householder_frame(direction: np.ndarray) -> np.ndarray:
+    """Orthonormal, self-inverse matrix H with ``H @ unit(direction) =
+    e1``; coordinates ``x' = H @ x`` have their first component along
+    *direction* (the X' axis of Figure 14)."""
+    direction = np.asarray(direction, dtype=np.float64)
+    norm = float(np.linalg.norm(direction))
+    if norm == 0.0:
+        raise ClusteringError("sweep axis must be a non-zero vector")
+    unit = direction / norm
+    e1 = np.zeros_like(unit)
+    e1[0] = 1.0
+    w = unit - e1
+    w_norm_sq = float(np.dot(w, w))
+    if w_norm_sq < 1e-30:
+        return np.eye(unit.shape[0])
+    return np.eye(unit.shape[0]) - 2.0 * np.outer(w, w) / w_norm_sq
+
+
+def generate_representative(
+    cluster: Cluster,
+    config: Optional[RepresentativeConfig] = None,
+) -> np.ndarray:
+    """Representative trajectory of one cluster (Figure 15).
+
+    Returns a ``(k, d)`` array of points in the original coordinate
+    frame; ``k`` may be 0 or 1 when the members never overlap enough
+    along the major axis to reach MinLns at two distinct positions.
+    """
+    if config is None:
+        config = RepresentativeConfig()
+    members = cluster.member_set()
+    if len(members) == 0:
+        raise ClusteringError("cannot summarise an empty cluster")
+
+    axis = major_axis(members)  # line 01
+    frame = _householder_frame(axis)  # line 02
+    starts = members.starts @ frame.T
+    ends = members.ends @ frame.T
+
+    # X' extents of each member segment.
+    x_low = np.minimum(starts[:, 0], ends[:, 0])
+    x_high = np.maximum(starts[:, 0], ends[:, 0])
+
+    # Lines 03-04: all endpoints sorted by X' value.
+    sweep_positions = np.sort(np.concatenate([starts[:, 0], ends[:, 0]]))
+
+    # Positions closer than a relative epsilon are one position for all
+    # practical purposes; collapsing them keeps the output strictly
+    # monotone along the axis even when gamma is 0.
+    span = float(sweep_positions[-1] - sweep_positions[0])
+    min_gap = max(1e-12, 1e-9 * span)
+
+    representative: List[np.ndarray] = []
+    last_inserted_x: Optional[float] = None
+    for x in sweep_positions:  # line 05
+        crossing = np.nonzero((x_low <= x) & (x <= x_high))[0]  # line 06
+        if crossing.size < config.min_lns:  # line 07
+            continue
+        if last_inserted_x is not None:  # lines 08-09
+            diff = x - last_inserted_x
+            if diff < config.gamma or diff < min_gap:
+                continue
+        average = _average_crossing_coordinate(
+            starts[crossing], ends[crossing], x
+        )  # line 10
+        point = frame.T @ average  # line 11 (H is self-inverse; H.T == H)
+        representative.append(point)  # line 12
+        last_inserted_x = float(x)
+
+    if not representative:
+        return np.empty((0, members.dim), dtype=np.float64)
+    return np.vstack(representative)
+
+
+def _average_crossing_coordinate(
+    starts: np.ndarray, ends: np.ndarray, x: float
+) -> np.ndarray:
+    """Average rotated coordinate of the crossing segments at X' = x.
+
+    Each segment contributes its interpolated point at X' = x; segments
+    perpendicular to the sweep axis (zero X' extent) contribute their
+    midpoint.  The first coordinate of the result is pinned to ``x``.
+    """
+    span = ends[:, 0] - starts[:, 0]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        t = np.where(span != 0.0, (x - starts[:, 0]) / np.where(span != 0, span, 1.0), 0.5)
+    t = np.clip(t, 0.0, 1.0)
+    points = starts + t[:, None] * (ends - starts)
+    average = points.mean(axis=0)
+    average[0] = x
+    return average
+
+
+def generate_all_representatives(
+    clusters: Sequence[Cluster],
+    config: Optional[RepresentativeConfig] = None,
+) -> List[np.ndarray]:
+    """Attach a representative to every cluster (Figure 4 lines 05-06)
+    and return the list in cluster order."""
+    outputs: List[np.ndarray] = []
+    for cluster in clusters:
+        representative = generate_representative(cluster, config)
+        cluster.representative = representative
+        outputs.append(representative)
+    return outputs

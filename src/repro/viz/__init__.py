@@ -1,0 +1,17 @@
+"""Visual inspection tool (Section 5.1).
+
+The authors validated clusters with a custom C++ visual tool; we
+render the same picture — thin green input trajectories, thick red
+representative trajectories, per-cluster segment colouring — to SVG
+(:mod:`repro.viz.svg`) and, for terminals, to ASCII
+(:mod:`repro.viz.ascii`).
+"""
+
+from repro.viz.svg import render_result_svg, render_trajectories_svg
+from repro.viz.ascii import render_result_ascii
+
+__all__ = [
+    "render_result_svg",
+    "render_trajectories_svg",
+    "render_result_ascii",
+]

@@ -1,0 +1,99 @@
+"""ASCII rendering — a terminal-friendly glance at a clustering result.
+
+Trajectories rasterise as ``.``, cluster members as digit/letter codes
+(one symbol per cluster), representative trajectories as ``#``.  Meant
+for smoke-checking results in logs, not for publication figures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.model.result import ClusteringResult
+from repro.model.trajectory import Trajectory
+
+_CLUSTER_SYMBOLS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def _raster_line(
+    grid: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    symbol: str,
+    lo: np.ndarray,
+    scale: np.ndarray,
+) -> None:
+    """Bresenham-ish rasterisation by dense sampling."""
+    rows, cols = grid.shape
+    length = max(float(np.linalg.norm(b - a)), 1e-9)
+    n_samples = max(2, int(length * max(scale) * 2))
+    for t in np.linspace(0.0, 1.0, n_samples):
+        point = a + t * (b - a)
+        col = int((point[0] - lo[0]) * scale[0])
+        row = int((point[1] - lo[1]) * scale[1])
+        row = rows - 1 - min(max(row, 0), rows - 1)
+        col = min(max(col, 0), cols - 1)
+        grid[row, col] = symbol
+
+
+def render_result_ascii(
+    result: ClusteringResult,
+    width: int = 100,
+    height: int = 36,
+    show_trajectories: bool = True,
+) -> str:
+    """Render a result as an ASCII panel (see module docstring)."""
+    return _render(
+        result.trajectories,
+        result,
+        width,
+        height,
+        show_trajectories,
+    )
+
+
+def render_trajectories_ascii(
+    trajectories: Sequence[Trajectory],
+    width: int = 100,
+    height: int = 36,
+) -> str:
+    """Render raw trajectories only."""
+    return _render(trajectories, None, width, height, True)
+
+
+def _render(trajectories, result, width, height, show_trajectories) -> str:
+    trajectories = list(trajectories)
+    if not trajectories:
+        raise DatasetError("nothing to render")
+    if width < 4 or height < 4:
+        raise DatasetError("canvas too small")
+    all_points = np.vstack([t.points[:, :2] for t in trajectories])
+    lo = all_points.min(axis=0)
+    hi = all_points.max(axis=0)
+    extent = np.maximum(hi - lo, 1e-9)
+    scale = np.array([(width - 1) / extent[0], (height - 1) / extent[1]])
+    grid = np.full((height, width), " ", dtype="<U1")
+
+    if show_trajectories:
+        for trajectory in trajectories:
+            for a, b in zip(trajectory.points[:-1], trajectory.points[1:]):
+                _raster_line(grid, a[:2], b[:2], ".", lo, scale)
+    if result is not None:
+        for cluster in result.clusters:
+            symbol = _CLUSTER_SYMBOLS[cluster.cluster_id % len(_CLUSTER_SYMBOLS)]
+            for index in cluster.member_indices:
+                _raster_line(
+                    grid,
+                    result.segments.starts[index][:2],
+                    result.segments.ends[index][:2],
+                    symbol, lo, scale,
+                )
+        for cluster in result.clusters:
+            rep = cluster.representative
+            if rep is not None and len(rep) >= 2:
+                for a, b in zip(rep[:-1], rep[1:]):
+                    _raster_line(grid, a[:2], b[:2], "#", lo, scale)
+    return "\n".join("".join(row) for row in grid)

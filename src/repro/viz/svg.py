@@ -1,0 +1,167 @@
+"""SVG rendering of trajectories and clustering results.
+
+Mirrors the paper's figures: "Thin green lines display trajectories,
+and thick red lines representative trajectories" (Figure 18 caption
+commentary).  Pure-Python SVG generation — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, TextIO, Union
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.model.result import ClusteringResult
+from repro.model.trajectory import Trajectory
+
+#: Distinct per-cluster segment colours (cycled).
+_CLUSTER_PALETTE = (
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+)
+
+
+class _Canvas:
+    """Maps data coordinates into an SVG viewport (y axis flipped)."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        width: int,
+        height: int,
+        margin: float = 20.0,
+    ):
+        if points.shape[0] == 0:
+            raise DatasetError("nothing to render")
+        lo = points.min(axis=0)
+        hi = points.max(axis=0)
+        extent = np.maximum(hi - lo, 1e-9)
+        scale = min(
+            (width - 2 * margin) / extent[0],
+            (height - 2 * margin) / extent[1],
+        )
+        self.lo, self.scale, self.margin = lo, scale, margin
+        self.width, self.height = width, height
+
+    def map_point(self, point: np.ndarray) -> "tuple[float, float]":
+        x = self.margin + (point[0] - self.lo[0]) * self.scale
+        y = self.height - (self.margin + (point[1] - self.lo[1]) * self.scale)
+        return float(x), float(y)
+
+    def polyline(self, points: np.ndarray, stroke: str, width: float,
+                 opacity: float = 1.0) -> str:
+        if points.shape[0] < 2:
+            return ""
+        coords = " ".join(
+            f"{x:.2f},{y:.2f}" for x, y in (self.map_point(p) for p in points)
+        )
+        return (
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width:.2f}" stroke-opacity="{opacity:.2f}" '
+            f'stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+
+    def line(self, a: np.ndarray, b: np.ndarray, stroke: str,
+             width: float, opacity: float = 1.0) -> str:
+        x1, y1 = self.map_point(a)
+        x2, y2 = self.map_point(b)
+        return (
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width:.2f}" '
+            f'stroke-opacity="{opacity:.2f}"/>'
+        )
+
+
+def _collect_points(trajectories: Sequence[Trajectory]) -> np.ndarray:
+    if not trajectories:
+        raise DatasetError("nothing to render")
+    return np.vstack([t.points[:, :2] for t in trajectories])
+
+
+def _svg_document(body: List[str], width: int, height: int) -> str:
+    header = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+        f'<rect width="{width}" height="{height}" fill="white"/>'
+    )
+    return header + "".join(body) + "</svg>"
+
+
+def render_trajectories_svg(
+    trajectories: Sequence[Trajectory],
+    destination: Optional[Union[str, TextIO]] = None,
+    width: int = 900,
+    height: int = 650,
+    stroke: str = "#2a9d2a",
+) -> str:
+    """Render raw trajectories (thin green polylines).  Returns the SVG
+    string and optionally writes it to *destination*."""
+    canvas = _Canvas(_collect_points(trajectories), width, height)
+    body = [
+        canvas.polyline(t.points[:, :2], stroke, 0.8, opacity=0.7)
+        for t in trajectories
+    ]
+    document = _svg_document(body, width, height)
+    _maybe_write(document, destination)
+    return document
+
+
+def render_result_svg(
+    result: ClusteringResult,
+    destination: Optional[Union[str, TextIO]] = None,
+    width: int = 900,
+    height: int = 650,
+    show_cluster_segments: bool = True,
+    show_noise: bool = False,
+) -> str:
+    """Render a clustering result in the paper's visual-inspection style.
+
+    Layers, bottom to top: thin green input trajectories, per-cluster
+    coloured member segments (optional), grey noise segments
+    (optional), thick red representative trajectories.
+    """
+    canvas = _Canvas(_collect_points(result.trajectories), width, height)
+    body: List[str] = []
+    for trajectory in result.trajectories:
+        body.append(
+            canvas.polyline(trajectory.points[:, :2], "#2a9d2a", 0.7, 0.55)
+        )
+    if show_noise:
+        for index in result.noise_indices():
+            body.append(
+                canvas.line(
+                    result.segments.starts[index][:2],
+                    result.segments.ends[index][:2],
+                    "#bbbbbb", 0.6, 0.6,
+                )
+            )
+    if show_cluster_segments:
+        for cluster in result.clusters:
+            colour = _CLUSTER_PALETTE[cluster.cluster_id % len(_CLUSTER_PALETTE)]
+            for index in cluster.member_indices:
+                body.append(
+                    canvas.line(
+                        result.segments.starts[index][:2],
+                        result.segments.ends[index][:2],
+                        colour, 1.2, 0.5,
+                    )
+                )
+    for cluster in result.clusters:
+        if cluster.representative is not None and len(cluster.representative) >= 2:
+            body.append(
+                canvas.polyline(cluster.representative[:, :2], "#d01010", 3.5)
+            )
+    document = _svg_document(body, width, height)
+    _maybe_write(document, destination)
+    return document
+
+
+def _maybe_write(document: str, destination: Optional[Union[str, TextIO]]) -> None:
+    if destination is None:
+        return
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        return
+    destination.write(document)

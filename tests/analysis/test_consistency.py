@@ -1,0 +1,39 @@
+"""The analysis harness must agree with the Section 4.4 heuristic it
+wraps (same data, same grid, same optimum)."""
+
+import numpy as np
+
+from repro.analysis.experiments import entropy_curve_experiment, qmeasure_grid
+from repro.cluster.dbscan import cluster_segments
+from repro.params.heuristic import recommend_parameters
+from repro.quality.qmeasure import quality_measure
+
+
+class TestHeuristicConsistency:
+    def test_entropy_experiment_matches_recommend_parameters(
+        self, parallel_band_segments
+    ):
+        grid = np.arange(1.0, 16.0)
+        experiment = entropy_curve_experiment(parallel_band_segments, grid)
+        estimate = recommend_parameters(
+            parallel_band_segments, eps_values=grid, method="grid"
+        )
+        assert experiment.best_eps == estimate.eps
+        assert experiment.best_entropy == estimate.entropy
+        assert experiment.best_avg_neighborhood == (
+            estimate.avg_neighborhood_size
+        )
+        low, high = experiment.recommended_min_lns
+        assert (low, high) == (estimate.min_lns_low, estimate.min_lns_high)
+
+    def test_qmeasure_grid_matches_direct_evaluation(
+        self, parallel_band_segments
+    ):
+        result = qmeasure_grid(parallel_band_segments, [1.5], [3])
+        clusters, labels = cluster_segments(
+            parallel_band_segments, eps=1.5, min_lns=3
+        )
+        direct = quality_measure(
+            clusters, parallel_band_segments, labels
+        ).qmeasure
+        assert result.value(1.5, 3.0) == direct

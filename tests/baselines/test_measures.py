@@ -1,0 +1,112 @@
+"""Unit tests for the whole-trajectory distance measures."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.measures import (
+    dtw_distance,
+    edr_distance,
+    lcss_distance,
+    lcss_similarity,
+)
+from repro.exceptions import DatasetError
+from repro.model.trajectory import Trajectory
+
+
+LINE = np.column_stack([np.arange(10.0), np.zeros(10)])
+SHIFTED = LINE + np.array([0.0, 0.3])
+FAR = LINE + np.array([0.0, 50.0])
+
+
+class TestLCSS:
+    def test_identical_similarity_one(self):
+        assert lcss_similarity(LINE, LINE, matching_eps=0.1) == 1.0
+
+    def test_close_match_within_eps(self):
+        assert lcss_similarity(LINE, SHIFTED, matching_eps=0.5) == 1.0
+
+    def test_far_apart_no_match(self):
+        assert lcss_similarity(LINE, FAR, matching_eps=1.0) == 0.0
+
+    def test_partial_overlap(self):
+        half = LINE.copy()
+        half[5:] += np.array([0.0, 100.0])  # second half diverges
+        sim = lcss_similarity(LINE, half, matching_eps=0.5)
+        assert sim == pytest.approx(0.5)
+
+    def test_delta_band_restricts_matching(self):
+        # A 5-step index shift defeats a delta=2 band.
+        rolled = np.roll(LINE, 5, axis=0)
+        banded = lcss_similarity(LINE, rolled, matching_eps=0.5, delta=2)
+        free = lcss_similarity(LINE, rolled, matching_eps=0.5)
+        assert banded <= free
+
+    def test_distance_complements_similarity(self):
+        assert lcss_distance(LINE, SHIFTED, 0.5) == pytest.approx(
+            1.0 - lcss_similarity(LINE, SHIFTED, 0.5)
+        )
+
+    def test_accepts_trajectory_objects(self):
+        t = Trajectory(LINE, traj_id=0)
+        assert lcss_similarity(t, t, matching_eps=0.1) == 1.0
+
+    def test_negative_eps_raises(self):
+        with pytest.raises(DatasetError):
+            lcss_similarity(LINE, LINE, matching_eps=-1.0)
+
+
+class TestEDR:
+    def test_identical_is_zero(self):
+        assert edr_distance(LINE, LINE, matching_eps=0.1) == 0.0
+
+    def test_totally_different_is_one(self):
+        assert edr_distance(LINE, FAR, matching_eps=1.0) == 1.0
+
+    def test_symmetry(self):
+        a = LINE
+        b = SHIFTED[:7]
+        assert edr_distance(a, b, 0.5) == pytest.approx(edr_distance(b, a, 0.5))
+
+    def test_length_mismatch_costs_indels(self):
+        longer = np.vstack([LINE, LINE[-1] + [[1.0, 0.0]]])
+        d = edr_distance(LINE, longer, matching_eps=0.5)
+        assert d == pytest.approx(1.0 / 11.0)
+
+    def test_bounded_zero_one(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            a = rng.normal(0, 5, (8, 2))
+            b = rng.normal(0, 5, (12, 2))
+            assert 0.0 <= edr_distance(a, b, 1.0) <= 1.0
+
+
+class TestDTW:
+    def test_identical_is_zero(self):
+        assert dtw_distance(LINE, LINE) == 0.0
+
+    def test_constant_offset(self):
+        # Every matched pair costs exactly 0.3 -> path of 10 matches.
+        assert dtw_distance(LINE, SHIFTED) == pytest.approx(10 * 0.3)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(0, 5, (9, 2)), rng.normal(0, 5, (14, 2))
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_warping_absorbs_resampling(self):
+        # The same path sampled twice as densely: each of the 9 extra
+        # half-step points matches its nearest neighbor at cost 0.5, so
+        # the warped cost is 4.5 — far below the naive lock-step
+        # pairing, which would drift half the path apart.
+        dense = np.column_stack([np.linspace(0, 9, 19), np.zeros(19)])
+        assert dtw_distance(LINE, dense) == pytest.approx(4.5)
+
+    def test_band_at_least_unbanded(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(0, 5, (10, 2)), rng.normal(0, 5, (10, 2))
+        assert dtw_distance(a, b, band=2) >= dtw_distance(a, b) - 1e-9
+
+    def test_band_narrower_than_length_difference_still_feasible(self):
+        a = LINE
+        b = np.column_stack([np.linspace(0, 9, 25), np.zeros(25)])
+        assert np.isfinite(dtw_distance(a, b, band=1))

@@ -1,0 +1,101 @@
+"""Unit tests for the Gaffney & Smyth regression-mixture baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.regression_mixture import RegressionMixtureClustering
+from repro.exceptions import ClusteringError
+from repro.model.trajectory import Trajectory
+
+
+def two_families(n_per=6, noise=0.3, seed=0):
+    """Family A: straight east; family B: parabola north."""
+    rng = np.random.default_rng(seed)
+    trajectories = []
+    for i in range(n_per):
+        x = np.linspace(0, 10, 15)
+        y = 0.2 * x + rng.normal(0, noise, 15)
+        trajectories.append(Trajectory(np.column_stack([x, y]), traj_id=i))
+    for i in range(n_per):
+        t = np.linspace(0, 1, 15)
+        x = 10 * t + rng.normal(0, noise, 15)
+        y = 30 * t * t + rng.normal(0, noise, 15)
+        trajectories.append(
+            Trajectory(np.column_stack([x, y]), traj_id=n_per + i)
+        )
+    return trajectories
+
+
+class TestValidation:
+    def test_bad_components(self):
+        with pytest.raises(ClusteringError):
+            RegressionMixtureClustering(n_components=0)
+
+    def test_bad_degree(self):
+        with pytest.raises(ClusteringError):
+            RegressionMixtureClustering(n_components=2, degree=-1)
+
+    def test_too_few_trajectories(self):
+        model = RegressionMixtureClustering(n_components=5)
+        with pytest.raises(ClusteringError):
+            model.fit(two_families(n_per=2))
+
+
+class TestFitting:
+    def test_recovers_two_families(self):
+        trajectories = two_families()
+        result = RegressionMixtureClustering(
+            n_components=2, degree=2, n_restarts=4, seed=1
+        ).fit(trajectories)
+        labels = result.labels
+        family_a = set(labels[:6].tolist())
+        family_b = set(labels[6:].tolist())
+        assert len(family_a) == 1 and len(family_b) == 1
+        assert family_a != family_b
+
+    def test_log_likelihood_monotone_nondecreasing(self):
+        trajectories = two_families()
+        result = RegressionMixtureClustering(
+            n_components=2, degree=2, n_restarts=1, seed=2
+        ).fit(trajectories)
+        lls = result.log_likelihoods
+        assert len(lls) >= 2
+        # EM guarantees monotone likelihood (tolerate float wiggle).
+        assert all(b >= a - 1e-6 * abs(a) for a, b in zip(lls, lls[1:]))
+
+    def test_memberships_are_distributions(self):
+        result = RegressionMixtureClustering(
+            n_components=2, degree=1, seed=3
+        ).fit(two_families())
+        assert np.allclose(result.memberships.sum(axis=1), 1.0)
+        assert np.all(result.memberships >= 0)
+
+    def test_weights_sum_to_one(self):
+        result = RegressionMixtureClustering(
+            n_components=3, degree=1, seed=4
+        ).fit(two_families())
+        assert result.weights.sum() == pytest.approx(1.0)
+
+    def test_predict_curve_shape(self):
+        result = RegressionMixtureClustering(
+            n_components=2, degree=2, seed=5
+        ).fit(two_families())
+        curve = result.predict_curve(0, n_points=30)
+        assert curve.shape == (30, 2)
+
+    def test_mean_curve_tracks_family(self):
+        trajectories = two_families(noise=0.1)
+        result = RegressionMixtureClustering(
+            n_components=2, degree=2, n_restarts=4, seed=6
+        ).fit(trajectories)
+        straight_component = result.labels[0]
+        curve = result.predict_curve(int(straight_component), n_points=20)
+        # The straight family stays near y = 0.2 x.
+        expected_y = 0.2 * curve[:, 0]
+        assert float(np.max(np.abs(curve[:, 1] - expected_y))) < 1.5
+
+    def test_single_component_fits_everything(self):
+        result = RegressionMixtureClustering(
+            n_components=1, degree=1, seed=7
+        ).fit(two_families())
+        assert set(result.labels.tolist()) == {0}

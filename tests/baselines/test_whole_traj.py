@@ -1,0 +1,95 @@
+"""Unit tests for whole-trajectory DBSCAN, including the paper's
+motivating negative result."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.whole_traj import (
+    WholeTrajectoryDBSCAN,
+    trajectory_distance_matrix,
+)
+from repro.exceptions import ClusteringError
+from repro.model.trajectory import Trajectory
+
+
+def parallel_family(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        Trajectory(
+            np.column_stack(
+                [np.linspace(0, 10, 12), 0.2 * i + rng.normal(0, 0.05, 12)]
+            ),
+            traj_id=i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestDistanceMatrix:
+    def test_symmetric_zero_diagonal(self):
+        matrix = trajectory_distance_matrix(parallel_family(), measure="dtw")
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_unknown_measure_raises(self):
+        with pytest.raises(ClusteringError):
+            trajectory_distance_matrix(parallel_family(), measure="mystery")
+
+    @pytest.mark.parametrize("measure", ["dtw", "edr", "lcss"])
+    def test_all_measures_produce_finite_matrices(self, measure):
+        matrix = trajectory_distance_matrix(
+            parallel_family(), measure=measure, matching_eps=0.5
+        )
+        assert np.all(np.isfinite(matrix))
+        assert np.all(matrix >= 0)
+
+
+class TestWholeTrajectoryDBSCAN:
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            WholeTrajectoryDBSCAN(eps=-1.0, min_pts=2)
+        with pytest.raises(ClusteringError):
+            WholeTrajectoryDBSCAN(eps=1.0, min_pts=0)
+
+    def test_clusters_whole_trajectory_family(self):
+        labels = WholeTrajectoryDBSCAN(eps=5.0, min_pts=3, measure="dtw").fit(
+            parallel_family()
+        )
+        assert set(labels.tolist()) == {0}
+
+    def test_separated_families_get_distinct_labels(self):
+        a = parallel_family()
+        b = [
+            Trajectory(t.points + np.array([0.0, 100.0]), traj_id=10 + t.traj_id)
+            for t in parallel_family(seed=1)
+        ]
+        labels = WholeTrajectoryDBSCAN(eps=5.0, min_pts=3).fit(a + b)
+        assert set(labels[:5].tolist()) == {0}
+        assert set(labels[5:].tolist()) == {1}
+
+    def test_misses_common_subtrajectory(self, corridor_trajectories):
+        """The Figure-1 motivation: trajectories sharing only a corridor
+        diverge globally, so whole-trajectory DBSCAN (under DTW) finds
+        no cluster at any eps that would be 'tight' relative to the
+        corridor scale."""
+        labels = WholeTrajectoryDBSCAN(eps=60.0, min_pts=3).fit(
+            corridor_trajectories
+        )
+        assert np.all(labels == -1)
+
+    def test_fit_matrix_requires_square(self):
+        with pytest.raises(ClusteringError):
+            WholeTrajectoryDBSCAN(eps=1.0, min_pts=2).fit_matrix(
+                np.zeros((3, 4))
+            )
+
+    def test_noise_absorbed_into_adjacent_cluster(self):
+        # A border trajectory close to the family but not core.
+        family = parallel_family()
+        border = Trajectory(
+            family[-1].points + np.array([0.0, 1.5]), traj_id=99
+        )
+        labels = WholeTrajectoryDBSCAN(eps=8.0, min_pts=5).fit(
+            family + [border]
+        )
+        assert labels[-1] in (0, -1)  # border or noise, never a new cluster

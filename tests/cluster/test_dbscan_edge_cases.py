@@ -1,0 +1,104 @@
+"""Further DBSCAN behaviour pinned down: border handling, determinism,
+degenerate inputs."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.dbscan import LineSegmentDBSCAN, cluster_segments
+from repro.model.cluster import NOISE
+from repro.model.segment import Segment
+from repro.model.segmentset import SegmentSet
+
+
+class TestBorderSemantics:
+    def test_noise_reclaimed_by_later_cluster(self):
+        """Figure 12 line 23: a segment first marked noise can still be
+        absorbed as a border member of a cluster discovered later."""
+        # One isolated border segment scanned first (seg_id 0), then a
+        # dense band whose expansion reaches it.
+        segments = [Segment([12.0, 0.0], [22.0, 0.0], traj_id=50, seg_id=0)]
+        segments += [
+            Segment([0.0, 0.4 * k], [10.0, 0.4 * k], traj_id=k, seg_id=1 + k)
+            for k in range(5)
+        ]
+        store = SegmentSet.from_segments(segments)
+        clusters, labels = cluster_segments(
+            store, eps=3.0, min_lns=4, cardinality_threshold=2
+        )
+        # Segment 0 is not core (its neighborhood is small) but lies
+        # within eps of band members -> ends up clustered, not noise.
+        assert len(clusters) == 1
+        assert labels[0] == 0
+
+    def test_border_segment_does_not_expand(self):
+        """A border (non-core) member must not pull in its own distant
+        neighbors (Figure 12 line 25 only enqueues via core segments).
+
+        All segments share the x-span, so distances reduce to the
+        perpendicular offsets: band at y = 0..1.6, a border at y = 3.3
+        (within eps of the band's top only), an outpost at y = 5.0
+        (within eps of the border only).
+        """
+        band = [
+            Segment([0.0, 0.4 * k], [10.0, 0.4 * k], traj_id=k, seg_id=k)
+            for k in range(5)
+        ]
+        border = [Segment([0.0, 3.3], [10.0, 3.3], traj_id=50, seg_id=5)]
+        outpost = [Segment([0.0, 5.0], [10.0, 5.0], traj_id=51, seg_id=6)]
+        store = SegmentSet.from_segments(band + border + outpost)
+        eps, min_lns = 2.0, 4
+        # Sanity: the border is genuinely non-core at these parameters.
+        from repro.cluster.neighborhood import BruteForceNeighborhood
+
+        engine = BruteForceNeighborhood(store, eps)
+        assert engine.neighbors_of(5).size < min_lns
+        clusters, labels = cluster_segments(
+            store, eps=eps, min_lns=min_lns, cardinality_threshold=2
+        )
+        assert labels[5] >= 0  # border absorbed into the band cluster
+        assert labels[6] == NOISE  # outpost NOT reachable through a border
+
+
+class TestDeterminism:
+    def test_same_input_same_labels(self, random_segments):
+        run1 = cluster_segments(random_segments, eps=14.0, min_lns=3)[1]
+        run2 = cluster_segments(random_segments, eps=14.0, min_lns=3)[1]
+        assert np.array_equal(run1, run2)
+
+    def test_cluster_ids_ordered_by_discovery(self, random_segments):
+        clusters, _ = cluster_segments(random_segments, eps=14.0, min_lns=3)
+        assert [c.cluster_id for c in clusters] == list(range(len(clusters)))
+
+
+class TestDegenerateInputs:
+    def test_all_identical_segments(self):
+        segments = [
+            Segment([0.0, 0.0], [5.0, 5.0], traj_id=k, seg_id=k)
+            for k in range(6)
+        ]
+        store = SegmentSet.from_segments(segments)
+        clusters, labels = cluster_segments(store, eps=0.5, min_lns=3)
+        assert len(clusters) == 1
+        assert np.all(labels == 0)
+
+    def test_point_segments_cluster_by_euclidean_distance(self):
+        # Degenerate (zero-length) segments: distance reduces to point
+        # distance; a tight point cloud clusters, an outlier does not.
+        points = [
+            Segment([k * 0.1, 0.0], [k * 0.1, 0.0], traj_id=k, seg_id=k)
+            for k in range(5)
+        ]
+        outlier = [Segment([50.0, 50.0], [50.0, 50.0], traj_id=9, seg_id=5)]
+        store = SegmentSet.from_segments(points + outlier)
+        clusters, labels = cluster_segments(store, eps=0.5, min_lns=3)
+        assert len(clusters) == 1
+        assert labels[5] == NOISE
+
+    def test_single_segment(self):
+        store = SegmentSet.from_segments(
+            [Segment([0.0, 0.0], [1.0, 1.0], traj_id=0, seg_id=0)]
+        )
+        clusters, labels = cluster_segments(store, eps=1.0, min_lns=1)
+        assert len(clusters) == 1 and labels[0] == 0
+        clusters, labels = cluster_segments(store, eps=1.0, min_lns=2)
+        assert clusters == [] and labels[0] == NOISE

@@ -1,0 +1,103 @@
+"""Unit tests for ε-neighborhood engines: brute force and grid must be
+exactly equivalent."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.neighborhood import (
+    BruteForceNeighborhood,
+    GridNeighborhood,
+    make_neighborhood_engine,
+)
+from repro.distance.weighted import SegmentDistance
+from repro.exceptions import ClusteringError
+from repro.model.segment import Segment
+from repro.model.segmentset import SegmentSet
+
+
+class TestBruteForce:
+    def test_includes_self(self, random_segments):
+        engine = BruteForceNeighborhood(random_segments, eps=0.0)
+        for i in [0, 10, 39]:
+            assert i in engine.neighbors_of(i)
+
+    def test_eps_zero_on_separated_segments(self, parallel_band_segments):
+        engine = BruteForceNeighborhood(parallel_band_segments, eps=0.0)
+        assert engine.neighbors_of(0).tolist() == [0]
+
+    def test_large_eps_includes_everything(self, random_segments):
+        engine = BruteForceNeighborhood(random_segments, eps=1e9)
+        assert engine.neighbors_of(5).size == len(random_segments)
+
+    def test_band_neighbors(self, parallel_band_segments):
+        # The 6 band segments are 0.5 apart in d_perp; eps=1.5 links
+        # each to several band mates but not to the far outliers.
+        engine = BruteForceNeighborhood(parallel_band_segments, eps=1.5)
+        neighbors = set(engine.neighbors_of(0).tolist())
+        assert 6 not in neighbors and 7 not in neighbors
+        assert len(neighbors) >= 3
+
+    def test_negative_eps_raises(self, random_segments):
+        with pytest.raises(ClusteringError):
+            BruteForceNeighborhood(random_segments, eps=-1.0)
+
+    def test_neighborhood_sizes(self, parallel_band_segments):
+        engine = BruteForceNeighborhood(parallel_band_segments, eps=1.5)
+        sizes = engine.neighborhood_sizes()
+        assert sizes.shape == (len(parallel_band_segments),)
+        assert sizes[6] == 1  # outliers only see themselves
+        assert sizes[0] >= 3
+
+
+class TestGridEquivalence:
+    @pytest.mark.parametrize("eps", [0.5, 2.0, 10.0, 40.0])
+    def test_grid_equals_brute_random(self, random_segments, eps):
+        brute = BruteForceNeighborhood(random_segments, eps)
+        grid = GridNeighborhood(random_segments, eps)
+        for i in range(len(random_segments)):
+            assert grid.neighbors_of(i).tolist() == brute.neighbors_of(i).tolist()
+
+    def test_grid_equals_brute_with_weights(self, random_segments):
+        distance = SegmentDistance(w_perp=2.0, w_par=0.5, w_theta=1.5)
+        brute = BruteForceNeighborhood(random_segments, 8.0, distance)
+        grid = GridNeighborhood(random_segments, 8.0, distance)
+        for i in range(len(random_segments)):
+            assert grid.neighbors_of(i).tolist() == brute.neighbors_of(i).tolist()
+
+    def test_grid_rejects_zero_perp_weight(self, random_segments):
+        with pytest.raises(ClusteringError):
+            GridNeighborhood(
+                random_segments, 1.0, SegmentDistance(w_perp=0.0)
+            )
+
+    def test_grid_handles_long_outlier_segment(self):
+        segments = [
+            Segment([0.0, 0.0], [1.0, 0.0], seg_id=0),
+            Segment([0.0, 1.0], [1.0, 1.0], seg_id=1),
+            Segment([-1e5, -1e5], [1e5, 1e5], seg_id=2),  # oversize
+        ]
+        store = SegmentSet.from_segments(segments)
+        grid = GridNeighborhood(store, eps=2.0)
+        brute = BruteForceNeighborhood(store, eps=2.0)
+        for i in range(3):
+            assert grid.neighbors_of(i).tolist() == brute.neighbors_of(i).tolist()
+
+
+class TestFactory:
+    def test_explicit_methods(self, random_segments):
+        assert isinstance(
+            make_neighborhood_engine(random_segments, 1.0, method="brute"),
+            BruteForceNeighborhood,
+        )
+        assert isinstance(
+            make_neighborhood_engine(random_segments, 1.0, method="grid"),
+            GridNeighborhood,
+        )
+
+    def test_auto_small_set_uses_brute(self, random_segments):
+        engine = make_neighborhood_engine(random_segments, 1.0, method="auto")
+        assert isinstance(engine, BruteForceNeighborhood)
+
+    def test_unknown_method_raises(self, random_segments):
+        with pytest.raises(ClusteringError):
+            make_neighborhood_engine(random_segments, 1.0, method="quantum")

@@ -1,0 +1,51 @@
+"""The R-tree engine must agree exactly with brute force."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.dbscan import cluster_segments
+from repro.cluster.neighborhood import (
+    BruteForceNeighborhood,
+    RTreeNeighborhood,
+    make_neighborhood_engine,
+)
+from repro.distance.weighted import SegmentDistance
+from repro.exceptions import ClusteringError
+
+
+class TestRTreeNeighborhood:
+    @pytest.mark.parametrize("eps", [0.5, 5.0, 25.0])
+    def test_equals_brute(self, random_segments, eps):
+        brute = BruteForceNeighborhood(random_segments, eps)
+        rtree = RTreeNeighborhood(random_segments, eps)
+        for i in range(len(random_segments)):
+            assert rtree.neighbors_of(i).tolist() == brute.neighbors_of(i).tolist()
+
+    def test_equals_brute_with_custom_weights(self, random_segments):
+        distance = SegmentDistance(w_perp=1.5, w_par=0.75, w_theta=2.0)
+        brute = BruteForceNeighborhood(random_segments, 6.0, distance)
+        rtree = RTreeNeighborhood(random_segments, 6.0, distance)
+        for i in range(0, len(random_segments), 3):
+            assert rtree.neighbors_of(i).tolist() == brute.neighbors_of(i).tolist()
+
+    def test_rejects_zero_weights(self, random_segments):
+        with pytest.raises(ClusteringError):
+            RTreeNeighborhood(random_segments, 1.0, SegmentDistance(w_par=0.0))
+
+    def test_neighborhood_sizes(self, parallel_band_segments):
+        sizes = RTreeNeighborhood(parallel_band_segments, 1.5).neighborhood_sizes()
+        brute = BruteForceNeighborhood(parallel_band_segments, 1.5).neighborhood_sizes()
+        assert np.array_equal(sizes, brute)
+
+    def test_factory(self, random_segments):
+        engine = make_neighborhood_engine(random_segments, 1.0, method="rtree")
+        assert isinstance(engine, RTreeNeighborhood)
+
+    def test_dbscan_via_rtree_matches_brute(self, random_segments):
+        _, labels_brute = cluster_segments(
+            random_segments, eps=12.0, min_lns=3, neighborhood_method="brute"
+        )
+        _, labels_rtree = cluster_segments(
+            random_segments, eps=12.0, min_lns=3, neighborhood_method="rtree"
+        )
+        assert np.array_equal(labels_brute, labels_rtree)

@@ -1,0 +1,125 @@
+"""Unit tests for the command-line interface."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.csvio import read_trajectories_csv, write_trajectories_csv
+from repro.model.trajectory import Trajectory
+
+
+@pytest.fixture
+def tracks_csv(tmp_path, corridor_trajectories):
+    path = str(tmp_path / "tracks.csv")
+    write_trajectories_csv(corridor_trajectories, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster", "in.csv"])
+        assert args.eps is None and args.min_lns is None
+        assert args.suppression == 0.0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode", "x"])
+
+
+class TestClusterCommand:
+    def test_cluster_with_explicit_params(self, tracks_csv, tmp_path, capsys):
+        json_out = str(tmp_path / "result.json")
+        svg_out = str(tmp_path / "result.svg")
+        code = main([
+            "cluster", tracks_csv, "--eps", "10", "--min-lns", "4",
+            "--json", json_out, "--svg", svg_out,
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "clusters over" in output
+        with open(json_out) as handle:
+            payload = json.load(handle)
+        assert payload["parameters"]["eps"] == 10.0
+        assert os.path.getsize(svg_out) > 100
+
+    def test_cluster_auto_params(self, tracks_csv, capsys):
+        assert main(["cluster", tracks_csv]) == 0
+        assert "eps=" in capsys.readouterr().out
+
+    def test_cluster_undirected_flag(self, tracks_csv):
+        assert main([
+            "cluster", tracks_csv, "--eps", "10", "--min-lns", "4",
+            "--undirected",
+        ]) == 0
+
+
+class TestParamsCommand:
+    def test_params_output(self, tracks_csv, capsys):
+        assert main(["params", tracks_csv, "--eps-max", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "entropy-optimal eps" in output
+        assert "recommended MinLns" in output
+
+    def test_params_anneal(self, tracks_csv, capsys):
+        assert main([
+            "params", tracks_csv, "--method", "anneal", "--eps-max", "15",
+        ]) == 0
+        assert "entropy-optimal" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("dataset,n", [
+        ("hurricane", 15), ("corridor", 6),
+    ])
+    def test_generate_datasets(self, tmp_path, capsys, dataset, n):
+        out = str(tmp_path / f"{dataset}.csv")
+        assert main(["generate", dataset, "--n", str(n), "-o", out]) == 0
+        trajectories = read_trajectories_csv(out)
+        assert len(trajectories) == n
+
+    def test_generate_starkey_with_points(self, tmp_path):
+        out = str(tmp_path / "elk.csv")
+        assert main([
+            "generate", "elk", "--n", "4", "--points", "80", "-o", out,
+        ]) == 0
+        trajectories = read_trajectories_csv(out)
+        assert len(trajectories) == 4
+        assert all(len(t) == 80 for t in trajectories)
+
+    def test_generate_with_noise(self, tmp_path):
+        out = str(tmp_path / "noisy.csv")
+        assert main([
+            "generate", "corridor", "--n", "8", "--noise", "0.25", "-o", out,
+        ]) == 0
+        trajectories = read_trajectories_csv(out)
+        assert len(trajectories) > 8
+
+
+class TestRenderCommand:
+    def test_render(self, tracks_csv, tmp_path):
+        out = str(tmp_path / "plot.svg")
+        assert main(["render", tracks_csv, "-o", out]) == 0
+        with open(out) as handle:
+            assert handle.read().startswith("<svg")
+
+
+class TestPipelineViaCli:
+    def test_generate_then_cluster_roundtrip(self, tmp_path):
+        """End-to-end through files only, as a user would."""
+        csv_path = str(tmp_path / "data.csv")
+        json_path = str(tmp_path / "result.json")
+        assert main(["generate", "corridor", "--n", "10", "-o", csv_path]) == 0
+        assert main([
+            "cluster", csv_path, "--eps", "10", "--min-lns", "4",
+            "--json", json_path,
+        ]) == 0
+        with open(json_path) as handle:
+            payload = json.load(handle)
+        assert payload["summary"]["n_clusters"] >= 1

@@ -1,0 +1,95 @@
+"""The density calibration must keep the Section 4.4 statistics stable
+across dataset scales (the property the full-scale benchmarks rely on)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.hurricane import generate_hurricane_tracks
+from repro.datasets.starkey import _density_calibration, generate_elk1993
+
+
+class TestHurricaneBandScaling:
+    def test_default_scale_linear_in_storm_count(self):
+        small = generate_hurricane_tracks(n_storms=100, seed=5)
+        large = generate_hurricane_tracks(n_storms=400, seed=5)
+        # The latitude spread of the straight-west family grows with n.
+        def west_band_spread(tracks):
+            starts = np.array(
+                [t.points[0] for t in tracks if t.label == "straight-west"]
+            )
+            return float(starts[:, 1].std())
+
+        assert west_band_spread(large) > 1.5 * west_band_spread(small)
+
+    def test_explicit_scale_respected(self):
+        narrow = generate_hurricane_tracks(
+            n_storms=150, seed=6, band_width_scale=0.5
+        )
+        wide = generate_hurricane_tracks(
+            n_storms=150, seed=6, band_width_scale=3.0
+        )
+        def spread(tracks):
+            starts = np.array(
+                [t.points[0] for t in tracks if t.label == "straight-west"]
+            )
+            return float(starts[:, 1].std())
+
+        assert spread(wide) > 3.0 * spread(narrow)
+
+    def test_invalid_scale_rejected(self):
+        from repro.exceptions import DatasetError
+
+        with pytest.raises(DatasetError):
+            generate_hurricane_tracks(n_storms=5, band_width_scale=0.0)
+
+
+class TestStarkeyCalibration:
+    def test_reference_scale_is_identity(self):
+        jitter, wander = _density_calibration(
+            1.5, n_animals=20, points_per_animal=260,
+            reference_animals=20, reference_points=260,
+        )
+        assert jitter == 1.5
+        assert wander == (6, 16)
+
+    def test_more_points_lengthen_wander_not_jitter(self):
+        jitter, wander = _density_calibration(
+            1.5, n_animals=20, points_per_animal=1040,
+            reference_animals=20, reference_points=260,
+        )
+        assert jitter == 1.5
+        assert wander == (24, 64)
+
+    def test_more_animals_widen_jitter_not_wander(self):
+        jitter, wander = _density_calibration(
+            1.5, n_animals=40, points_per_animal=260,
+            reference_animals=20, reference_points=260,
+        )
+        assert jitter == 3.0
+        assert wander == (6, 16)
+
+    def test_downscaling_never_shrinks_below_reference(self):
+        jitter, wander = _density_calibration(
+            1.5, n_animals=5, points_per_animal=100,
+            reference_animals=20, reference_points=260,
+        )
+        assert jitter == 1.5
+        assert wander == (6, 16)
+
+    def test_full_scale_elk_wander_fraction_grows(self):
+        # With calibrated wander, the corridor fraction of each full-
+        # scale track drops relative to a short track, keeping corridor
+        # density bounded.
+        short = generate_elk1993(n_animals=4, points_per_animal=260, seed=9)
+        long_ = generate_elk1993(n_animals=4, points_per_animal=1040, seed=9)
+
+        def path_per_point(tracks):
+            return float(
+                np.mean([t.path_length() / len(t) for t in tracks])
+            )
+
+        # Wandering moves less per fix than corridor commuting at these
+        # step sizes; longer tracks therefore move *at most* as much per
+        # fix.  (Loose sanity bound; the real check is the benchmark's
+        # stable avg|N_eps|.)
+        assert path_per_point(long_) <= path_per_point(short) * 1.5

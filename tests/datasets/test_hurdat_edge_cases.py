@@ -1,0 +1,80 @@
+"""Parser robustness edge cases."""
+
+import io
+
+from repro.datasets.hurricane import parse_hurdat2
+from repro.datasets.starkey import parse_starkey_telemetry
+
+
+class TestHurdat2Robustness:
+    def test_empty_input(self):
+        assert parse_hurdat2(io.StringIO("")) == []
+
+    def test_header_only(self):
+        assert parse_hurdat2(io.StringIO("AL012000, ONE, 0,\n")) == []
+
+    def test_data_without_header_grouped_as_one(self):
+        text = (
+            "20040902, 1800,  , TD,  9.7N,  28.5W,  25, 1009,\n"
+            "20040903, 0000,  , TD,  9.6N,  30.0W,  30, 1007,\n"
+        )
+        tracks = parse_hurdat2(io.StringIO(text))
+        assert len(tracks) == 1
+        assert len(tracks[0]) == 2
+
+    def test_east_longitude_positive(self):
+        text = (
+            "AL012000,  TEST, 2,\n"
+            "20000101, 0000,  , TD, 10.0N, 20.0E, 25, 1009,\n"
+            "20000101, 0600,  , TD, 10.5N, 21.0E, 25, 1009,\n"
+        )
+        tracks = parse_hurdat2(io.StringIO(text))
+        assert tracks[0].points[0].tolist() == [20.0, 10.0]
+
+    def test_south_latitude_negative(self):
+        text = (
+            "SH012000,  TEST, 2,\n"
+            "20000101, 0000,  , TD, 10.0S, 20.0E, 25, 1009,\n"
+            "20000101, 0600,  , TD, 10.5S, 21.0E, 25, 1009,\n"
+        )
+        tracks = parse_hurdat2(io.StringIO(text))
+        assert tracks[0].points[0].tolist() == [20.0, -10.0]
+
+    def test_blank_lines_ignored(self):
+        text = (
+            "\nAL012000,  TEST, 2,\n\n"
+            "20000101, 0000,  , TD, 10.0N, 20.0W, 25, 1009,\n"
+            "\n20000101, 0600,  , TD, 10.5N, 21.0W, 25, 1009,\n\n"
+        )
+        assert len(parse_hurdat2(io.StringIO(text))) == 1
+
+    def test_trailing_storm_flushed_at_eof(self):
+        text = (
+            "AL012000,  TEST, 2,\n"
+            "20000101, 0000,  , TD, 10.0N, 20.0W, 25, 1009,\n"
+            "20000101, 0600,  , TD, 10.5N, 21.0W, 25, 1009,"  # no newline
+        )
+        assert len(parse_hurdat2(io.StringIO(text))) == 1
+
+
+class TestStarkeyRobustness:
+    def test_empty_input(self):
+        assert parse_starkey_telemetry(io.StringIO("")) == []
+
+    def test_short_rows_skipped(self):
+        text = "a elk 1.0\nb elk 1.0 2.0 t\nb elk 2.0 3.0 t\n"
+        animals = parse_starkey_telemetry(io.StringIO(text))
+        assert len(animals) == 1
+        assert animals[0].label == "b"
+
+    def test_interleaved_animals_grouped(self):
+        text = (
+            "a elk 0.0 0.0 t\n"
+            "b elk 9.0 9.0 t\n"
+            "a elk 1.0 1.0 t\n"
+            "b elk 8.0 8.0 t\n"
+        )
+        animals = parse_starkey_telemetry(io.StringIO(text))
+        assert len(animals) == 2
+        assert animals[0].points.tolist() == [[0.0, 0.0], [1.0, 1.0]]
+        assert animals[1].points.tolist() == [[9.0, 9.0], [8.0, 8.0]]

@@ -1,0 +1,127 @@
+"""Unit tests for the hurricane generator and the HURDAT2 parser."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.datasets.hurricane import generate_hurricane_tracks, parse_hurdat2
+from repro.exceptions import DatasetError
+
+
+class TestGenerator:
+    def test_paper_scale_defaults(self):
+        tracks = generate_hurricane_tracks()
+        assert len(tracks) == 570
+        total_points = sum(len(t) for t in tracks)
+        # Paper: 17 736 points; the generator aims for the same order.
+        assert 12000 <= total_points <= 25000
+
+    def test_reduced_scale(self):
+        tracks = generate_hurricane_tracks(n_storms=50, seed=3)
+        assert len(tracks) == 50
+
+    def test_deterministic(self):
+        a = generate_hurricane_tracks(n_storms=20, seed=4)
+        b = generate_hurricane_tracks(n_storms=20, seed=4)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.points, tb.points)
+
+    def test_archetype_mixture_present(self):
+        tracks = generate_hurricane_tracks(n_storms=200, seed=5)
+        labels = {t.label for t in tracks}
+        assert labels == {"straight-west", "recurver", "eastbound"}
+
+    def test_straight_west_moves_west(self):
+        tracks = [
+            t for t in generate_hurricane_tracks(n_storms=100, seed=6)
+            if t.label == "straight-west"
+        ]
+        for t in tracks[:10]:
+            assert t.points[-1, 0] < t.points[0, 0]
+
+    def test_eastbound_moves_east(self):
+        tracks = [
+            t for t in generate_hurricane_tracks(n_storms=100, seed=7)
+            if t.label == "eastbound"
+        ]
+        for t in tracks[:10]:
+            assert t.points[-1, 0] > t.points[0, 0]
+
+    def test_recurver_turns_north_then_east(self):
+        tracks = [
+            t for t in generate_hurricane_tracks(
+                n_storms=150, seed=8, position_noise=0.0,
+            )
+            if t.label == "recurver" and len(t) >= 20
+        ]
+        assert tracks, "need at least one long recurver"
+        t = tracks[0]
+        dx = np.diff(t.points[:, 0])
+        # Starts westbound (dx < 0), ends eastbound (dx > 0).
+        assert dx[0] < 0
+        assert dx[-1] > 0
+
+    def test_weights_are_positive(self):
+        tracks = generate_hurricane_tracks(n_storms=30, seed=9)
+        assert all(t.weight > 0 for t in tracks)
+
+    def test_invalid_mixture_raises(self):
+        with pytest.raises(DatasetError):
+            generate_hurricane_tracks(n_storms=5, mixture=(1.0, 1.0))
+
+    def test_zero_storms_raise(self):
+        with pytest.raises(DatasetError):
+            generate_hurricane_tracks(n_storms=0)
+
+
+HURDAT2_SAMPLE = """\
+AL092004,            IVAN,      4,
+20040902, 1800,  , TD,  9.7N,  28.5W,  25, 1009,
+20040903, 0000,  , TD,  9.6N,  30.0W,  30, 1007,
+20040903, 0600,  , TS,  9.5N,  31.4W,  35, 1005,
+20040903, 1200,  , TS,  9.5N,  32.9W,  45, 1000,
+AL122005,         KATRINA,      3,
+20050823, 1800,  , TD, 23.1N,  75.1W,  30, 1008,
+20050824, 0600,  , TD, 23.4N,  76.0W,  30, 1007,
+20050824, 1200,  , TS, 23.8N,  76.5W,  40, 1003,
+EP052006,          SOLO,       1,
+20060601, 0000,  , TD, 15.0N, 110.0W,  25, 1009,
+20060601, 0600,  , TD, 15.2N, 110.5W,  25, 1008,
+"""
+
+
+class TestHurdat2Parser:
+    def test_parses_storms(self):
+        tracks = parse_hurdat2(io.StringIO(HURDAT2_SAMPLE))
+        assert len(tracks) == 3
+        assert len(tracks[0]) == 4
+        assert len(tracks[1]) == 3
+
+    def test_coordinates_signed_correctly(self):
+        tracks = parse_hurdat2(io.StringIO(HURDAT2_SAMPLE))
+        ivan = tracks[0]
+        # West longitude is negative x; north latitude positive y.
+        assert ivan.points[0].tolist() == [-28.5, 9.7]
+
+    def test_labels_carry_storm_identity(self):
+        tracks = parse_hurdat2(io.StringIO(HURDAT2_SAMPLE))
+        assert "IVAN" in tracks[0].label
+        assert tracks[0].label.startswith("AL092004")
+
+    def test_basin_filter(self):
+        tracks = parse_hurdat2(io.StringIO(HURDAT2_SAMPLE), basin_prefix="AL")
+        assert len(tracks) == 2
+
+    def test_min_points_filter(self):
+        tracks = parse_hurdat2(io.StringIO(HURDAT2_SAMPLE), min_points=4)
+        assert len(tracks) == 1  # only IVAN has 4 fixes
+
+    def test_malformed_rows_skipped(self):
+        broken = HURDAT2_SAMPLE + "20060601, 1200,  , TD, garbage, junk,\n"
+        tracks = parse_hurdat2(io.StringIO(broken))
+        assert len(tracks) == 3
+
+    def test_ids_sequential(self):
+        tracks = parse_hurdat2(io.StringIO(HURDAT2_SAMPLE))
+        assert [t.traj_id for t in tracks] == [0, 1, 2]

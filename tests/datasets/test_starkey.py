@@ -1,0 +1,110 @@
+"""Unit tests for the Starkey generator and telemetry parser."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.datasets.starkey import (
+    generate_deer1995,
+    generate_elk1993,
+    generate_starkey,
+    parse_starkey_telemetry,
+)
+from repro.exceptions import DatasetError
+
+
+class TestGenerator:
+    def test_elk_defaults_match_paper_scale(self):
+        elk = generate_elk1993(n_animals=4, points_per_animal=200)
+        assert len(elk) == 4
+        assert all(len(t) == 200 for t in elk)
+
+    def test_paper_scale_counts(self):
+        # Full defaults: 33 animals / ~47k points, 32 / ~20k.
+        elk = generate_elk1993(n_animals=33, points_per_animal=100)
+        deer = generate_deer1995(n_animals=32, points_per_animal=100)
+        assert len(elk) == 33 and len(deer) == 32
+
+    def test_deterministic(self):
+        a = generate_elk1993(n_animals=3, points_per_animal=150, seed=2)
+        b = generate_elk1993(n_animals=3, points_per_animal=150, seed=2)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.points, tb.points)
+
+    def test_points_within_habitat_bounds(self):
+        bounds = (0.0, 0.0, 500.0, 400.0)
+        animals = generate_starkey(
+            n_animals=4, points_per_animal=300,
+            corridors=(((50.0, 50.0), (400.0, 300.0)),),
+            bounds=bounds, seed=3,
+        )
+        margin = 20.0  # corridor jitter can poke slightly outside
+        for t in animals:
+            assert np.all(t.points[:, 0] >= bounds[0] - margin)
+            assert np.all(t.points[:, 0] <= bounds[2] + margin)
+
+    def test_corridor_actually_visited(self):
+        corridor = ((100.0, 100.0), (300.0, 100.0))
+        animals = generate_starkey(
+            n_animals=3, points_per_animal=400, corridors=(corridor,),
+            corridors_per_animal=1, seed=4,
+        )
+        mid = np.array([200.0, 100.0])
+        for t in animals:
+            assert np.min(np.linalg.norm(t.points - mid, axis=1)) < 30.0
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            generate_starkey(0, 100, corridors=(((0, 0), (1, 1)),))
+        with pytest.raises(DatasetError):
+            generate_starkey(1, 100, corridors=())
+        with pytest.raises(DatasetError):
+            generate_starkey(1, 5, corridors=(((0, 0), (1, 1)),))
+
+
+TELEMETRY_SAMPLE = """\
+# animal  species  x  y  timestamp
+880109E01 elk 100.5 200.5 1993-04-01
+880109E01 elk 101.0 201.0 1993-04-02
+880109E01 elk 102.0 202.5 1993-04-03
+880110D01 deer 300.0 100.0 1995-05-01
+880110D01 deer 301.0 101.0 1995-05-02
+880111C01 cattle 50.0 50.0 1994-06-01
+"""
+
+
+class TestTelemetryParser:
+    def test_groups_by_animal(self):
+        animals = parse_starkey_telemetry(io.StringIO(TELEMETRY_SAMPLE))
+        assert len(animals) == 2  # cattle record has only 1 fix
+        assert len(animals[0]) == 3
+        assert animals[0].label == "880109E01"
+
+    def test_species_filter(self):
+        deer = parse_starkey_telemetry(
+            io.StringIO(TELEMETRY_SAMPLE), species="deer"
+        )
+        assert len(deer) == 1
+        assert deer[0].points[0].tolist() == [300.0, 100.0]
+
+    def test_min_points(self):
+        animals = parse_starkey_telemetry(
+            io.StringIO(TELEMETRY_SAMPLE), min_points=3
+        )
+        assert len(animals) == 1
+
+    def test_comments_and_blank_lines_ignored(self):
+        padded = "\n\n" + TELEMETRY_SAMPLE + "\n# trailing comment\n"
+        animals = parse_starkey_telemetry(io.StringIO(padded))
+        assert len(animals) == 2
+
+    def test_comma_separated_variant(self):
+        csvish = TELEMETRY_SAMPLE.replace(" ", ",")
+        animals = parse_starkey_telemetry(io.StringIO(csvish))
+        assert len(animals) == 2
+
+    def test_unparseable_coordinates_skipped(self):
+        broken = TELEMETRY_SAMPLE + "880112X01 elk not_a_number 5.0 t\n"
+        animals = parse_starkey_telemetry(io.StringIO(broken))
+        assert all("880112X01" != t.label for t in animals)

@@ -1,0 +1,126 @@
+"""Unit tests for the synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    add_noise_trajectories,
+    generate_common_subtrajectory_set,
+    generate_corridor_set,
+    generate_random_walk,
+)
+from repro.exceptions import DatasetError
+
+
+class TestRandomWalk:
+    def test_shape_and_start(self):
+        rng = np.random.default_rng(0)
+        walk = generate_random_walk(30, [5.0, 5.0], 2.0, traj_id=7, rng=rng)
+        assert len(walk) == 30
+        assert walk.points[0].tolist() == [5.0, 5.0]
+        assert walk.traj_id == 7
+
+    def test_bounds_respected(self):
+        rng = np.random.default_rng(1)
+        bounds = (0.0, 0.0, 10.0, 10.0)
+        walk = generate_random_walk(
+            200, [5.0, 5.0], 3.0, traj_id=0, rng=rng, bounds=bounds
+        )
+        assert np.all(walk.points[:, 0] >= 0.0)
+        assert np.all(walk.points[:, 0] <= 10.0)
+        assert np.all(walk.points[:, 1] >= 0.0)
+        assert np.all(walk.points[:, 1] <= 10.0)
+
+    def test_persistence_straightens_the_walk(self):
+        def wiggliness(persistence, seed=3):
+            rng = np.random.default_rng(seed)
+            walk = generate_random_walk(
+                150, [0.0, 0.0], 1.0, traj_id=0, rng=rng, persistence=persistence
+            )
+            net = np.linalg.norm(walk.points[-1] - walk.points[0])
+            return net / walk.path_length()
+
+        assert wiggliness(0.95) > wiggliness(0.05)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            generate_random_walk(1, [0, 0], 1.0, 0, rng)
+        with pytest.raises(DatasetError):
+            generate_random_walk(10, [0, 0], 1.0, 0, rng, persistence=1.0)
+
+
+class TestCorridorSet:
+    def test_counts_and_ids(self):
+        trajectories = generate_corridor_set(n_trajectories=7, seed=1)
+        assert len(trajectories) == 7
+        assert [t.traj_id for t in trajectories] == list(range(7))
+
+    def test_id_offset(self):
+        trajectories = generate_corridor_set(n_trajectories=3, id_offset=10)
+        assert [t.traj_id for t in trajectories] == [10, 11, 12]
+
+    def test_every_trajectory_passes_the_corridor(self):
+        start, end = np.array([40.0, 50.0]), np.array([80.0, 50.0])
+        trajectories = generate_corridor_set(
+            n_trajectories=10, corridor_start=start, corridor_end=end,
+            jitter=0.5, seed=2,
+        )
+        for t in trajectories:
+            d_start = np.min(np.linalg.norm(t.points - start, axis=1))
+            d_end = np.min(np.linalg.norm(t.points - end, axis=1))
+            assert d_start < 5.0 and d_end < 5.0
+
+    def test_entries_are_scattered(self):
+        trajectories = generate_corridor_set(n_trajectories=12, seed=3)
+        entries = np.array([t.points[0] for t in trajectories])
+        assert entries.std(axis=0).max() > 5.0
+
+    def test_deterministic_for_seed(self):
+        a = generate_corridor_set(n_trajectories=4, seed=9)
+        b = generate_corridor_set(n_trajectories=4, seed=9)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.points, tb.points)
+
+    def test_zero_trajectories_raise(self):
+        with pytest.raises(DatasetError):
+            generate_corridor_set(n_trajectories=0)
+
+
+class TestCommonSubtrajectorySet:
+    def test_two_corridors_unique_ids(self):
+        trajectories = generate_common_subtrajectory_set(
+            trajectories_per_corridor=5
+        )
+        assert len(trajectories) == 10
+        assert len({t.traj_id for t in trajectories}) == 10
+
+
+class TestNoiseInjection:
+    def test_noise_fraction(self, corridor_trajectories):
+        noisy = add_noise_trajectories(corridor_trajectories, 0.25, seed=1)
+        n_clean = len(corridor_trajectories)
+        n_noise = len(noisy) - n_clean
+        assert n_noise / len(noisy) == pytest.approx(0.25, abs=0.05)
+
+    def test_clean_trajectories_preserved(self, corridor_trajectories):
+        noisy = add_noise_trajectories(corridor_trajectories, 0.25, seed=1)
+        for original, kept in zip(corridor_trajectories, noisy):
+            assert original is kept
+
+    def test_noise_ids_do_not_collide(self, corridor_trajectories):
+        noisy = add_noise_trajectories(corridor_trajectories, 0.25, seed=1)
+        ids = [t.traj_id for t in noisy]
+        assert len(ids) == len(set(ids))
+
+    def test_zero_fraction_is_identity(self, corridor_trajectories):
+        noisy = add_noise_trajectories(corridor_trajectories, 0.0)
+        assert len(noisy) == len(corridor_trajectories)
+
+    def test_invalid_fraction_raises(self, corridor_trajectories):
+        with pytest.raises(DatasetError):
+            add_noise_trajectories(corridor_trajectories, 1.0)
+
+    def test_empty_base_raises(self):
+        with pytest.raises(DatasetError):
+            add_noise_trajectories([], 0.25)

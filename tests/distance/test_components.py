@@ -1,0 +1,191 @@
+"""Unit tests for the scalar distance components (Definitions 1-3),
+including hand-computed geometry and the Appendix A comparison."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distance.components import (
+    angle_distance,
+    component_distances,
+    cosine_of_angle,
+    endpoint_sum_distance,
+    lehmer_mean_order2,
+    ordered,
+    parallel_distance,
+    perpendicular_distance,
+)
+from repro.model.segment import Segment
+
+
+def seg(a, b, seg_id=0):
+    return Segment(a, b, seg_id=seg_id)
+
+
+BASE = seg([0.0, 0.0], [10.0, 0.0], seg_id=0)  # the long horizontal Li
+
+
+class TestLehmerMean:
+    def test_formula(self):
+        assert lehmer_mean_order2(3.0, 4.0) == pytest.approx(25.0 / 7.0)
+
+    def test_equal_inputs_are_fixed_point(self):
+        assert lehmer_mean_order2(5.0, 5.0) == 5.0
+
+    def test_zero_pair_is_zero(self):
+        assert lehmer_mean_order2(0.0, 0.0) == 0.0
+
+    def test_one_zero_returns_other(self):
+        assert lehmer_mean_order2(7.0, 0.0) == 7.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            lehmer_mean_order2(-1.0, 2.0)
+
+    def test_dominates_arithmetic_mean(self):
+        # L2 >= arithmetic mean, with equality iff a == b.
+        assert lehmer_mean_order2(2.0, 8.0) > 5.0
+
+
+class TestOrdering:
+    def test_longer_becomes_li(self):
+        short = seg([0.0, 0.0], [1.0, 0.0], seg_id=5)
+        li, lj = ordered(short, BASE)
+        assert li is BASE and lj is short
+
+    def test_tie_broken_by_seg_id(self):
+        a = seg([0.0, 0.0], [1.0, 0.0], seg_id=2)
+        b = seg([5.0, 5.0], [6.0, 5.0], seg_id=7)
+        li, lj = ordered(a, b)
+        assert li is a
+        li2, lj2 = ordered(b, a)
+        assert li2 is a  # order of arguments is irrelevant
+
+
+class TestPerpendicularDistance:
+    def test_parallel_offset_five(self):
+        lj = seg([2.0, 5.0], [7.0, 5.0])
+        assert perpendicular_distance(BASE, lj) == pytest.approx(5.0)
+
+    def test_lehmer_mean_of_unequal_offsets(self):
+        # endpoints at heights 1 and 4 above the base line
+        lj = seg([5.0, 1.0], [5.0, 4.0])
+        assert perpendicular_distance(BASE, lj) == pytest.approx((1 + 16) / 5.0)
+
+    def test_collinear_is_zero(self):
+        lj = seg([20.0, 0.0], [30.0, 0.0])
+        assert perpendicular_distance(BASE, lj) == 0.0
+
+    def test_both_degenerate_falls_back_to_point_distance(self):
+        li = seg([0.0, 0.0], [0.0, 0.0])
+        lj = seg([3.0, 4.0], [3.0, 4.0])
+        assert perpendicular_distance(li, lj) == pytest.approx(5.0)
+
+
+class TestParallelDistance:
+    def test_enclosed_projections(self):
+        lj = seg([2.0, 5.0], [7.0, 5.0])
+        # projections at x=2 and x=7: min(2, 8)=2, min(7, 3)=3 -> MIN is 2
+        assert parallel_distance(BASE, lj) == pytest.approx(2.0)
+
+    def test_overhanging_segment(self):
+        lj = seg([12.0, 1.0], [15.0, 1.0])
+        # projections at x=12 (2 past the end) and x=15 (5 past)
+        assert parallel_distance(BASE, lj) == pytest.approx(2.0)
+
+    def test_min_makes_broken_segments_robust(self):
+        # A broken continuation: starts right where BASE ends.
+        lj = seg([10.0, 0.5], [18.0, 0.5])
+        # l_par1 = min(10, 0) = 0 -> MIN(l1, l2) = 0
+        assert parallel_distance(BASE, lj) == pytest.approx(0.0)
+
+    def test_degenerate_li_is_zero(self):
+        li = seg([0.0, 0.0], [0.0, 0.0])
+        assert parallel_distance(li, seg([1.0, 1.0], [1.0, 1.0])) == 0.0
+
+
+class TestAngleDistance:
+    def test_parallel_is_zero(self):
+        lj = seg([0.0, 3.0], [8.0, 3.0])
+        assert angle_distance(BASE, lj) == 0.0
+
+    def test_perpendicular_charges_full_length(self):
+        lj = seg([5.0, 1.0], [5.0, 4.0])  # length 3, theta = 90
+        assert angle_distance(BASE, lj) == pytest.approx(3.0)
+
+    def test_oblique_45_degrees(self):
+        lj = seg([0.0, 0.0], [5.0, 5.0])  # length 5*sqrt(2), theta = 45
+        assert angle_distance(BASE, lj) == pytest.approx(
+            5.0 * math.sqrt(2.0) * math.sin(math.pi / 4)
+        )
+
+    def test_opposite_direction_charges_full_length_when_directed(self):
+        lj = seg([8.0, 1.0], [0.0, 1.0])  # antiparallel, length 8
+        assert angle_distance(BASE, lj, directed=True) == pytest.approx(8.0)
+
+    def test_opposite_direction_is_zero_when_undirected(self):
+        lj = seg([8.0, 1.0], [0.0, 1.0])
+        assert angle_distance(BASE, lj, directed=False) == pytest.approx(0.0)
+
+    def test_degenerate_lj_is_zero(self):
+        lj = seg([4.0, 4.0], [4.0, 4.0])
+        assert angle_distance(BASE, lj) == 0.0
+
+    def test_cosine_clamped(self):
+        # Numerically parallel vectors can produce |cos| slightly > 1.
+        lj = seg([0.0, 0.0], [1e8, 1e-8])
+        assert -1.0 <= cosine_of_angle(BASE, lj) <= 1.0
+
+
+class TestComponentDistances:
+    def test_symmetry(self):
+        a = seg([0.0, 0.0], [10.0, 0.0], seg_id=0)
+        b = seg([2.0, 3.0], [6.0, 4.0], seg_id=1)
+        assert component_distances(a, b) == component_distances(b, a)
+
+    def test_self_distance_is_zero(self):
+        comps = component_distances(BASE, BASE)
+        assert comps.perpendicular == 0.0
+        assert comps.parallel == 0.0
+        assert comps.angle == 0.0
+
+    def test_weighted_sum(self):
+        lj = seg([2.0, 5.0], [7.0, 5.0])
+        comps = component_distances(BASE, lj)
+        assert comps.weighted_sum() == pytest.approx(5.0 + 2.0 + 0.0)
+        assert comps.weighted_sum(2.0, 0.0, 1.0) == pytest.approx(10.0)
+
+    def test_translation_invariance(self):
+        a = seg([0.0, 0.0], [10.0, 0.0], seg_id=0)
+        b = seg([2.0, 3.0], [6.0, 4.0], seg_id=1)
+        offset = np.array([1e4, -2e4])
+        a2 = seg(a.start + offset, a.end + offset, seg_id=0)
+        b2 = seg(b.start + offset, b.end + offset, seg_id=1)
+        original = component_distances(a, b)
+        shifted = component_distances(a2, b2)
+        assert original.perpendicular == pytest.approx(shifted.perpendicular)
+        assert original.parallel == pytest.approx(shifted.parallel)
+        assert original.angle == pytest.approx(shifted.angle)
+
+
+class TestAppendixA:
+    """The angle term separates segments that the naive endpoint-sum
+    distance cannot tell apart (Figure 24's moral)."""
+
+    def test_equal_endpoint_sum_different_traclus_distance(self):
+        l1 = seg([0.0, 0.0], [200.0, 0.0], seg_id=0)
+        parallel = seg([0.0, 100.0], [200.0, 100.0], seg_id=1)
+        tilted = seg([0.0, 100.0], [200.0, -100.0], seg_id=2)
+        # Identical under the naive measure...
+        assert endpoint_sum_distance(l1, parallel) == pytest.approx(200.0)
+        assert endpoint_sum_distance(l1, tilted) == pytest.approx(200.0)
+        # ...but TRACLUS ranks the parallel one closer (angle term).
+        d_parallel = component_distances(l1, parallel).weighted_sum()
+        d_tilted = component_distances(l1, tilted).weighted_sum()
+        assert d_parallel < d_tilted
+
+    def test_naive_distance_ignores_angle(self):
+        l1 = seg([0.0, 0.0], [200.0, 0.0], seg_id=0)
+        tilted = seg([0.0, 100.0], [200.0, -100.0], seg_id=2)
+        assert component_distances(l1, tilted).angle > 0.0

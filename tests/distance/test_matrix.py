@@ -1,0 +1,44 @@
+"""Unit tests for pairwise distance matrices."""
+
+import numpy as np
+import pytest
+
+from repro.distance.matrix import pairwise_distance_matrix
+from repro.distance.weighted import SegmentDistance
+from repro.model.segmentset import SegmentSet
+
+
+class TestPairwiseMatrix:
+    def test_shape_symmetry_zero_diagonal(self, random_segments):
+        matrix = pairwise_distance_matrix(random_segments)
+        n = len(random_segments)
+        assert matrix.shape == (n, n)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_matches_scalar_distance(self, random_segments):
+        d = SegmentDistance()
+        matrix = pairwise_distance_matrix(random_segments, d)
+        for i, j in [(0, 1), (5, 20), (13, 39)]:
+            expected = d(random_segments.segment(i), random_segments.segment(j))
+            assert matrix[i, j] == pytest.approx(expected, abs=1e-9)
+
+    def test_subset_selection(self, random_segments):
+        indices = [3, 8, 15]
+        matrix = pairwise_distance_matrix(random_segments, indices=indices)
+        assert matrix.shape == (3, 3)
+        d = SegmentDistance()
+        expected = d(random_segments.segment(3), random_segments.segment(8))
+        assert matrix[0, 1] == pytest.approx(expected, abs=1e-9)
+
+    def test_empty_subset(self, random_segments):
+        matrix = pairwise_distance_matrix(random_segments, indices=[])
+        assert matrix.shape == (0, 0)
+
+    def test_empty_store(self):
+        matrix = pairwise_distance_matrix(SegmentSet.empty())
+        assert matrix.shape == (0, 0)
+
+    def test_all_entries_non_negative(self, random_segments):
+        matrix = pairwise_distance_matrix(random_segments)
+        assert np.all(matrix >= 0.0)

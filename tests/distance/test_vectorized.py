@@ -1,0 +1,117 @@
+"""Vectorized kernels must agree with the scalar reference exactly
+(to float tolerance) on every pairing, including degenerate ones."""
+
+import numpy as np
+import pytest
+
+from repro.distance.components import component_distances
+from repro.distance.vectorized import (
+    component_distances_to_all,
+    distances_to_all,
+)
+from repro.model.segment import Segment
+from repro.model.segmentset import SegmentSet
+
+
+def assert_agreement(store, directed=True, atol=1e-9):
+    for qi in range(len(store)):
+        query = store.segment(qi)
+        comps = component_distances_to_all(
+            query, store, directed=directed, query_seg_id=qi
+        )
+        for j in range(len(store)):
+            expected = component_distances(query, store.segment(j), directed=directed)
+            assert comps.perpendicular[j] == pytest.approx(
+                expected.perpendicular, abs=atol
+            ), (qi, j)
+            assert comps.parallel[j] == pytest.approx(expected.parallel, abs=atol), (
+                qi, j,
+            )
+            assert comps.angle[j] == pytest.approx(expected.angle, abs=atol), (qi, j)
+
+
+class TestAgreementWithScalar:
+    def test_random_segments_directed(self, random_segments):
+        assert_agreement(random_segments, directed=True)
+
+    def test_random_segments_undirected(self, random_segments):
+        assert_agreement(random_segments, directed=False)
+
+    def test_equal_length_ties(self):
+        # All four segments have length 1 -> every pair is a tie and
+        # must be ordered by seg_id identically in both code paths.
+        store = SegmentSet.from_segments(
+            [
+                Segment([0.0, 0.0], [1.0, 0.0], seg_id=0),
+                Segment([0.0, 1.0], [1.0, 1.0], seg_id=1),
+                Segment([0.5, 2.0], [1.5, 2.0], seg_id=2),
+                Segment([0.0, 3.0], [0.0, 4.0], seg_id=3),
+            ]
+        )
+        assert_agreement(store)
+
+    def test_degenerate_segments_mixed_in(self):
+        store = SegmentSet.from_segments(
+            [
+                Segment([0.0, 0.0], [10.0, 0.0], seg_id=0),
+                Segment([3.0, 3.0], [3.0, 3.0], seg_id=1),  # point
+                Segment([5.0, 5.0], [5.0, 5.0], seg_id=2),  # point
+                Segment([0.0, 1.0], [8.0, 1.0], seg_id=3),
+            ]
+        )
+        assert_agreement(store)
+
+    def test_three_dimensional_segments(self):
+        rng = np.random.default_rng(9)
+        store = SegmentSet.from_segments(
+            [
+                Segment(rng.uniform(0, 10, 3), rng.uniform(0, 10, 3), seg_id=i)
+                for i in range(12)
+            ]
+        )
+        assert_agreement(store)
+
+
+class TestProperties:
+    def test_self_distance_is_zero(self, random_segments):
+        for qi in [0, 13, 39]:
+            dists = distances_to_all(
+                random_segments.segment(qi), random_segments, query_seg_id=qi
+            )
+            assert dists[qi] == pytest.approx(0.0, abs=1e-12)
+
+    def test_all_distances_non_negative(self, random_segments):
+        for qi in range(0, len(random_segments), 7):
+            dists = distances_to_all(
+                random_segments.segment(qi), random_segments, query_seg_id=qi
+            )
+            assert np.all(dists >= 0.0)
+
+    def test_empty_store(self):
+        empty = SegmentSet.empty()
+        query = Segment([0.0, 0.0], [1.0, 0.0])
+        comps = component_distances_to_all(query, empty)
+        assert comps.perpendicular.shape == (0,)
+        assert distances_to_all(query, empty).shape == (0,)
+
+    def test_external_query_not_in_store(self, random_segments):
+        # A query that is not a member still gets exact results.
+        query = Segment([50.0, 50.0], [55.0, 52.0], seg_id=-1)
+        dists = distances_to_all(query, random_segments)
+        for j in range(len(random_segments)):
+            expected = component_distances(
+                query, random_segments.segment(j)
+            ).weighted_sum()
+            assert dists[j] == pytest.approx(expected, abs=1e-9)
+
+    def test_weighted_sum_applies_weights(self, random_segments):
+        query = random_segments.segment(4)
+        comps = component_distances_to_all(query, random_segments, query_seg_id=4)
+        combined = distances_to_all(
+            query, random_segments, w_perp=2.0, w_par=0.5, w_theta=3.0,
+            query_seg_id=4,
+        )
+        expected = (
+            2.0 * comps.perpendicular + 0.5 * comps.parallel + 3.0 * comps.angle
+        )
+        assert np.allclose(combined, expected)

@@ -1,0 +1,156 @@
+"""Unit tests for the circular-motion extension (Section 7.1 item 4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ClusteringError
+from repro.extensions.circular import (
+    circularity,
+    fit_circle,
+    generate_adaptive_representative,
+    generate_circular_representative,
+)
+from repro.model.cluster import Cluster
+from repro.model.segment import Segment
+from repro.model.segmentset import SegmentSet
+from repro.representative.sweep import RepresentativeConfig
+
+
+def ring_cluster(n_loops=4, n_points=24, radius=20.0, center=(50.0, 50.0),
+                 radial_jitter=0.6, seed=0):
+    """Several noisy circular laps around one center, one per
+    trajectory, chopped into consecutive segments."""
+    rng = np.random.default_rng(seed)
+    segments = []
+    seg_id = 0
+    for loop in range(n_loops):
+        r = radius + rng.normal(0, radial_jitter)
+        phase = rng.uniform(0, 2 * math.pi)
+        angles = phase + np.linspace(0, 2 * math.pi, n_points, endpoint=False)
+        xs = center[0] + r * np.cos(angles)
+        ys = center[1] + r * np.sin(angles)
+        points = np.column_stack([xs, ys])
+        for a, b in zip(points, np.roll(points, -1, axis=0)):
+            segments.append(Segment(a, b, traj_id=loop, seg_id=seg_id))
+            seg_id += 1
+    store = SegmentSet.from_segments(segments)
+    return Cluster(0, list(range(len(store))), store)
+
+
+def straight_cluster():
+    segments = [
+        Segment([0.0, k * 0.5], [10.0, k * 0.5], traj_id=k, seg_id=k)
+        for k in range(5)
+    ]
+    store = SegmentSet.from_segments(segments)
+    return Cluster(0, list(range(5)), store)
+
+
+class TestCircularity:
+    def test_ring_is_highly_circular(self):
+        assert circularity(ring_cluster()) > 0.9
+
+    def test_straight_flow_is_not(self):
+        assert circularity(straight_cluster()) < 0.1
+
+    def test_bounded(self):
+        assert 0.0 <= circularity(ring_cluster(seed=3)) <= 1.0
+
+
+class TestFitCircle:
+    def test_exact_circle_recovered(self):
+        angles = np.linspace(0, 2 * math.pi, 12, endpoint=False)
+        points = np.column_stack(
+            [3.0 + 7.0 * np.cos(angles), -2.0 + 7.0 * np.sin(angles)]
+        )
+        center, radius = fit_circle(points)
+        assert np.allclose(center, [3.0, -2.0], atol=1e-9)
+        assert radius == pytest.approx(7.0)
+
+    def test_noisy_circle_close(self):
+        rng = np.random.default_rng(1)
+        angles = rng.uniform(0, 2 * math.pi, 60)
+        points = np.column_stack(
+            [10.0 + 5.0 * np.cos(angles), 20.0 + 5.0 * np.sin(angles)]
+        ) + rng.normal(0, 0.1, (60, 2))
+        center, radius = fit_circle(points)
+        assert np.allclose(center, [10.0, 20.0], atol=0.2)
+        assert radius == pytest.approx(5.0, abs=0.2)
+
+    def test_collinear_raises(self):
+        points = np.column_stack([np.arange(5.0), np.arange(5.0)])
+        with pytest.raises(ClusteringError):
+            fit_circle(points)
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(ClusteringError):
+            fit_circle(np.array([[0.0, 0.0], [1.0, 0.0]]))
+
+
+class TestCircularRepresentative:
+    def test_traces_the_ring(self):
+        cluster = ring_cluster()
+        rep = generate_circular_representative(
+            cluster, RepresentativeConfig(min_lns=3)
+        )
+        assert rep.shape[0] > 20
+        radii = np.linalg.norm(rep - np.array([50.0, 50.0]), axis=1)
+        assert np.all(np.abs(radii - 20.0) < 3.0)
+
+    def test_loop_is_closed_when_fully_covered(self):
+        rep = generate_circular_representative(
+            ring_cluster(), RepresentativeConfig(min_lns=3)
+        )
+        assert np.allclose(rep[0], rep[-1])
+
+    def test_min_lns_gate(self):
+        # Only 2 loops: a MinLns of 3 can never be met.
+        rep = generate_circular_representative(
+            ring_cluster(n_loops=2), RepresentativeConfig(min_lns=3)
+        )
+        assert rep.shape[0] == 0
+
+    def test_gamma_thins_arc_points(self):
+        cluster = ring_cluster()
+        dense = generate_circular_representative(
+            cluster, RepresentativeConfig(min_lns=3, gamma=0.0)
+        )
+        sparse = generate_circular_representative(
+            cluster, RepresentativeConfig(min_lns=3, gamma=5.0)
+        )
+        assert 0 < sparse.shape[0] < dense.shape[0]
+
+    def test_linear_sweep_folds_the_loop(self):
+        """The motivation: Figure 15's straight sweep averages the top
+        and bottom of the ring onto the center line (its points sit far
+        inside the ring), while the angular sweep stays on the ring."""
+        from repro.representative.sweep import generate_representative
+
+        cluster = ring_cluster()
+        linear = generate_representative(cluster, RepresentativeConfig(min_lns=3))
+        circular = generate_circular_representative(
+            cluster, RepresentativeConfig(min_lns=3)
+        )
+        center = np.array([50.0, 50.0])
+        linear_radii = np.linalg.norm(linear - center, axis=1)
+        circular_radii = np.linalg.norm(circular - center, axis=1)
+        assert float(np.mean(circular_radii)) == pytest.approx(20.0, abs=2.0)
+        assert float(np.mean(linear_radii)) < 15.0  # folded inward
+
+
+class TestAdaptiveDispatch:
+    def test_ring_goes_angular(self):
+        rep = generate_adaptive_representative(
+            ring_cluster(), RepresentativeConfig(min_lns=3)
+        )
+        radii = np.linalg.norm(rep - np.array([50.0, 50.0]), axis=1)
+        assert np.all(np.abs(radii - 20.0) < 3.0)
+
+    def test_straight_flow_goes_linear(self):
+        rep = generate_adaptive_representative(
+            straight_cluster(), RepresentativeConfig(min_lns=3)
+        )
+        # The linear sweep yields monotone x (the angular one would not).
+        assert np.all(np.diff(rep[:, 0]) > 0)

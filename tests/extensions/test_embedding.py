@@ -1,0 +1,116 @@
+"""Unit tests for constant-shift embedding."""
+
+import numpy as np
+import pytest
+
+from repro.distance.matrix import pairwise_distance_matrix
+from repro.exceptions import ClusteringError
+from repro.extensions.embedding import ConstantShiftEmbedding
+
+
+def violates_triangle(matrix, tol=1e-9):
+    n = matrix.shape[0]
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                if matrix[i, k] > matrix[i, j] + matrix[j, k] + tol:
+                    return True
+    return False
+
+
+class TestValidation:
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ClusteringError):
+            ConstantShiftEmbedding().fit_transform(
+                np.array([[0.0, 1.0], [2.0, 0.0]])
+            )
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ClusteringError):
+            ConstantShiftEmbedding().fit_transform(
+                np.array([[1.0, 1.0], [1.0, 0.0]])
+            )
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ClusteringError):
+            ConstantShiftEmbedding().fit_transform(
+                np.array([[0.0, -1.0], [-1.0, 0.0]])
+            )
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ClusteringError):
+            ConstantShiftEmbedding().fit_transform(np.zeros((2, 3)))
+
+    def test_rejects_bad_components(self):
+        with pytest.raises(ClusteringError):
+            ConstantShiftEmbedding(n_components=0)
+
+    def test_distance_matrix_before_fit_raises(self):
+        with pytest.raises(ClusteringError):
+            ConstantShiftEmbedding().embedded_distance_matrix()
+
+
+class TestEmbedding:
+    def test_euclidean_input_recovered_exactly(self):
+        # If the input is already Euclidean, the shift is ~0 and the
+        # embedded distances reproduce the original matrix.
+        rng = np.random.default_rng(1)
+        points = rng.normal(0, 5, (8, 2))
+        matrix = np.linalg.norm(points[:, None, :] - points[None, :, :], axis=2)
+        cse = ConstantShiftEmbedding()
+        cse.fit_transform(matrix)
+        assert cse.shift_ == pytest.approx(0.0, abs=1e-8)
+        assert np.allclose(cse.embedded_distance_matrix(), matrix, atol=1e-6)
+
+    def test_triangle_violation_repaired(self):
+        # Classic violation: d(0,2)=10 but the path through 1 costs 2.
+        matrix = np.array(
+            [[0.0, 1.0, 10.0], [1.0, 0.0, 1.0], [10.0, 1.0, 0.0]]
+        )
+        assert violates_triangle(matrix)
+        cse = ConstantShiftEmbedding()
+        cse.fit_transform(matrix)
+        embedded = cse.embedded_distance_matrix()
+        assert not violates_triangle(embedded)
+        assert cse.shift_ > 0
+
+    def test_off_diagonal_squared_distances_shift_uniformly(self):
+        matrix = np.array(
+            [[0.0, 1.0, 10.0], [1.0, 0.0, 1.0], [10.0, 1.0, 0.0]]
+        )
+        cse = ConstantShiftEmbedding()
+        cse.fit_transform(matrix)
+        embedded = cse.embedded_distance_matrix()
+        deltas = embedded**2 - matrix**2
+        off_diag = deltas[~np.eye(3, dtype=bool)]
+        assert np.allclose(off_diag, off_diag[0], atol=1e-6)
+
+    def test_segment_distance_matrix_becomes_metric(self, random_segments):
+        matrix = pairwise_distance_matrix(random_segments)
+        cse = ConstantShiftEmbedding()
+        cse.fit_transform(matrix)
+        embedded = cse.embedded_distance_matrix()
+        assert not violates_triangle(embedded, tol=1e-6)
+
+    def test_n_components_truncation(self):
+        matrix = np.array(
+            [[0.0, 1.0, 10.0], [1.0, 0.0, 1.0], [10.0, 1.0, 0.0]]
+        )
+        cse = ConstantShiftEmbedding(n_components=1)
+        coords = cse.fit_transform(matrix)
+        assert coords.shape == (3, 1)
+
+    def test_cluster_structure_preserved(self):
+        # Two tight groups far apart: the embedding must keep
+        # within-group distances below between-group distances.
+        matrix = np.zeros((4, 4))
+        matrix[0, 1] = matrix[1, 0] = 1.0
+        matrix[2, 3] = matrix[3, 2] = 1.0
+        for i in (0, 1):
+            for j in (2, 3):
+                matrix[i, j] = matrix[j, i] = 20.0
+        cse = ConstantShiftEmbedding()
+        cse.fit_transform(matrix)
+        embedded = cse.embedded_distance_matrix()
+        assert embedded[0, 1] < embedded[0, 2]
+        assert embedded[2, 3] < embedded[1, 3]

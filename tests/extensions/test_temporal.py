@@ -1,0 +1,109 @@
+"""Unit tests for the temporal extension."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ClusteringError, TrajectoryError
+from repro.extensions.temporal import (
+    TemporalSegment,
+    TemporalSegmentDistance,
+    interval_gap,
+    segments_from_timed_trajectory,
+)
+from repro.model.trajectory import Trajectory
+from repro.partition.approximate import partition_trajectory
+
+
+class TestTemporalSegment:
+    def test_construction(self):
+        s = TemporalSegment([0.0, 0.0], [1.0, 0.0], t_start=5.0, t_end=8.0)
+        assert s.duration == 3.0
+
+    def test_reversed_interval_raises(self):
+        with pytest.raises(TrajectoryError):
+            TemporalSegment([0.0, 0.0], [1.0, 0.0], t_start=8.0, t_end=5.0)
+
+
+class TestIntervalGap:
+    def test_overlapping_is_zero(self):
+        assert interval_gap(0.0, 5.0, 3.0, 8.0) == 0.0
+
+    def test_touching_is_zero(self):
+        assert interval_gap(0.0, 5.0, 5.0, 8.0) == 0.0
+
+    def test_disjoint_gap(self):
+        assert interval_gap(0.0, 2.0, 7.0, 9.0) == 5.0
+
+    def test_symmetric(self):
+        assert interval_gap(7.0, 9.0, 0.0, 2.0) == 5.0
+
+
+class TestTimedSegments:
+    def test_builds_segments_with_intervals(self):
+        t = Trajectory(
+            [[0.0, 0.0], [5.0, 0.0], [10.0, 0.0]], traj_id=0,
+            times=np.array([0.0, 6.0, 12.0]),
+        )
+        cps = partition_trajectory(t)
+        segments = segments_from_timed_trajectory(t, cps)
+        assert segments[0].t_start == 0.0
+        assert segments[-1].t_end == 12.0
+
+    def test_requires_timestamps(self):
+        t = Trajectory([[0.0, 0.0], [5.0, 0.0]], traj_id=0)
+        with pytest.raises(TrajectoryError):
+            segments_from_timed_trajectory(t, [0, 1])
+
+
+class TestTemporalDistance:
+    def make(self, t_start, t_end, y=0.0, seg_id=0):
+        return TemporalSegment(
+            [0.0, y], [10.0, y], t_start=t_start, t_end=t_end, seg_id=seg_id
+        )
+
+    def test_concurrent_equals_spatial(self):
+        d = TemporalSegmentDistance(w_time=2.0)
+        a = self.make(0.0, 5.0, y=0.0, seg_id=0)
+        b = self.make(2.0, 7.0, y=1.0, seg_id=1)
+        assert d(a, b) == pytest.approx(d.spatial(a, b))
+
+    def test_gap_adds_weighted_penalty(self):
+        d = TemporalSegmentDistance(w_time=2.0)
+        a = self.make(0.0, 1.0, y=0.0, seg_id=0)
+        b = self.make(11.0, 12.0, y=1.0, seg_id=1)
+        assert d(a, b) == pytest.approx(d.spatial(a, b) + 2.0 * 10.0)
+
+    def test_zero_weight_reduces_to_spatial(self):
+        d = TemporalSegmentDistance(w_time=0.0)
+        a = self.make(0.0, 1.0, seg_id=0)
+        b = self.make(100.0, 101.0, y=3.0, seg_id=1)
+        assert d(a, b) == pytest.approx(d.spatial(a, b))
+
+    def test_symmetric(self):
+        d = TemporalSegmentDistance(w_time=1.0)
+        a = self.make(0.0, 1.0, y=0.0, seg_id=0)
+        b = self.make(5.0, 6.0, y=2.0, seg_id=1)
+        assert d(a, b) == pytest.approx(d(b, a))
+
+    def test_rejects_plain_segments(self):
+        from repro.model.segment import Segment
+
+        d = TemporalSegmentDistance()
+        with pytest.raises(ClusteringError):
+            d(Segment([0.0, 0.0], [1.0, 0.0]), Segment([0.0, 1.0], [1.0, 1.0]))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ClusteringError):
+            TemporalSegmentDistance(w_time=-1.0)
+
+    def test_pairwise_matrix(self):
+        d = TemporalSegmentDistance(w_time=1.0)
+        segments = [self.make(0.0, 1.0, y=0.0, seg_id=0),
+                    self.make(0.5, 2.0, y=1.0, seg_id=1),
+                    self.make(50.0, 51.0, y=0.5, seg_id=2)]
+        matrix = d.pairwise(segments)
+        assert matrix.shape == (3, 3)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+        # The time-separated segment is farther from both others.
+        assert matrix[0, 2] > matrix[0, 1]

@@ -1,0 +1,110 @@
+"""Unit tests for bounding boxes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.bbox import BoundingBox
+
+
+def box(lo, hi):
+    return BoundingBox(np.asarray(lo, float), np.asarray(hi, float))
+
+
+class TestConstruction:
+    def test_lo_greater_than_hi_raises(self):
+        with pytest.raises(GeometryError):
+            box([1.0, 0.0], [0.0, 1.0])
+
+    def test_degenerate_box_is_allowed(self):
+        b = box([1.0, 2.0], [1.0, 2.0])
+        assert b.volume() == 0.0
+
+    def test_of_points(self):
+        b = BoundingBox.of_points(np.array([[0.0, 5.0], [3.0, 1.0], [-1.0, 2.0]]))
+        assert b.lo.tolist() == [-1.0, 1.0]
+        assert b.hi.tolist() == [3.0, 5.0]
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(GeometryError):
+            BoundingBox.of_points(np.empty((0, 2)))
+
+    def test_of_segment_orders_corners(self):
+        b = BoundingBox.of_segment(np.array([5.0, 0.0]), np.array([0.0, 5.0]))
+        assert b.lo.tolist() == [0.0, 0.0]
+        assert b.hi.tolist() == [5.0, 5.0]
+
+    def test_union_all(self):
+        b = BoundingBox.union_all([box([0, 0], [1, 1]), box([2, -1], [3, 0])])
+        assert b.lo.tolist() == [0.0, -1.0]
+        assert b.hi.tolist() == [3.0, 1.0]
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(GeometryError):
+            BoundingBox.union_all([])
+
+
+class TestPredicates:
+    def test_intersects_overlapping(self):
+        assert box([0, 0], [2, 2]).intersects(box([1, 1], [3, 3]))
+
+    def test_intersects_touching_edges(self):
+        assert box([0, 0], [1, 1]).intersects(box([1, 1], [2, 2]))
+
+    def test_disjoint_boxes_do_not_intersect(self):
+        assert not box([0, 0], [1, 1]).intersects(box([2, 2], [3, 3]))
+
+    def test_intersects_is_symmetric(self):
+        a, b = box([0, 0], [2, 2]), box([1, -5], [1.5, 5])
+        assert a.intersects(b) == b.intersects(a) is True
+
+    def test_contains_point(self):
+        b = box([0, 0], [2, 2])
+        assert b.contains_point(np.array([1.0, 1.0]))
+        assert b.contains_point(np.array([0.0, 2.0]))  # boundary
+        assert not b.contains_point(np.array([3.0, 1.0]))
+
+    def test_contains_box(self):
+        outer, inner = box([0, 0], [10, 10]), box([1, 1], [2, 2])
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_expanded(self):
+        b = box([0, 0], [1, 1]).expanded(2.0)
+        assert b.lo.tolist() == [-2.0, -2.0]
+        assert b.hi.tolist() == [3.0, 3.0]
+
+    def test_expanded_negative_margin_raises(self):
+        with pytest.raises(GeometryError):
+            box([0, 0], [1, 1]).expanded(-1.0)
+
+
+class TestMetrics:
+    def test_volume(self):
+        assert box([0, 0], [2, 3]).volume() == 6.0
+
+    def test_margin(self):
+        assert box([0, 0], [2, 3]).margin() == 5.0
+
+    def test_enlargement_of_contained_box_is_zero(self):
+        assert box([0, 0], [10, 10]).enlargement(box([1, 1], [2, 2])) == 0.0
+
+    def test_enlargement_positive_for_outside_box(self):
+        assert box([0, 0], [1, 1]).enlargement(box([2, 0], [3, 1])) == 2.0
+
+    def test_min_distance_inside_is_zero(self):
+        assert box([0, 0], [2, 2]).min_distance_to_point(np.array([1.0, 1.0])) == 0.0
+
+    def test_min_distance_to_corner(self):
+        d = box([0, 0], [1, 1]).min_distance_to_point(np.array([4.0, 5.0]))
+        assert d == pytest.approx(5.0)
+
+    def test_center_and_extent(self):
+        b = box([0, 2], [4, 6])
+        assert b.center.tolist() == [2.0, 4.0]
+        assert b.extent.tolist() == [4.0, 4.0]
+
+    def test_equality_and_hash(self):
+        assert box([0, 0], [1, 1]) == box([0, 0], [1, 1])
+        assert hash(box([0, 0], [1, 1])) == hash(box([0, 0], [1, 1]))
+        assert box([0, 0], [1, 1]) != box([0, 0], [1, 2])

@@ -1,0 +1,82 @@
+"""Unit tests for point/vector primitives."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.point import as_point, as_points, dot, euclidean, norm, unit
+
+
+class TestAsPoint:
+    def test_list_coerces_to_float64(self):
+        p = as_point([1, 2])
+        assert p.dtype == np.float64
+        assert p.tolist() == [1.0, 2.0]
+
+    def test_three_dimensional_point(self):
+        assert as_point([1.0, 2.0, 3.0]).shape == (3,)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(GeometryError):
+            as_point(3.0)
+
+    def test_rejects_2d_array(self):
+        with pytest.raises(GeometryError):
+            as_point(np.zeros((2, 2)))
+
+    def test_rejects_single_coordinate(self):
+        with pytest.raises(GeometryError):
+            as_point([1.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            as_point([np.nan, 0.0])
+
+    def test_rejects_inf(self):
+        with pytest.raises(GeometryError):
+            as_point([np.inf, 0.0])
+
+
+class TestAsPoints:
+    def test_nested_list(self):
+        pts = as_points([[0, 0], [1, 1]])
+        assert pts.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(GeometryError):
+            as_points([1.0, 2.0])
+
+    def test_rejects_width_one(self):
+        with pytest.raises(GeometryError):
+            as_points([[1.0], [2.0]])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(GeometryError):
+            as_points([[0.0, np.nan]])
+
+
+class TestVectorOps:
+    def test_dot(self):
+        assert dot(np.array([1.0, 2.0]), np.array([3.0, 4.0])) == 11.0
+
+    def test_norm(self):
+        assert norm(np.array([3.0, 4.0])) == 5.0
+
+    def test_euclidean(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == 5.0
+
+    def test_euclidean_dimension_mismatch(self):
+        with pytest.raises(GeometryError):
+            euclidean([0.0, 0.0], [1.0, 1.0, 1.0])
+
+    def test_unit_has_norm_one(self):
+        u = unit(np.array([5.0, 0.0]))
+        assert np.allclose(u, [1.0, 0.0])
+
+    def test_unit_of_zero_vector_raises(self):
+        with pytest.raises(GeometryError):
+            unit(np.zeros(2))
+
+    def test_euclidean_is_symmetric(self):
+        a, b = [1.0, 7.0], [-3.0, 2.0]
+        assert euclidean(a, b) == euclidean(b, a)

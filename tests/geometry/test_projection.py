@@ -1,0 +1,83 @@
+"""Unit tests for Formula (4) projections."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DegenerateSegmentError
+from repro.geometry.projection import (
+    project_point_onto_line,
+    projection_coefficient,
+)
+
+
+class TestProjectionCoefficient:
+    def test_projects_onto_start(self):
+        u = projection_coefficient(
+            np.array([0.0, 0.0]), np.array([10.0, 0.0]), np.array([0.0, 5.0])
+        )
+        assert u == 0.0
+
+    def test_projects_onto_end(self):
+        u = projection_coefficient(
+            np.array([0.0, 0.0]), np.array([10.0, 0.0]), np.array([10.0, -3.0])
+        )
+        assert u == 1.0
+
+    def test_projects_onto_midpoint(self):
+        u = projection_coefficient(
+            np.array([0.0, 0.0]), np.array([10.0, 0.0]), np.array([5.0, 7.0])
+        )
+        assert u == 0.5
+
+    def test_projection_beyond_end_exceeds_one(self):
+        u = projection_coefficient(
+            np.array([0.0, 0.0]), np.array([10.0, 0.0]), np.array([20.0, 0.0])
+        )
+        assert u == 2.0
+
+    def test_projection_before_start_is_negative(self):
+        u = projection_coefficient(
+            np.array([0.0, 0.0]), np.array([10.0, 0.0]), np.array([-5.0, 1.0])
+        )
+        assert u == -0.5
+
+    def test_zero_length_segment_raises(self):
+        with pytest.raises(DegenerateSegmentError):
+            projection_coefficient(
+                np.zeros(2), np.zeros(2), np.array([1.0, 1.0])
+            )
+
+    def test_three_dimensions(self):
+        u = projection_coefficient(
+            np.zeros(3), np.array([0.0, 0.0, 4.0]), np.array([1.0, 1.0, 1.0])
+        )
+        assert u == 0.25
+
+
+class TestProjectPointOntoLine:
+    def test_projection_point_is_on_line(self):
+        start, end = np.array([0.0, 0.0]), np.array([10.0, 10.0])
+        point = np.array([10.0, 0.0])
+        projection, u = project_point_onto_line(start, end, point)
+        assert np.allclose(projection, [5.0, 5.0])
+        assert u == 0.5
+
+    def test_residual_is_perpendicular_to_direction(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            start, end = rng.normal(0, 10, 2), rng.normal(0, 10, 2)
+            if np.allclose(start, end):
+                continue
+            point = rng.normal(0, 10, 2)
+            projection, _ = project_point_onto_line(start, end, point)
+            residual = point - projection
+            direction = end - start
+            assert abs(float(residual @ direction)) < 1e-8
+
+    def test_projection_is_idempotent(self):
+        start, end = np.array([0.0, 0.0]), np.array([4.0, 2.0])
+        point = np.array([3.0, 3.0])
+        projection, u = project_point_onto_line(start, end, point)
+        again, u2 = project_point_onto_line(start, end, projection)
+        assert np.allclose(projection, again)
+        assert abs(u - u2) < 1e-12

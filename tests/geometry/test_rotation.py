@@ -1,0 +1,68 @@
+"""Unit tests for the Formula (9) axis rotation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.rotation import Rotation2D, angle_to_x_axis
+
+
+class TestAngleToXAxis:
+    def test_x_axis_is_zero(self):
+        assert angle_to_x_axis(np.array([5.0, 0.0])) == 0.0
+
+    def test_y_axis_is_half_pi(self):
+        assert angle_to_x_axis(np.array([0.0, 2.0])) == pytest.approx(math.pi / 2)
+
+    def test_negative_y_gives_negative_angle(self):
+        assert angle_to_x_axis(np.array([0.0, -1.0])) == pytest.approx(-math.pi / 2)
+
+    def test_diagonal(self):
+        assert angle_to_x_axis(np.array([1.0, 1.0])) == pytest.approx(math.pi / 4)
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(GeometryError):
+            angle_to_x_axis(np.zeros(2))
+
+    def test_3d_vector_raises(self):
+        with pytest.raises(GeometryError):
+            angle_to_x_axis(np.zeros(3))
+
+
+class TestRotation2D:
+    def test_aligning_maps_direction_to_x_axis(self):
+        rotation = Rotation2D.aligning_x_axis_with(np.array([3.0, 4.0]))
+        rotated = rotation.forward(np.array([3.0, 4.0]))
+        # The direction vector itself lands on the X' axis.
+        assert rotated[1] == pytest.approx(0.0, abs=1e-12)
+        assert rotated[0] == pytest.approx(5.0)
+
+    def test_forward_then_inverse_is_identity(self):
+        rng = np.random.default_rng(0)
+        rotation = Rotation2D(0.7)
+        points = rng.normal(0, 10, (25, 2))
+        assert np.allclose(rotation.inverse(rotation.forward(points)), points)
+
+    def test_rotation_preserves_distances(self):
+        rotation = Rotation2D(1.1)
+        a, b = np.array([1.0, 2.0]), np.array([-3.0, 5.0])
+        ra, rb = rotation.forward(a), rotation.forward(b)
+        assert np.linalg.norm(a - b) == pytest.approx(np.linalg.norm(ra - rb))
+
+    def test_matches_formula_nine(self):
+        # Formula (9): x' = x cos(phi) + y sin(phi), y' = -x sin(phi) + y cos(phi)
+        phi = 0.35
+        rotation = Rotation2D(phi)
+        x, y = 2.0, 3.0
+        rotated = rotation.forward(np.array([x, y]))
+        assert rotated[0] == pytest.approx(x * math.cos(phi) + y * math.sin(phi))
+        assert rotated[1] == pytest.approx(-x * math.sin(phi) + y * math.cos(phi))
+
+    def test_batch_rotation_matches_single(self):
+        rotation = Rotation2D(-2.2)
+        points = np.array([[1.0, 0.0], [0.0, 1.0], [3.0, -4.0]])
+        batch = rotation.forward(points)
+        for point, expected in zip(points, batch):
+            assert np.allclose(rotation.forward(point), expected)

@@ -1,0 +1,134 @@
+"""Unit tests for the from-scratch R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IndexError_
+from repro.geometry.bbox import BoundingBox
+from repro.index.rtree import RTree
+
+
+def random_boxes(n, seed=0, scale=100.0):
+    rng = np.random.default_rng(seed)
+    boxes = []
+    for i in range(n):
+        center = rng.uniform(0, scale, 2)
+        half = rng.uniform(0.1, 3.0, 2)
+        boxes.append((BoundingBox(center - half, center + half), i))
+    return boxes
+
+
+def brute_window(boxes, window):
+    return sorted(i for box, i in boxes if box.intersects(window))
+
+
+class TestConstruction:
+    def test_small_max_entries_rejected(self):
+        with pytest.raises(IndexError_):
+            RTree(max_entries=2)
+
+    def test_bad_min_entries_rejected(self):
+        with pytest.raises(IndexError_):
+            RTree(max_entries=8, min_entries=5)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.query_window(BoundingBox(np.zeros(2), np.ones(2))) == []
+        tree.check_invariants()
+
+
+class TestInsertion:
+    def test_incremental_insert_preserves_invariants(self):
+        tree = RTree(max_entries=4)
+        for box, i in random_boxes(200, seed=1):
+            tree.insert(box, i)
+        assert len(tree) == 200
+        tree.check_invariants()
+        assert tree.height > 1
+
+    def test_queries_after_insert_match_brute_force(self):
+        boxes = random_boxes(150, seed=2)
+        tree = RTree(max_entries=6)
+        for box, i in boxes:
+            tree.insert(box, i)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            corner = rng.uniform(0, 100, 2)
+            window = BoundingBox(corner, corner + rng.uniform(1, 30, 2))
+            found = sorted(e.payload for e in tree.query_window(window))
+            assert found == brute_window(boxes, window)
+
+
+class TestBulkLoad:
+    def test_bulk_load_invariants(self):
+        tree = RTree.bulk_load(random_boxes(500, seed=4), max_entries=16)
+        assert len(tree) == 500
+        tree.check_invariants()
+
+    def test_bulk_load_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_bulk_load_single(self):
+        tree = RTree.bulk_load(random_boxes(1, seed=5))
+        assert len(tree) == 1
+        tree.check_invariants()
+
+    def test_bulk_queries_match_brute_force(self):
+        boxes = random_boxes(400, seed=6)
+        tree = RTree.bulk_load(boxes, max_entries=12)
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            corner = rng.uniform(0, 100, 2)
+            window = BoundingBox(corner, corner + rng.uniform(1, 25, 2))
+            found = sorted(e.payload for e in tree.query_window(window))
+            assert found == brute_window(boxes, window)
+
+    def test_bulk_shallower_than_incremental(self):
+        boxes = random_boxes(300, seed=8)
+        incremental = RTree(max_entries=8)
+        for box, i in boxes:
+            incremental.insert(box, i)
+        bulk = RTree.bulk_load(boxes, max_entries=8)
+        assert bulk.height <= incremental.height
+
+
+class TestQueries:
+    def test_query_point(self):
+        boxes = random_boxes(100, seed=9)
+        tree = RTree.bulk_load(boxes)
+        point = boxes[13][0].center
+        payloads = {e.payload for e in tree.query_point(point)}
+        assert 13 in payloads
+
+    def test_nearest_single(self):
+        boxes = random_boxes(120, seed=10)
+        tree = RTree.bulk_load(boxes)
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            point = rng.uniform(0, 100, 2)
+            found = tree.nearest(point, k=1)[0]
+            best_brute = min(
+                boxes, key=lambda item: item[0].min_distance_to_point(point)
+            )
+            assert found.box.min_distance_to_point(point) == pytest.approx(
+                best_brute[0].min_distance_to_point(point)
+            )
+
+    def test_nearest_k_is_sorted(self):
+        tree = RTree.bulk_load(random_boxes(80, seed=12))
+        point = np.array([50.0, 50.0])
+        results = tree.nearest(point, k=10)
+        distances = [e.box.min_distance_to_point(point) for e in results]
+        assert distances == sorted(distances)
+        assert len(results) == 10
+
+    def test_nearest_k_exceeding_size(self):
+        tree = RTree.bulk_load(random_boxes(5, seed=13))
+        assert len(tree.nearest(np.zeros(2), k=50)) == 5
+
+    def test_nearest_invalid_k(self):
+        tree = RTree.bulk_load(random_boxes(5, seed=14))
+        with pytest.raises(IndexError_):
+            tree.nearest(np.zeros(2), k=0)

@@ -1,0 +1,65 @@
+"""Every example script must run cleanly end-to-end.
+
+Examples are executed as subprocesses with a temporary working
+directory so their SVG artifacts land in the sandbox.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, tmp_path, timeout=300):
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {name}"
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=str(tmp_path),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        out = run_example("quickstart.py", tmp_path)
+        assert "clusters found" in out
+
+    def test_framework_comparison(self, tmp_path):
+        out = run_example("framework_comparison.py", tmp_path)
+        assert "TRACLUS" in out
+        assert "whole-trajectory DBSCAN: 0 clusters" in out
+
+    def test_parameter_selection(self, tmp_path):
+        out = run_example("parameter_selection.py", tmp_path)
+        assert "grid search" in out
+        assert "simulated annealing" in out
+
+    def test_weighted_and_temporal(self, tmp_path):
+        out = run_example("weighted_and_temporal.py", tmp_path)
+        assert "weighted eps-neighborhood" in out
+        assert "temporal distance" in out
+
+    def test_circular_motion(self, tmp_path):
+        out = run_example("circular_motion.py", tmp_path)
+        assert "circularity score" in out
+
+    @pytest.mark.slow
+    def test_hurricane_analysis(self, tmp_path):
+        out = run_example("hurricane_analysis.py", tmp_path)
+        assert "clusters" in out
+        assert (tmp_path / "hurricane_clusters.svg").exists()
+
+    @pytest.mark.slow
+    def test_animal_movement(self, tmp_path):
+        out = run_example("animal_movement.py", tmp_path)
+        assert "Elk1993" in out and "Deer1995" in out
+        assert (tmp_path / "elk1993_clusters.svg").exists()
+        assert (tmp_path / "deer1995_clusters.svg").exists()

@@ -1,0 +1,162 @@
+"""Integration tests: the paper's claims exercised end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.whole_traj import WholeTrajectoryDBSCAN
+from repro.core.traclus import traclus
+from repro.datasets.hurricane import generate_hurricane_tracks
+from repro.datasets.starkey import generate_deer1995
+from repro.datasets.synthetic import (
+    add_noise_trajectories,
+    generate_common_subtrajectory_set,
+    generate_corridor_set,
+)
+from repro.io.jsonio import result_to_dict
+from repro.quality.qmeasure import quality_measure
+from repro.viz.svg import render_result_svg
+
+
+class TestFigure1Motivation:
+    """TRACLUS discovers the common sub-trajectory; whole-trajectory
+    clustering cannot (Section 1, Figure 1)."""
+
+    def test_traclus_finds_the_corridor(self, corridor_trajectories):
+        result = traclus(corridor_trajectories, eps=10.0, min_lns=4)
+        assert len(result) >= 1
+        best = max(result.clusters, key=len)
+        # The corridor is shared by most trajectories.
+        assert best.trajectory_cardinality() >= 7
+
+    def test_whole_trajectory_dbscan_misses_it(self, corridor_trajectories):
+        labels = WholeTrajectoryDBSCAN(eps=60.0, min_pts=3, measure="dtw").fit(
+            corridor_trajectories
+        )
+        assert np.all(labels == -1)
+
+    def test_representative_lies_in_the_corridor(self, corridor_trajectories):
+        result = traclus(corridor_trajectories, eps=10.0, min_lns=4)
+        best = max(result.clusters, key=len)
+        rep = best.representative
+        assert rep is not None and rep.shape[0] >= 2
+        # The corridor spans x in [40, 80] at y ~ 50.
+        inside = (
+            (rep[:, 0] > 25.0) & (rep[:, 0] < 95.0)
+            & (np.abs(rep[:, 1] - 50.0) < 20.0)
+        )
+        assert inside.mean() > 0.7
+
+
+class TestMultipleCorridors:
+    def test_one_cluster_per_corridor(self):
+        trajectories = generate_common_subtrajectory_set(
+            corridors=(
+                ((40.0, 50.0), (80.0, 50.0)),
+                ((140.0, 150.0), (180.0, 120.0)),
+            ),
+            trajectories_per_corridor=10,
+            seed=3,
+        )
+        result = traclus(trajectories, eps=10.0, min_lns=4)
+        assert len(result) >= 2
+        # The two largest clusters involve disjoint trajectory groups
+        # (ids 0-9 use corridor 1; 10-19 corridor 2).
+        top_two = sorted(result.clusters, key=len, reverse=True)[:2]
+        groups = [
+            set(np.unique(c.segments.traj_ids[c.member_indices]) // 10)
+            for c in top_two
+        ]
+        assert groups[0] != groups[1]
+
+
+class TestNoiseRobustness:
+    """Figure 23: clusters survive 25 % noise trajectories."""
+
+    def test_clusters_survive_noise(self):
+        clean = generate_corridor_set(n_trajectories=12, seed=7)
+        noisy = add_noise_trajectories(clean, noise_fraction=0.25, seed=8)
+        clean_result = traclus(clean, eps=10.0, min_lns=4)
+        noisy_result = traclus(noisy, eps=10.0, min_lns=4)
+        assert len(noisy_result) >= 1
+        clean_best = max(clean_result.clusters, key=len)
+        noisy_best = max(noisy_result.clusters, key=len)
+        # The corridor cluster persists with similar participation.
+        assert (
+            noisy_best.trajectory_cardinality()
+            >= clean_best.trajectory_cardinality() - 2
+        )
+
+    def test_clusters_are_driven_by_clean_trajectories(self):
+        clean = generate_corridor_set(n_trajectories=12, seed=9)
+        noisy = add_noise_trajectories(clean, noise_fraction=0.25, seed=10)
+        # A tight eps keeps the corridor cluster from chaining through
+        # noise walks that happen to brush past it.
+        result = traclus(noisy, eps=6.0, min_lns=4)
+        clean_ids = {t.traj_id for t in clean}
+        best = max(result.clusters, key=len)
+        member_traj = result.segments.traj_ids[best.member_indices]
+        clean_fraction = np.isin(member_traj, list(clean_ids)).mean()
+        # The corridor cluster is built overwhelmingly from the clean
+        # trajectories, not from the random-walk noise.
+        assert clean_fraction > 0.7
+
+    def test_noise_trajectories_mostly_unclustered(self):
+        clean = generate_corridor_set(n_trajectories=12, seed=9)
+        noisy = add_noise_trajectories(clean, noise_fraction=0.25, seed=10)
+        # A tight eps separates structure from noise more sharply.
+        result = traclus(noisy, eps=6.0, min_lns=4)
+        noise_ids = {t.traj_id for t in noisy[len(clean):]}
+        noise_mask = np.isin(result.segments.traj_ids, list(noise_ids))
+        if noise_mask.sum() > 0:
+            labelled_noise = result.labels[noise_mask] == -1
+            assert labelled_noise.mean() > 0.5
+
+
+class TestDatasetsEndToEnd:
+    def test_hurricane_pipeline(self):
+        tracks = generate_hurricane_tracks(n_storms=60, seed=11)
+        result = traclus(tracks, eps=20.0, min_lns=5)
+        assert len(result.segments) > 100
+        assert len(result) >= 1
+        summary = result.summary()
+        assert summary["n_trajectories"] == 60.0
+
+    def test_deer_pipeline(self):
+        deer = generate_deer1995(n_animals=12, points_per_animal=150, seed=12)
+        result = traclus(deer, eps=12.0, min_lns=5, suppression=2.0)
+        assert len(result) >= 1
+
+    def test_quality_measure_computable_on_result(self):
+        tracks = generate_corridor_set(n_trajectories=10, seed=13)
+        result = traclus(tracks, eps=10.0, min_lns=4)
+        breakdown = quality_measure(
+            result.clusters, result.segments, result.labels
+        )
+        assert breakdown.qmeasure >= 0.0
+
+    def test_svg_and_json_artifacts(self, tmp_path):
+        tracks = generate_corridor_set(n_trajectories=8, seed=14)
+        result = traclus(tracks, eps=10.0, min_lns=4)
+        svg = render_result_svg(result, str(tmp_path / "plot.svg"))
+        assert svg.startswith("<svg")
+        payload = result_to_dict(result)
+        assert payload["summary"]["n_clusters"] == float(len(result))
+
+
+class TestParameterEffects:
+    """Section 5.4: smaller eps -> more, smaller clusters; larger eps ->
+    fewer, larger clusters."""
+
+    def test_eps_sweep_trend(self):
+        tracks = generate_hurricane_tracks(n_storms=80, seed=15)
+        counts, sizes, noise = {}, {}, {}
+        for eps in (5.0, 8.0, 20.0):
+            result = traclus(tracks, eps=eps, min_lns=6)
+            counts[eps] = len(result)
+            sizes[eps] = result.mean_cluster_size()
+            noise[eps] = result.noise_ratio()
+        # Smaller eps -> more (or equal) clusters of fewer segments;
+        # larger eps -> fewer, larger clusters and less noise.
+        assert counts[5.0] >= counts[20.0]
+        assert sizes[5.0] < sizes[8.0] < sizes[20.0]
+        assert noise[5.0] > noise[8.0] > noise[20.0]

@@ -1,0 +1,71 @@
+"""The paper's d-dimensional claim: "p_j is a d-dimensional point"
+(Section 2.1) and "the same approach can be applied also to three
+dimensions" (Section 4.3 footnote).  The whole pipeline must run in
+3-D."""
+
+import numpy as np
+import pytest
+
+from repro.core.traclus import traclus
+from repro.distance.weighted import SegmentDistance
+from repro.model.segment import Segment
+from repro.model.trajectory import Trajectory
+from repro.partition.approximate import approximate_partition
+
+
+def flight_levels(n=6, seed=0):
+    """Aircraft-like tracks: straight in (x, y), each at its own
+    altitude band, with a shared climb corridor."""
+    rng = np.random.default_rng(seed)
+    trajectories = []
+    for i in range(n):
+        x = np.linspace(0, 100, 18)
+        y = 2.0 * i + rng.normal(0, 0.05, 18)
+        z = 30.0 + 0.1 * x + rng.normal(0, 0.05, 18)
+        trajectories.append(
+            Trajectory(np.column_stack([x, y, z]), traj_id=i)
+        )
+    return trajectories
+
+
+class TestThreeDimensionalPipeline:
+    def test_distances_work_in_3d(self):
+        d = SegmentDistance()
+        a = Segment([0.0, 0.0, 0.0], [10.0, 0.0, 0.0], seg_id=0)
+        b = Segment([0.0, 3.0, 4.0], [10.0, 3.0, 4.0], seg_id=1)
+        # Parallel at perpendicular offset 5 in the (y, z) plane.
+        assert d(a, b) == pytest.approx(5.0)
+
+    def test_partitioning_in_3d(self):
+        points = np.array(
+            [[0.0, 0.0, 0.0], [10.0, 0.0, 0.0], [20.0, 0.0, 0.0],
+             [20.0, 10.0, 0.0], [20.0, 20.0, 5.0]]
+        )
+        cps = approximate_partition(points)
+        assert cps[0] == 0 and cps[-1] == 4
+
+    def test_full_pipeline_in_3d(self):
+        result = traclus(flight_levels(), eps=15.0, min_lns=4)
+        assert len(result) >= 1
+        best = max(result.clusters, key=len)
+        rep = best.representative
+        assert rep is not None
+        assert rep.shape[1] == 3
+        # The representative climbs with x (the z = 30 + 0.1 x profile).
+        assert rep[-1][2] > rep[0][2]
+
+    def test_3d_representative_spans_the_corridor(self):
+        result = traclus(flight_levels(), eps=15.0, min_lns=4)
+        rep = max(result.clusters, key=len).representative
+        assert rep[:, 0].max() - rep[:, 0].min() > 50.0
+
+    def test_separated_altitude_bands_split(self):
+        low = flight_levels(n=5, seed=1)
+        high = [
+            Trajectory(
+                t.points + np.array([0.0, 0.0, 400.0]), traj_id=10 + t.traj_id
+            )
+            for t in flight_levels(n=5, seed=2)
+        ]
+        result = traclus(low + high, eps=15.0, min_lns=4)
+        assert len(result) == 2

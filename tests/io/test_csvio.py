@@ -1,0 +1,86 @@
+"""Unit tests for CSV trajectory I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.io.csvio import read_trajectories_csv, write_trajectories_csv
+from repro.model.trajectory import Trajectory
+
+
+@pytest.fixture
+def sample_trajectories():
+    return [
+        Trajectory([[0.0, 0.0], [1.5, 2.5], [3.0, 3.0]], traj_id=0,
+                   weight=2.0, label="alpha"),
+        Trajectory([[10.0, 10.0], [11.0, 12.0]], traj_id=5, label="beta"),
+    ]
+
+
+def roundtrip(trajectories, **kwargs):
+    buffer = io.StringIO()
+    write_trajectories_csv(trajectories, buffer, **kwargs)
+    buffer.seek(0)
+    return read_trajectories_csv(buffer)
+
+
+class TestRoundTrip:
+    def test_points_preserved(self, sample_trajectories):
+        back = roundtrip(sample_trajectories)
+        assert len(back) == 2
+        for original, restored in zip(sample_trajectories, back):
+            assert np.array_equal(original.points, restored.points)
+
+    def test_metadata_preserved(self, sample_trajectories):
+        back = roundtrip(sample_trajectories)
+        assert back[0].traj_id == 0 and back[1].traj_id == 5
+        assert back[0].weight == 2.0
+        assert back[0].label == "alpha"
+
+    def test_times_preserved(self):
+        t = Trajectory(
+            [[0.0, 0.0], [1.0, 1.0]], traj_id=0,
+            times=np.array([100.0, 200.0]),
+        )
+        back = roundtrip([t], include_times=True)
+        assert back[0].times.tolist() == [100.0, 200.0]
+
+    def test_three_dimensional_points(self):
+        t = Trajectory([[0.0, 0.0, 1.0], [1.0, 1.0, 2.0]], traj_id=0)
+        back = roundtrip([t])
+        assert back[0].dim == 3
+        assert np.array_equal(back[0].points, t.points)
+
+    def test_file_path_roundtrip(self, sample_trajectories, tmp_path):
+        path = str(tmp_path / "tracks.csv")
+        write_trajectories_csv(sample_trajectories, path)
+        back = read_trajectories_csv(path)
+        assert len(back) == 2
+
+
+class TestErrors:
+    def test_write_empty_raises(self):
+        with pytest.raises(DatasetError):
+            write_trajectories_csv([], io.StringIO())
+
+    def test_write_mixed_dimensions_raises(self):
+        mixed = [
+            Trajectory([[0.0, 0.0], [1.0, 1.0]], traj_id=0),
+            Trajectory([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]], traj_id=1),
+        ]
+        with pytest.raises(DatasetError):
+            write_trajectories_csv(mixed, io.StringIO())
+
+    def test_read_empty_raises(self):
+        with pytest.raises(DatasetError):
+            read_trajectories_csv(io.StringIO(""))
+
+    def test_read_missing_traj_id_column(self):
+        with pytest.raises(DatasetError):
+            read_trajectories_csv(io.StringIO("a,b\n1,2\n"))
+
+    def test_read_missing_coordinates(self):
+        with pytest.raises(DatasetError):
+            read_trajectories_csv(io.StringIO("traj_id,weight\n1,1.0\n"))

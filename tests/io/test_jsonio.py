@@ -1,0 +1,74 @@
+"""Unit tests for JSON I/O and result archiving."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.traclus import traclus
+from repro.exceptions import DatasetError
+from repro.io.jsonio import (
+    read_trajectories_json,
+    result_to_dict,
+    write_result_json,
+    write_trajectories_json,
+)
+from repro.model.trajectory import Trajectory
+
+
+class TestTrajectoryJson:
+    def test_roundtrip(self):
+        trajectories = [
+            Trajectory([[0.0, 0.0], [1.0, 1.0]], traj_id=3, weight=1.5,
+                       label="x", times=np.array([0.0, 6.0])),
+        ]
+        buffer = io.StringIO()
+        write_trajectories_json(trajectories, buffer)
+        buffer.seek(0)
+        back = read_trajectories_json(buffer)
+        assert len(back) == 1
+        assert back[0] == trajectories[0]
+        assert back[0].times.tolist() == [0.0, 6.0]
+        assert back[0].label == "x"
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        trajectories = [Trajectory([[0.0, 0.0], [1.0, 1.0]], traj_id=0)]
+        write_trajectories_json(trajectories, path)
+        assert read_trajectories_json(path)[0] == trajectories[0]
+
+    def test_non_array_payload_raises(self):
+        with pytest.raises(DatasetError):
+            read_trajectories_json(io.StringIO('{"not": "a list"}'))
+
+
+class TestResultJson:
+    @pytest.fixture
+    def result(self, corridor_trajectories):
+        return traclus(corridor_trajectories, eps=10.0, min_lns=4)
+
+    def test_result_to_dict_structure(self, result):
+        payload = result_to_dict(result)
+        assert payload["n_segments"] == len(result.segments)
+        assert len(payload["labels"]) == len(result.segments)
+        assert len(payload["clusters"]) == len(result)
+        for cluster_payload, cluster in zip(payload["clusters"], result):
+            assert cluster_payload["cluster_id"] == cluster.cluster_id
+            assert (
+                cluster_payload["trajectory_cardinality"]
+                == cluster.trajectory_cardinality()
+            )
+
+    def test_result_json_is_valid_json(self, result, tmp_path):
+        path = str(tmp_path / "result.json")
+        write_result_json(result, path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["parameters"]["eps"] == 10.0
+
+    def test_representatives_serialised(self, result):
+        payload = result_to_dict(result)
+        for cluster_payload in payload["clusters"]:
+            rep = cluster_payload["representative"]
+            assert rep is None or isinstance(rep, list)

@@ -1,0 +1,76 @@
+"""Unit tests for Cluster and label handling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ClusteringError
+from repro.model.cluster import (
+    NOISE,
+    UNCLASSIFIED,
+    Cluster,
+    clusters_from_labels,
+)
+from repro.model.segment import Segment
+from repro.model.segmentset import SegmentSet
+
+
+@pytest.fixture
+def five_segments():
+    return SegmentSet.from_segments(
+        [
+            Segment([0.0, 0.0], [1.0, 0.0], traj_id=0),
+            Segment([0.0, 1.0], [1.0, 1.0], traj_id=0),
+            Segment([0.0, 2.0], [1.0, 2.0], traj_id=1),
+            Segment([0.0, 3.0], [1.0, 3.0], traj_id=2),
+            Segment([9.0, 9.0], [9.0, 8.0], traj_id=3),
+        ]
+    )
+
+
+class TestCluster:
+    def test_len_and_repr(self, five_segments):
+        c = Cluster(0, [0, 1, 2], five_segments)
+        assert len(c) == 3
+        assert "n_segments=3" in repr(c)
+
+    def test_empty_cluster_raises(self, five_segments):
+        with pytest.raises(ClusteringError):
+            Cluster(0, [], five_segments)
+
+    def test_out_of_range_member_raises(self, five_segments):
+        with pytest.raises(ClusteringError):
+            Cluster(0, [0, 99], five_segments)
+
+    def test_participating_trajectories(self, five_segments):
+        c = Cluster(0, [0, 1, 2], five_segments)
+        assert c.participating_trajectories().tolist() == [0, 1]
+        assert c.trajectory_cardinality() == 2
+
+    def test_cardinality_counts_distinct_trajectories(self, five_segments):
+        # Definition 10: two segments from trajectory 0 count once.
+        c = Cluster(0, [0, 1], five_segments)
+        assert c.trajectory_cardinality() == 1
+
+    def test_member_set(self, five_segments):
+        c = Cluster(1, [2, 4], five_segments)
+        members = c.member_set()
+        assert len(members) == 2
+        assert members.traj_ids.tolist() == [1, 3]
+
+
+class TestClustersFromLabels:
+    def test_groups_and_renumbers(self, five_segments):
+        labels = np.array([5, 5, 9, NOISE, UNCLASSIFIED])
+        clusters = clusters_from_labels(labels, five_segments)
+        assert len(clusters) == 2
+        assert clusters[0].cluster_id == 0
+        assert clusters[0].member_indices.tolist() == [0, 1]
+        assert clusters[1].member_indices.tolist() == [2]
+
+    def test_noise_and_unclassified_excluded(self, five_segments):
+        labels = np.full(5, NOISE)
+        assert clusters_from_labels(labels, five_segments) == []
+
+    def test_label_shape_mismatch_raises(self, five_segments):
+        with pytest.raises(ClusteringError):
+            clusters_from_labels(np.zeros(3, dtype=int), five_segments)

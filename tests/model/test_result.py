@@ -1,0 +1,70 @@
+"""Unit tests for ClusteringResult."""
+
+import numpy as np
+import pytest
+
+from repro.model.cluster import NOISE, Cluster
+from repro.model.result import ClusteringResult
+from repro.model.segment import Segment
+from repro.model.segmentset import SegmentSet
+from repro.model.trajectory import Trajectory
+
+
+@pytest.fixture
+def small_result():
+    segments = SegmentSet.from_segments(
+        [
+            Segment([0.0, 0.0], [1.0, 0.0], traj_id=0),
+            Segment([0.0, 1.0], [1.0, 1.0], traj_id=1),
+            Segment([9.0, 9.0], [8.0, 9.0], traj_id=1),
+        ]
+    )
+    clusters = [Cluster(0, [0, 1], segments, representative=np.array([[0.0, 0.5], [1.0, 0.5]]))]
+    labels = np.array([0, 0, NOISE])
+    trajectories = [
+        Trajectory([[0.0, 0.0], [1.0, 0.0]], traj_id=0),
+        Trajectory([[0.0, 1.0], [1.0, 1.0], [9.0, 9.0]], traj_id=1),
+    ]
+    return ClusteringResult(
+        clusters, segments, labels, trajectories,
+        characteristic_points=[[0, 1], [0, 1, 2]],
+        parameters={"eps": 1.0, "min_lns": 2.0},
+    )
+
+
+class TestResult:
+    def test_len_is_cluster_count(self, small_result):
+        assert len(small_result) == 1
+
+    def test_iteration(self, small_result):
+        assert [c.cluster_id for c in small_result] == [0]
+
+    def test_noise_accounting(self, small_result):
+        assert small_result.n_noise() == 1
+        assert small_result.noise_indices().tolist() == [2]
+        assert small_result.noise_ratio() == pytest.approx(1 / 3)
+
+    def test_representatives(self, small_result):
+        reps = small_result.representative_trajectories()
+        assert len(reps) == 1
+        assert reps[0].shape == (2, 2)
+
+    def test_cluster_sizes(self, small_result):
+        assert small_result.cluster_sizes() == [2]
+        assert small_result.mean_cluster_size() == 2.0
+
+    def test_summary_fields(self, small_result):
+        summary = small_result.summary()
+        assert summary["n_clusters"] == 1.0
+        assert summary["n_segments"] == 3.0
+        assert summary["n_noise"] == 1.0
+        assert summary["eps"] == 1.0
+        assert summary["min_lns"] == 2.0
+
+    def test_empty_segments_noise_ratio(self):
+        result = ClusteringResult(
+            [], SegmentSet.empty(), np.empty(0, dtype=int),
+            [], [],
+        )
+        assert result.noise_ratio() == 0.0
+        assert result.mean_cluster_size() == 0.0

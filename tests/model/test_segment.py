@@ -1,0 +1,75 @@
+"""Unit tests for the Segment model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.model.segment import Segment
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = Segment([0.0, 0.0], [3.0, 4.0], traj_id=2, seg_id=5, weight=1.5)
+        assert s.length == 5.0
+        assert s.traj_id == 2
+        assert s.seg_id == 5
+        assert s.weight == 1.5
+        assert s.dim == 2
+
+    def test_defaults(self):
+        s = Segment([0.0, 0.0], [1.0, 0.0])
+        assert s.traj_id == -1
+        assert s.seg_id == -1
+        assert s.weight == 1.0
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(GeometryError):
+            Segment([0.0, 0.0], [1.0, 1.0, 1.0])
+
+    def test_three_dimensional(self):
+        s = Segment([0.0, 0.0, 0.0], [1.0, 2.0, 2.0])
+        assert s.length == 3.0
+
+
+class TestGeometry:
+    def test_vector(self):
+        s = Segment([1.0, 1.0], [4.0, 5.0])
+        assert s.vector.tolist() == [3.0, 4.0]
+
+    def test_midpoint(self):
+        s = Segment([0.0, 0.0], [2.0, 6.0])
+        assert s.midpoint.tolist() == [1.0, 3.0]
+
+    def test_degenerate(self):
+        assert Segment([1.0, 1.0], [1.0, 1.0]).is_degenerate()
+        assert not Segment([1.0, 1.0], [1.0, 2.0]).is_degenerate()
+
+    def test_reversed_swaps_endpoints_keeps_identity(self):
+        s = Segment([0.0, 0.0], [1.0, 2.0], traj_id=3, seg_id=9)
+        r = s.reversed()
+        assert r.start.tolist() == [1.0, 2.0]
+        assert r.end.tolist() == [0.0, 0.0]
+        assert r.traj_id == 3 and r.seg_id == 9
+        assert r.length == s.length
+
+    def test_bounding_box(self):
+        b = Segment([5.0, 0.0], [0.0, 5.0]).bounding_box()
+        assert b.lo.tolist() == [0.0, 0.0]
+        assert b.hi.tolist() == [5.0, 5.0]
+
+
+class TestProtocol:
+    def test_equality_includes_direction(self):
+        a = Segment([0.0, 0.0], [1.0, 1.0], seg_id=0)
+        b = Segment([1.0, 1.0], [0.0, 0.0], seg_id=0)
+        assert a != b
+
+    def test_equality_includes_identity(self):
+        a = Segment([0.0, 0.0], [1.0, 1.0], seg_id=0)
+        b = Segment([0.0, 0.0], [1.0, 1.0], seg_id=1)
+        assert a != b
+
+    def test_hash_consistent_with_eq(self):
+        a = Segment([0.0, 0.0], [1.0, 1.0], traj_id=1, seg_id=0)
+        b = Segment([0.0, 0.0], [1.0, 1.0], traj_id=1, seg_id=0)
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,85 @@
+"""Unit tests for the simulated annealer and ε annealing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterSearchError
+from repro.params.annealing import SimulatedAnnealer, anneal_epsilon
+from repro.params.heuristic import recommend_parameters
+
+
+class TestSimulatedAnnealer:
+    def test_finds_minimum_of_convex_function(self):
+        annealer = SimulatedAnnealer(
+            lambda x: (x - 3.0) ** 2, bounds=(0.0, 10.0), steps=300,
+            rng=np.random.default_rng(1),
+        )
+        best_x, best_value = annealer.run()
+        assert best_x == pytest.approx(3.0, abs=0.3)
+        assert best_value == pytest.approx(0.0, abs=0.1)
+
+    def test_escapes_local_minimum(self):
+        # f has a shallow local min near x=1 and the global min near x=8.
+        def objective(x):
+            return min((x - 1.0) ** 2 + 2.0, 3.0 * (x - 8.0) ** 2)
+
+        annealer = SimulatedAnnealer(
+            objective, bounds=(0.0, 10.0), steps=600,
+            initial_temperature=50.0, cooling=0.99, step_scale=0.3,
+            rng=np.random.default_rng(3),
+        )
+        best_x, _ = annealer.run(x0=1.0)
+        assert best_x == pytest.approx(8.0, abs=0.5)
+
+    def test_respects_bounds(self):
+        annealer = SimulatedAnnealer(
+            lambda x: -x, bounds=(0.0, 5.0), steps=100,
+            rng=np.random.default_rng(0),
+        )
+        best_x, _ = annealer.run()
+        assert 0.0 <= best_x <= 5.0
+        assert best_x == pytest.approx(5.0, abs=0.2)
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ParameterSearchError):
+            SimulatedAnnealer(lambda x: x, bounds=(5.0, 5.0))
+
+    def test_invalid_cooling_raises(self):
+        with pytest.raises(ParameterSearchError):
+            SimulatedAnnealer(lambda x: x, bounds=(0.0, 1.0), cooling=1.5)
+
+    def test_deterministic_with_seeded_rng(self):
+        def run_once():
+            return SimulatedAnnealer(
+                lambda x: (x - 2.0) ** 2, bounds=(0.0, 10.0), steps=50,
+                rng=np.random.default_rng(42),
+            ).run()
+
+        assert run_once() == run_once()
+
+
+class TestAnnealEpsilon:
+    def test_close_to_grid_optimum(self, parallel_band_segments):
+        grid = recommend_parameters(
+            parallel_band_segments, eps_values=np.arange(1.0, 16.0),
+            method="grid",
+        )
+        eps, entropy, avg = anneal_epsilon(
+            parallel_band_segments, (1.0, 15.0), steps=200,
+            rng=np.random.default_rng(5),
+        )
+        # The annealer should land at (or within one quantum of) the
+        # entropy the exhaustive grid found.
+        assert entropy <= grid.entropy + 0.1
+        assert 1.0 <= eps <= 15.0
+        assert avg >= 1.0
+
+    def test_rejects_empty_set(self):
+        from repro.model.segmentset import SegmentSet
+
+        with pytest.raises(ParameterSearchError):
+            anneal_epsilon(SegmentSet.empty(), (1.0, 5.0))
+
+    def test_rejects_bad_quantum(self, parallel_band_segments):
+        with pytest.raises(ParameterSearchError):
+            anneal_epsilon(parallel_band_segments, (1.0, 5.0), quantum=0.0)

@@ -1,0 +1,118 @@
+"""Unit tests for the Figure 8 approximate partitioning algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.model.trajectory import Trajectory
+from repro.partition.approximate import (
+    approximate_partition,
+    partition_all,
+    partition_trajectory,
+)
+
+
+class TestBasicStructure:
+    def test_endpoints_always_present(self, straight_trajectory):
+        cps = partition_trajectory(straight_trajectory)
+        assert cps[0] == 0
+        assert cps[-1] == len(straight_trajectory) - 1
+
+    def test_indices_strictly_increasing(self, l_shaped_trajectory):
+        cps = partition_trajectory(l_shaped_trajectory)
+        assert all(b > a for a, b in zip(cps, cps[1:]))
+
+    def test_two_point_trajectory(self):
+        cps = approximate_partition(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert cps == [0, 1]
+
+    def test_rejects_single_point(self):
+        with pytest.raises(PartitionError):
+            approximate_partition(np.array([[0.0, 0.0]]))
+
+    def test_rejects_negative_suppression(self):
+        with pytest.raises(PartitionError):
+            approximate_partition(np.zeros((3, 2)), suppression=-1.0)
+
+
+class TestBehaviour:
+    def test_straight_line_collapses_to_endpoints(self, straight_trajectory):
+        cps = partition_trajectory(straight_trajectory)
+        assert cps == [0, len(straight_trajectory) - 1]
+
+    def test_right_angle_yields_interior_point(self, l_shaped_trajectory):
+        cps = partition_trajectory(l_shaped_trajectory)
+        # The corner (where behavior changes rapidly) must be detected.
+        assert len(cps) >= 3
+        corner_region = set(range(8, 13))  # corner sits at index ~9/10
+        assert corner_region & set(cps[1:-1])
+
+    def test_sharp_zigzag_keeps_many_points(self):
+        x = np.arange(20, dtype=float)
+        y = np.where(np.arange(20) % 2 == 0, 0.0, 25.0)
+        cps = approximate_partition(np.column_stack([x, y]))
+        assert len(cps) > 5
+
+    def test_suppression_reduces_partition_count(self):
+        rng = np.random.default_rng(4)
+        x = np.linspace(0, 100, 60)
+        y = np.cumsum(rng.normal(0, 3, 60))
+        points = np.column_stack([x, y])
+        plain = approximate_partition(points, suppression=0.0)
+        suppressed = approximate_partition(points, suppression=5.0)
+        assert len(suppressed) <= len(plain)
+
+    def test_huge_suppression_collapses_to_endpoints(self):
+        rng = np.random.default_rng(5)
+        points = np.column_stack(
+            [np.linspace(0, 50, 30), rng.normal(0, 4, 30)]
+        )
+        cps = approximate_partition(points, suppression=1e6)
+        assert cps == [0, 29]
+
+    def test_shift_invariance(self):
+        """Appendix C: the partitioning must not change when the whole
+        trajectory translates (L(H) uses lengths, not coordinates)."""
+        rng = np.random.default_rng(6)
+        points = np.column_stack(
+            [np.linspace(0, 80, 40), np.cumsum(rng.normal(0, 2, 40))]
+        )
+        shifted = points + np.array([10000.0, 10000.0])
+        assert approximate_partition(points) == approximate_partition(shifted)
+
+    def test_rotation_invariance(self):
+        """All MDL terms are lengths/relative distances, so a rigid
+        rotation must preserve the characteristic points."""
+        rng = np.random.default_rng(8)
+        points = np.column_stack(
+            [np.linspace(0, 80, 30), np.cumsum(rng.normal(0, 2, 30))]
+        )
+        angle = 0.77
+        rotation = np.array(
+            [[np.cos(angle), -np.sin(angle)], [np.sin(angle), np.cos(angle)]]
+        )
+        rotated = points @ rotation.T
+        assert approximate_partition(points) == approximate_partition(rotated)
+
+
+class TestPartitionAll:
+    def test_accumulates_all_partitions(self, straight_trajectory, l_shaped_trajectory):
+        segments, cps = partition_all([straight_trajectory, l_shaped_trajectory])
+        assert len(cps) == 2
+        expected_segments = sum(len(c) - 1 for c in cps)
+        assert len(segments) == expected_segments
+        # Provenance flows through.
+        assert set(segments.traj_ids.tolist()) == {
+            straight_trajectory.traj_id, l_shaped_trajectory.traj_id,
+        }
+
+    def test_segments_connect_characteristic_points(self, l_shaped_trajectory):
+        segments, cps = partition_all([l_shaped_trajectory])
+        for k, (a, b) in enumerate(zip(cps[0], cps[0][1:])):
+            assert np.allclose(segments.starts[k], l_shaped_trajectory.points[a])
+            assert np.allclose(segments.ends[k], l_shaped_trajectory.points[b])
+
+    def test_weight_propagates(self):
+        t = Trajectory([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]], traj_id=0, weight=2.5)
+        segments, _ = partition_all([t])
+        assert np.all(segments.weights == 2.5)

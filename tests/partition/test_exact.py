@@ -1,0 +1,81 @@
+"""Unit tests for the exact DP partitioning, including brute-force
+verification of optimality on tiny trajectories."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.partition.approximate import approximate_partition
+from repro.partition.exact import exact_partition
+from repro.partition.mdl import mdl_par
+
+
+def total_cost(points, cps):
+    """MDL cost of a characteristic-point solution (additive over
+    partitions)."""
+    return sum(mdl_par(points, a, b) for a, b in zip(cps, cps[1:]))
+
+
+def brute_force_optimum(points):
+    """Enumerate every subset of interior points (the paper's
+    'prohibitive' search) and return the cheapest solution cost."""
+    n = points.shape[0]
+    interior = list(range(1, n - 1))
+    best = np.inf
+    for r in range(len(interior) + 1):
+        for chosen in combinations(interior, r):
+            cps = [0, *chosen, n - 1]
+            best = min(best, total_cost(points, cps))
+    return best
+
+
+class TestStructure:
+    def test_endpoints_and_monotonicity(self):
+        rng = np.random.default_rng(2)
+        points = np.column_stack(
+            [np.linspace(0, 40, 15), np.cumsum(rng.normal(0, 2, 15))]
+        )
+        cps = exact_partition(points)
+        assert cps[0] == 0 and cps[-1] == 14
+        assert all(b > a for a, b in zip(cps, cps[1:]))
+
+    def test_two_points(self):
+        assert exact_partition(np.array([[0.0, 0.0], [5.0, 5.0]])) == [0, 1]
+
+    def test_max_points_guard(self):
+        with pytest.raises(PartitionError):
+            exact_partition(np.zeros((10, 2)), max_points=5)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(PartitionError):
+            exact_partition(np.array([[0.0, 0.0]]))
+
+
+class TestOptimality:
+    def test_matches_brute_force_on_random_trajectories(self):
+        rng = np.random.default_rng(11)
+        for trial in range(8):
+            n = int(rng.integers(4, 9))
+            points = np.column_stack(
+                [np.arange(n) * 5.0, rng.normal(0, 6, n)]
+            )
+            dp_cost = total_cost(points, exact_partition(points))
+            brute = brute_force_optimum(points)
+            assert dp_cost == pytest.approx(brute, abs=1e-9), trial
+
+    def test_never_worse_than_approximate(self):
+        rng = np.random.default_rng(13)
+        for trial in range(10):
+            n = int(rng.integers(5, 30))
+            points = np.column_stack(
+                [np.linspace(0, n * 3, n), np.cumsum(rng.normal(0, 2, n))]
+            )
+            exact_cost = total_cost(points, exact_partition(points))
+            approx_cost = total_cost(points, approximate_partition(points))
+            assert exact_cost <= approx_cost + 1e-9, trial
+
+    def test_straight_line_optimum_is_single_partition(self):
+        points = np.column_stack([np.linspace(0, 100, 12), np.zeros(12)])
+        assert exact_partition(points) == [0, 11]

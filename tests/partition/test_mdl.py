@@ -1,0 +1,105 @@
+"""Unit tests for the MDL cost model (Formulas 6-7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.partition.mdl import (
+    encoded_cost,
+    ldh_cost,
+    lh_cost,
+    mdl_nopar,
+    mdl_par,
+)
+
+
+STRAIGHT = np.array([[0.0, 0.0], [4.0, 0.0], [8.0, 0.0], [16.0, 0.0]])
+ZIGZAG = np.array([[0.0, 0.0], [4.0, 4.0], [8.0, 0.0], [12.0, 4.0]])
+
+
+class TestEncodedCost:
+    def test_log2_above_one(self):
+        assert encoded_cost(8.0) == 3.0
+
+    def test_clamps_below_one(self):
+        assert encoded_cost(0.5) == 0.0
+        assert encoded_cost(0.0) == 0.0
+
+    def test_exactly_one_is_zero_bits(self):
+        assert encoded_cost(1.0) == 0.0
+
+
+class TestLH:
+    def test_single_partition_cost_is_log_length(self):
+        assert lh_cost(STRAIGHT, 0, 3) == pytest.approx(math.log2(16.0))
+
+    def test_invalid_indices_raise(self):
+        with pytest.raises(PartitionError):
+            lh_cost(STRAIGHT, 2, 2)
+        with pytest.raises(PartitionError):
+            lh_cost(STRAIGHT, 3, 1)
+        with pytest.raises(PartitionError):
+            lh_cost(STRAIGHT, 0, 4)
+
+
+class TestLDH:
+    def test_adjacent_points_cost_zero(self):
+        assert ldh_cost(STRAIGHT, 0, 1) == 0.0
+
+    def test_straight_line_costs_nothing(self):
+        # Every enclosed segment is collinear and parallel to the
+        # hypothesis: both distances are 0 -> 0 bits.
+        assert ldh_cost(STRAIGHT, 0, 3) == 0.0
+
+    def test_zigzag_costs_bits(self):
+        assert ldh_cost(ZIGZAG, 0, 3) > 0.0
+
+    def test_hand_computed_single_deviation(self):
+        # Hypothesis (0,0)->(8,0); data passes through (4,4).
+        points = np.array([[0.0, 0.0], [4.0, 4.0], [8.0, 0.0]])
+        # Segment 1 (0,0)->(4,4): perpendicular offsets 0 and 4
+        #   -> Lehmer (0+16)/4 = 4; angle: len=4*sqrt(2), theta=45deg,
+        #   sin=sqrt(2)/2 -> 4.  log2(4)+log2(4) = 4 bits.
+        # Segment 2 (4,4)->(8,0): by symmetry another 4 bits.
+        assert ldh_cost(points, 0, 2) == pytest.approx(8.0)
+
+    def test_closed_loop_hypothesis_fallback(self):
+        loop = np.array([[0.0, 0.0], [4.0, 0.0], [4.0, 4.0], [0.0, 0.0]])
+        # p0 == p3: hypothesis is a point; cost falls back to encoded
+        # point distances and must be finite and non-negative.
+        cost = ldh_cost(loop, 0, 3)
+        assert np.isfinite(cost)
+        assert cost >= 0.0
+
+
+class TestMDLParNopar:
+    def test_mdl_par_is_sum_of_parts(self):
+        assert mdl_par(ZIGZAG, 0, 3) == pytest.approx(
+            lh_cost(ZIGZAG, 0, 3) + ldh_cost(ZIGZAG, 0, 3)
+        )
+
+    def test_mdl_nopar_is_summed_segment_lengths(self):
+        expected = math.log2(4.0) * 2 + math.log2(8.0)
+        assert mdl_nopar(STRAIGHT, 0, 3) == pytest.approx(expected)
+
+    def test_straight_line_favours_partitioning(self):
+        # One long segment describes a straight line more cheaply than
+        # keeping all the original pieces.
+        assert mdl_par(STRAIGHT, 0, 3) < mdl_nopar(STRAIGHT, 0, 3)
+
+    def test_sharp_zigzag_favours_keeping_points(self):
+        sharp = np.array(
+            [[0.0, 0.0], [2.0, 30.0], [4.0, 0.0], [6.0, 30.0]]
+        )
+        assert mdl_par(sharp, 0, 3) > mdl_nopar(sharp, 0, 3)
+
+    def test_costs_translation_invariant(self):
+        offset = np.array([1e4, 1e4])
+        assert mdl_par(ZIGZAG, 0, 3) == pytest.approx(
+            mdl_par(ZIGZAG + offset, 0, 3)
+        )
+        assert mdl_nopar(ZIGZAG, 0, 3) == pytest.approx(
+            mdl_nopar(ZIGZAG + offset, 0, 3)
+        )

@@ -1,0 +1,70 @@
+"""Edge cases across the partitioning stack."""
+
+import numpy as np
+import pytest
+
+from repro.model.segmentset import SegmentSet
+from repro.partition.approximate import approximate_partition, partition_all
+from repro.partition.exact import exact_partition
+from repro.partition.mdl import encoded_cost, ldh_cost, mdl_nopar, mdl_par
+
+
+class TestRepeatedPoints:
+    def test_duplicate_points_partition_cleanly(self):
+        # Stationary GPS fixes produce exact duplicates.
+        points = np.array(
+            [[0.0, 0.0], [0.0, 0.0], [5.0, 0.0], [5.0, 0.0], [10.0, 0.0]]
+        )
+        cps = approximate_partition(points)
+        assert cps[0] == 0 and cps[-1] == 4
+
+    def test_all_identical_points(self):
+        points = np.zeros((6, 2))
+        cps = approximate_partition(points)
+        assert cps[0] == 0 and cps[-1] == 5
+        # Exact DP also survives the fully degenerate case.
+        exact = exact_partition(points)
+        assert exact[0] == 0 and exact[-1] == 5
+
+    def test_mdl_costs_finite_on_duplicates(self):
+        points = np.array([[1.0, 1.0], [1.0, 1.0], [1.0, 1.0]])
+        assert np.isfinite(mdl_par(points, 0, 2))
+        assert np.isfinite(mdl_nopar(points, 0, 2))
+        assert ldh_cost(points, 0, 2) >= 0.0
+
+
+class TestExactTieBreaking:
+    def test_prefers_longer_final_partition_on_ties(self):
+        # A perfectly straight line: every partitioning of cost
+        # log2(total length) decomposition... the single-partition
+        # solution is optimal and must be chosen over equal-cost
+        # multi-partition solutions if any tie occurs.
+        points = np.column_stack([np.arange(6.0) * 4.0, np.zeros(6)])
+        assert exact_partition(points) == [0, 5]
+
+
+class TestEncodedCost:
+    @pytest.mark.parametrize("x,expected", [
+        (2.0, 1.0), (1024.0, 10.0), (1.0, 0.0), (0.9999, 0.0), (0.0, 0.0),
+    ])
+    def test_values(self, x, expected):
+        assert encoded_cost(x) == expected
+
+
+class TestPartitionAllEdges:
+    def test_empty_list(self):
+        segments, cps = partition_all([])
+        assert isinstance(segments, SegmentSet)
+        assert len(segments) == 0
+        assert cps == []
+
+    def test_two_point_trajectories_only(self):
+        from repro.model.trajectory import Trajectory
+
+        trajectories = [
+            Trajectory([[0.0, 0.0], [1.0, 1.0]], traj_id=0),
+            Trajectory([[5.0, 5.0], [6.0, 5.0]], traj_id=1),
+        ]
+        segments, cps = partition_all(trajectories)
+        assert len(segments) == 2
+        assert cps == [[0, 1], [0, 1]]

@@ -1,0 +1,66 @@
+"""Unit tests for the approximate-vs-exact precision metric."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.partition.approximate import approximate_partition
+from repro.partition.exact import exact_partition
+from repro.partition.precision import partitioning_precision
+
+
+class TestPrecisionMetric:
+    def test_identical_solutions_score_one(self):
+        assert partitioning_precision([0, 3, 7], [0, 3, 7]) == 1.0
+
+    def test_partial_overlap(self):
+        # approx {0, 2, 5, 9}; exact {0, 3, 5, 9}: 3 of 4 confirmed.
+        assert partitioning_precision([0, 2, 5, 9], [0, 3, 5, 9]) == 0.75
+
+    def test_endpoints_excluded_mode(self):
+        value = partitioning_precision(
+            [0, 2, 5, 9], [0, 3, 5, 9], include_endpoints=False
+        )
+        assert value == 0.5  # only {2, 5} judged, {5} confirmed
+
+    def test_endpoint_only_approximate_scores_one_when_excluded(self):
+        assert (
+            partitioning_precision([0, 9], [0, 4, 9], include_endpoints=False)
+            == 1.0
+        )
+
+    def test_mismatched_trajectories_raise(self):
+        with pytest.raises(PartitionError):
+            partitioning_precision([0, 5], [0, 9])
+
+    def test_empty_raises(self):
+        with pytest.raises(PartitionError):
+            partitioning_precision([], [0, 1])
+
+
+class TestAgainstRealPartitionings:
+    def test_precision_is_high_on_random_walks(self):
+        """Section 3.3 reports ~80 % average precision; on smooth random
+        walks the approximate solution should confirm well above half
+        of its points."""
+        rng = np.random.default_rng(21)
+        scores = []
+        for _ in range(12):
+            n = int(rng.integers(10, 40))
+            points = np.column_stack(
+                [np.linspace(0, n * 4.0, n), np.cumsum(rng.normal(0, 2.5, n))]
+            )
+            approx = approximate_partition(points)
+            exact = exact_partition(points)
+            scores.append(partitioning_precision(approx, exact))
+        assert float(np.mean(scores)) > 0.6
+
+    def test_scores_bounded(self):
+        rng = np.random.default_rng(22)
+        points = np.column_stack(
+            [np.linspace(0, 60, 20), np.cumsum(rng.normal(0, 3, 20))]
+        )
+        score = partitioning_precision(
+            approximate_partition(points), exact_partition(points)
+        )
+        assert 0.0 <= score <= 1.0

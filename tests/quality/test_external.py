@@ -1,0 +1,115 @@
+"""Unit tests for external (ground-truth) quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ClusteringError
+from repro.quality.external import (
+    adjusted_rand_index,
+    clustering_f1,
+    contingency,
+    noise_rate,
+    purity,
+)
+
+
+PERFECT_LABELS = np.array([0, 0, 0, 1, 1, 1])
+PERFECT_TRUTH = np.array([5, 5, 5, 9, 9, 9])
+
+
+class TestNoiseRate:
+    def test_counts_minus_ones(self):
+        assert noise_rate(np.array([0, -1, 1, -1])) == 0.5
+
+    def test_empty(self):
+        assert noise_rate(np.array([])) == 0.0
+
+
+class TestContingency:
+    def test_joint_counts(self):
+        table = contingency(np.array([0, 0, 1, -1]), np.array([7, 8, 8, 7]))
+        assert table == {(0, 7): 1, (0, 8): 1, (1, 8): 1}
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ClusteringError):
+            contingency(np.zeros(3, dtype=int), np.zeros(4, dtype=int))
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity(PERFECT_LABELS, PERFECT_TRUTH) == 1.0
+
+    def test_mixed_cluster(self):
+        labels = np.array([0, 0, 0, 0])
+        truth = np.array([1, 1, 2, 2])
+        assert purity(labels, truth) == 0.5
+
+    def test_noise_excluded(self):
+        labels = np.array([0, 0, -1, -1])
+        truth = np.array([1, 1, 2, 3])
+        assert purity(labels, truth) == 1.0
+
+    def test_all_noise_is_vacuously_pure(self):
+        assert purity(np.array([-1, -1]), np.array([0, 1])) == 1.0
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions(self):
+        assert adjusted_rand_index(PERFECT_LABELS, PERFECT_TRUTH) == pytest.approx(1.0)
+
+    def test_label_permutation_invariant(self):
+        relabelled = np.array([9, 9, 9, 4, 4, 4])
+        assert adjusted_rand_index(relabelled, PERFECT_TRUTH) == pytest.approx(1.0)
+
+    def test_single_cluster_against_two_classes_is_zero_adjusted(self):
+        labels = np.zeros(6, dtype=int)
+        ari = adjusted_rand_index(labels, PERFECT_TRUTH)
+        assert ari == pytest.approx(0.0, abs=1e-9)
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        values = [
+            adjusted_rand_index(
+                rng.integers(0, 3, 60), rng.integers(0, 3, 60)
+            )
+            for _ in range(10)
+        ]
+        assert abs(float(np.mean(values))) < 0.15
+
+    def test_include_noise_penalises(self):
+        labels = np.array([0, 0, 0, -1, -1, -1])
+        truth = PERFECT_TRUTH
+        excluding = adjusted_rand_index(labels, truth, include_noise=False)
+        including = adjusted_rand_index(labels, truth, include_noise=True)
+        assert excluding == pytest.approx(1.0)
+        assert including == pytest.approx(1.0)  # noise == class 9 exactly
+        worse = np.array([0, -1, 0, -1, 1, -1])  # noise scattered
+        assert adjusted_rand_index(worse, truth, include_noise=True) < 1.0
+
+    def test_tiny_inputs(self):
+        assert adjusted_rand_index(np.array([0]), np.array([1])) == 1.0
+
+
+class TestClusteringF1:
+    def test_perfect(self):
+        precision, recall, f1 = clustering_f1(PERFECT_LABELS, PERFECT_TRUTH)
+        assert (precision, recall, f1) == (1.0, 1.0, 1.0)
+
+    def test_overmerged_recall_one_precision_low(self):
+        labels = np.zeros(6, dtype=int)
+        precision, recall, _ = clustering_f1(labels, PERFECT_TRUTH)
+        assert recall == 1.0
+        assert precision < 1.0
+
+    def test_oversplit_precision_one_recall_low(self):
+        labels = np.arange(6)
+        precision, recall, _ = clustering_f1(labels, PERFECT_TRUTH)
+        assert precision == 1.0
+        assert recall < 1.0
+
+    def test_f1_between_precision_and_recall_bounds(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 3, 30)
+        truth = rng.integers(0, 3, 30)
+        precision, recall, f1 = clustering_f1(labels, truth)
+        assert min(precision, recall) - 1e-9 <= f1 <= max(precision, recall) + 1e-9

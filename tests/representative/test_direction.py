@@ -1,0 +1,58 @@
+"""Unit tests for the average direction vector (Definition 11)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ClusteringError
+from repro.model.segment import Segment
+from repro.model.segmentset import SegmentSet
+from repro.representative.direction import (
+    average_direction_vector,
+    major_axis,
+)
+
+
+def store(*pairs):
+    return SegmentSet.from_segments(
+        [Segment(a, b, seg_id=i) for i, (a, b) in enumerate(pairs)]
+    )
+
+
+class TestAverageDirectionVector:
+    def test_mean_of_vectors(self):
+        s = store(([0, 0], [10, 0]), ([0, 1], [0, 5]))
+        # vectors (10,0) and (0,4) -> mean (5, 2)
+        assert average_direction_vector(s).tolist() == [5.0, 2.0]
+
+    def test_longer_vectors_contribute_more(self):
+        # Definition 11 averages raw vectors, not unit vectors.
+        s = store(([0, 0], [100, 0]), ([0, 0], [0, 1]))
+        v = average_direction_vector(s)
+        assert v[0] > 10 * v[1]
+
+    def test_empty_raises(self):
+        with pytest.raises(ClusteringError):
+            average_direction_vector(SegmentSet.empty())
+
+
+class TestMajorAxis:
+    def test_equals_average_when_nonzero(self):
+        s = store(([0, 0], [10, 0]), ([0, 1], [9, 1]))
+        assert np.allclose(major_axis(s), average_direction_vector(s))
+
+    def test_falls_back_to_principal_axis_for_opposing_directions(self):
+        # Two antiparallel horizontal segments: mean vector ~ 0, but the
+        # endpoint cloud clearly extends along x.
+        s = store(([0, 0], [10, 0]), ([10, 1], [0, 1]))
+        axis = major_axis(s)
+        assert abs(axis[0]) > 10 * abs(axis[1])
+
+    def test_fallback_orients_along_first_member(self):
+        s = store(([0, 0], [10, 0]), ([10, 1], [0, 1]))
+        axis = major_axis(s)
+        assert float(axis @ np.array([1.0, 0.0])) > 0  # first member points +x
+
+    def test_coincident_points_raise(self):
+        s = store(([3, 3], [3, 3]), ([3, 3], [3, 3]))
+        with pytest.raises(ClusteringError):
+            major_axis(s)

@@ -1,0 +1,40 @@
+"""Unit tests for ASCII rendering."""
+
+import pytest
+
+from repro.core.traclus import traclus
+from repro.exceptions import DatasetError
+from repro.viz.ascii import render_result_ascii, render_trajectories_ascii
+
+
+@pytest.fixture
+def result(corridor_trajectories):
+    return traclus(corridor_trajectories, eps=10.0, min_lns=4)
+
+
+class TestAsciiRendering:
+    def test_canvas_dimensions(self, result):
+        panel = render_result_ascii(result, width=60, height=20)
+        lines = panel.split("\n")
+        assert len(lines) == 20
+        assert all(len(line) == 60 for line in lines)
+
+    def test_contains_trajectory_and_representative_glyphs(self, result):
+        panel = render_result_ascii(result)
+        assert "." in panel
+        if len(result) > 0:
+            assert "#" in panel  # representative overlay
+            assert "0" in panel  # first cluster's member symbol
+
+    def test_trajectories_only(self, corridor_trajectories):
+        panel = render_trajectories_ascii(corridor_trajectories, width=40, height=12)
+        assert "." in panel
+        assert "#" not in panel
+
+    def test_too_small_canvas_raises(self, result):
+        with pytest.raises(DatasetError):
+            render_result_ascii(result, width=2, height=2)
+
+    def test_empty_raises(self):
+        with pytest.raises(DatasetError):
+            render_trajectories_ascii([])

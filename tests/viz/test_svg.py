@@ -1,0 +1,59 @@
+"""Unit tests for SVG rendering."""
+
+import io
+
+import pytest
+
+from repro.core.traclus import traclus
+from repro.exceptions import DatasetError
+from repro.viz.svg import render_result_svg, render_trajectories_svg
+
+
+@pytest.fixture
+def result(corridor_trajectories):
+    return traclus(corridor_trajectories, eps=10.0, min_lns=4)
+
+
+class TestTrajectoriesSvg:
+    def test_valid_document(self, corridor_trajectories):
+        svg = render_trajectories_svg(corridor_trajectories)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<polyline") == len(corridor_trajectories)
+
+    def test_writes_to_handle(self, corridor_trajectories):
+        buffer = io.StringIO()
+        render_trajectories_svg(corridor_trajectories, buffer)
+        assert buffer.getvalue().startswith("<svg")
+
+    def test_writes_to_path(self, corridor_trajectories, tmp_path):
+        path = str(tmp_path / "plot.svg")
+        render_trajectories_svg(corridor_trajectories, path)
+        with open(path) as handle:
+            assert handle.read().startswith("<svg")
+
+    def test_empty_raises(self):
+        with pytest.raises(DatasetError):
+            render_trajectories_svg([])
+
+
+class TestResultSvg:
+    def test_layers_present(self, result):
+        svg = render_result_svg(result)
+        assert "#2a9d2a" in svg  # green trajectories
+        assert "#d01010" in svg  # red representatives
+        assert "<line" in svg    # cluster member segments
+
+    def test_noise_layer_optional(self, result):
+        without = render_result_svg(result, show_noise=False)
+        with_noise = render_result_svg(result, show_noise=True)
+        assert with_noise.count("#bbbbbb") >= without.count("#bbbbbb")
+
+    def test_segment_layer_optional(self, result):
+        bare = render_result_svg(result, show_cluster_segments=False)
+        full = render_result_svg(result, show_cluster_segments=True)
+        assert full.count("<line") >= bare.count("<line")
+
+    def test_custom_dimensions(self, result):
+        svg = render_result_svg(result, width=400, height=300)
+        assert 'width="400"' in svg and 'height="300"' in svg

@@ -1,0 +1,65 @@
+"""Edge cases for the SVG canvas and layering."""
+
+import numpy as np
+import pytest
+
+from repro.core.traclus import traclus
+from repro.model.trajectory import Trajectory
+from repro.viz.svg import render_result_svg, render_trajectories_svg
+
+
+class TestDegenerateGeometry:
+    def test_vertical_only_extent(self):
+        # Zero horizontal extent: the canvas must not divide by zero.
+        t = Trajectory([[5.0, 0.0], [5.0, 100.0]], traj_id=0)
+        svg = render_trajectories_svg([t])
+        assert svg.startswith("<svg")
+
+    def test_single_repeated_point_extent(self):
+        t = Trajectory([[5.0, 5.0], [5.0, 5.0]], traj_id=0)
+        svg = render_trajectories_svg([t])
+        assert svg.startswith("<svg")
+
+    def test_huge_coordinates(self):
+        t = Trajectory([[1e9, 1e9], [1e9 + 100.0, 1e9 + 50.0]], traj_id=0)
+        svg = render_trajectories_svg([t])
+        assert "NaN" not in svg and "nan" not in svg
+
+    def test_negative_coordinates_mapped_inside_viewport(self):
+        t = Trajectory([[-500.0, -300.0], [-400.0, -200.0]], traj_id=0)
+        svg = render_trajectories_svg([t], width=200, height=100)
+        # Crude scan: every x/y attribute stays within the viewport.
+        import re
+
+        for match in re.finditer(r'points="([^"]+)"', svg):
+            for pair in match.group(1).split():
+                x, y = map(float, pair.split(","))
+                assert -1.0 <= x <= 201.0
+                assert -1.0 <= y <= 101.0
+
+
+class TestLayering:
+    def test_three_dimensional_input_projects_to_xy(self):
+        t = [
+            Trajectory(
+                np.column_stack(
+                    [np.linspace(0, 10, 5), np.zeros(5) + i, np.linspace(0, 3, 5)]
+                ),
+                traj_id=i,
+            )
+            for i in range(4)
+        ]
+        result = traclus(t, eps=5.0, min_lns=3)
+        svg = render_result_svg(result)
+        assert svg.startswith("<svg")
+
+    def test_empty_cluster_set_renders_trajectories_only(self):
+        t = [
+            Trajectory([[0.0, 0.0], [1.0, 1.0]], traj_id=0),
+            Trajectory([[100.0, 100.0], [101.0, 101.0]], traj_id=1),
+        ]
+        result = traclus(t, eps=0.1, min_lns=5)
+        assert len(result) == 0
+        svg = render_result_svg(result, show_noise=True)
+        assert "#bbbbbb" in svg  # noise layer drawn
+        assert "#d01010" not in svg  # no representatives
