@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.cluster.neighborhood import NEIGHBORHOOD_METHODS
 from repro.core.config import TraclusConfig
 from repro.core.traclus import TRACLUS
 from repro.datasets.hurricane import generate_hurricane_tracks
@@ -64,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="weighted eps-neighborhood cardinality")
     cluster.add_argument("--gamma", type=float, default=0.0,
                          help="representative smoothing gamma (Fig 15)")
+    cluster.add_argument("--neighborhood-method", default="auto",
+                         choices=NEIGHBORHOOD_METHODS,
+                         help="eps-neighborhood engine (auto picks the "
+                              "batched graph above a size threshold)")
     cluster.add_argument("--json", dest="json_out", default=None,
                          help="write the full result JSON here")
     cluster.add_argument("--svg", dest="svg_out", default=None,
@@ -77,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
     params.add_argument("--eps-max", type=float, default=None,
                         help="upper end of the eps search grid")
     params.add_argument("--suppression", type=float, default=0.0)
+    params.add_argument("--neighborhood-method", default="auto",
+                        choices=NEIGHBORHOOD_METHODS,
+                        help="how |N_eps| is counted during the sweep "
+                             "(brute = legacy per-segment rows)")
 
     generate = sub.add_parser("generate", help="write a synthetic dataset CSV")
     generate.add_argument(
@@ -109,6 +118,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         suppression=args.suppression,
         use_weights=args.use_weights,
         gamma=args.gamma,
+        neighborhood_method=args.neighborhood_method,
     )
     result = TRACLUS(config).fit(trajectories)
     summary = result.summary()
@@ -141,7 +151,8 @@ def _cmd_params(args: argparse.Namespace) -> int:
         np.arange(1.0, args.eps_max + 1.0) if args.eps_max else None
     )
     estimate = recommend_parameters(
-        segments, eps_values=eps_values, method=args.method
+        segments, eps_values=eps_values, method=args.method,
+        neighborhood_method=args.neighborhood_method,
     )
     print(f"segments:            {len(segments)}")
     print(f"entropy-optimal eps: {estimate.eps:.3g}")

@@ -4,21 +4,31 @@ discussed in Appendix D.
 """
 
 from repro.cluster.neighborhood import (
+    NEIGHBORHOOD_METHODS,
     BruteForceNeighborhood,
     GridNeighborhood,
     NeighborhoodEngine,
     RTreeNeighborhood,
     make_neighborhood_engine,
 )
+from repro.cluster.neighbor_graph import (
+    NeighborGraph,
+    PrecomputedNeighborhood,
+    neighborhood_size_counts,
+)
 from repro.cluster.dbscan import LineSegmentDBSCAN, cluster_segments
 from repro.cluster.cardinality import filter_by_trajectory_cardinality
 from repro.cluster.optics import LineSegmentOPTICS, OpticsResult
 
 __all__ = [
+    "NEIGHBORHOOD_METHODS",
     "BruteForceNeighborhood",
     "GridNeighborhood",
     "NeighborhoodEngine",
     "RTreeNeighborhood",
+    "NeighborGraph",
+    "PrecomputedNeighborhood",
+    "neighborhood_size_counts",
     "make_neighborhood_engine",
     "LineSegmentDBSCAN",
     "cluster_segments",

@@ -53,7 +53,8 @@ class LineSegmentDBSCAN:
         When True, ``|N_eps(L)|`` is the *sum of segment weights* in the
         neighborhood instead of the count.
     neighborhood_method:
-        ``"auto"`` (default), ``"brute"``, or ``"grid"``.
+        ``"auto"`` (default), ``"brute"``, ``"grid"``, ``"rtree"``, or
+        ``"batch"`` (see :func:`~repro.cluster.neighborhood.make_neighborhood_engine`).
     """
 
     def __init__(
@@ -87,7 +88,11 @@ class LineSegmentDBSCAN:
             return float(np.sum(segments.weights[neighbors]))
         return float(neighbors.size)
 
-    def fit(self, segments: SegmentSet) -> Tuple[List[Cluster], np.ndarray]:
+    def fit(
+        self,
+        segments: SegmentSet,
+        engine: Optional[NeighborhoodEngine] = None,
+    ) -> Tuple[List[Cluster], np.ndarray]:
         """Cluster the segment set.
 
         Returns ``(clusters, labels)``: the surviving clusters (after
@@ -95,15 +100,35 @@ class LineSegmentDBSCAN:
         the per-segment label array aligned with *segments* (>= 0
         cluster id, -1 noise).  Labels of members of removed clusters
         are reset to noise so the two outputs stay consistent.
+
+        A prebuilt *engine* (e.g. a shared
+        :class:`~repro.cluster.neighbor_graph.PrecomputedNeighborhood`)
+        may be passed to reuse neighborhoods across consumers; it must
+        cover *segments* at this ``eps``.
         """
         n = len(segments)
         labels = np.full(n, UNCLASSIFIED, dtype=np.int64)
         if n == 0:
             return [], labels
 
-        engine = make_neighborhood_engine(
-            segments, self.eps, self.distance, method=self.neighborhood_method
-        )
+        if engine is None:
+            engine = make_neighborhood_engine(
+                segments, self.eps, self.distance,
+                method=self.neighborhood_method,
+            )
+        else:
+            engine_eps = getattr(engine, "eps", None)
+            if engine_eps is not None and engine_eps != self.eps:
+                raise ClusteringError(
+                    f"prebuilt engine answers eps={engine_eps} queries but "
+                    f"this DBSCAN is configured with eps={self.eps}"
+                )
+            engine_segments = getattr(engine, "segments", None)
+            if engine_segments is not None and len(engine_segments) != n:
+                raise ClusteringError(
+                    f"prebuilt engine covers {len(engine_segments)} segments "
+                    f"but the fitted set has {n}"
+                )
 
         cluster_id = 0  # line 01
         for i in range(n):  # line 03

@@ -2,7 +2,7 @@
 
 ``N_eps(L_i) = { L_j in D | dist(L_i, L_j) <= eps }``.
 
-Two engines are provided:
+Per-query engines are provided here:
 
 * :class:`BruteForceNeighborhood` — one vectorized one-vs-all distance
   evaluation per query; O(n) per query, O(n^2) total (Lemma 3 without
@@ -12,6 +12,15 @@ Two engines are provided:
   (Lemma 3 with an index; we use a grid rather than the paper's R-tree
   for queries because the R-tree substrate in :mod:`repro.index.rtree`
   shares the same candidate bound).
+* :class:`RTreeNeighborhood` — the same prefilter over a bulk-loaded
+  R-tree, the structure Lemma 3 literally names.
+
+The batched engine lives in :mod:`repro.cluster.neighbor_graph`:
+:class:`~repro.cluster.neighbor_graph.PrecomputedNeighborhood`
+materializes the whole relation once (grid-bucketed candidates, blocked
+pair evaluation) and serves every query as an O(1) CSR slice.  All four
+return identical neighborhoods; :func:`make_neighborhood_engine` picks
+between them.
 
 **Why a geometric prefilter is sound even though the TRACLUS distance
 is not a metric.**  With weights ``w_perp, w_par > 0`` and
@@ -31,15 +40,25 @@ after expanding the query's by ``r``, must intersect.  Every true
 neighbor survives the prefilter; the exact distance pass removes false
 positives.  If either weight is zero the bound is vacuous and the grid
 engine degrades to brute force.
+
+One float subtlety: the *computed* distance of a pair whose geometric
+gap is below ~sqrt(5e-324) underflows to exactly 0, which at ``eps = 0``
+(nominal radius 0) would let an exact bbox prefilter prune a pair the
+distance pass accepts.  All prefilter engines therefore share
+:func:`repro.cluster.neighbor_graph.candidate_radius`, which floors the
+radius just above that underflow scale.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Protocol
 
 import numpy as np
 
+from repro.cluster.neighbor_graph import (
+    PrecomputedNeighborhood,
+    candidate_radius,
+)
 from repro.distance.weighted import SegmentDistance
 from repro.exceptions import ClusteringError
 from repro.index.grid import SegmentGrid
@@ -109,10 +128,7 @@ class GridNeighborhood:
                 "the grid prefilter needs w_perp > 0 and w_par > 0; "
                 "use BruteForceNeighborhood for degenerate weightings"
             )
-        self.candidate_radius = math.sqrt(
-            (2.0 * self.eps / self.distance.w_perp) ** 2
-            + (self.eps / self.distance.w_par) ** 2
-        )
+        self.candidate_radius = candidate_radius(self.eps, self.distance)
         if cell_size is None:
             # Cells comparable to the query radius keep the candidate
             # window at ~3x3 cells.
@@ -171,10 +187,7 @@ class RTreeNeighborhood:
                 "the R-tree prefilter needs w_perp > 0 and w_par > 0; "
                 "use BruteForceNeighborhood for degenerate weightings"
             )
-        self.candidate_radius = math.sqrt(
-            (2.0 * self.eps / self.distance.w_perp) ** 2
-            + (self.eps / self.distance.w_par) ** 2
-        )
+        self.candidate_radius = candidate_radius(self.eps, self.distance)
         self._box_type = BoundingBox
         self._tree = RTree.bulk_load(
             (
@@ -211,6 +224,16 @@ class RTreeNeighborhood:
         return sizes
 
 
+#: Below this set size ``"auto"`` keeps the zero-setup brute engine;
+#: above it the batched graph build amortises immediately (every
+#: consumer queries all n rows at least once).
+AUTO_BATCH_THRESHOLD = 200
+
+#: Engine names accepted by :func:`make_neighborhood_engine` (and by
+#: every ``neighborhood_method`` knob that forwards to it).
+NEIGHBORHOOD_METHODS = ("auto", "brute", "grid", "rtree", "batch")
+
+
 def make_neighborhood_engine(
     segments: SegmentSet,
     eps: float,
@@ -219,9 +242,19 @@ def make_neighborhood_engine(
 ) -> "NeighborhoodEngine":
     """Engine factory.
 
-    ``method`` is ``"brute"``, ``"grid"``, ``"rtree"``, or ``"auto"``
-    (grid for sets large enough to amortise index construction, when the
-    weights permit the prefilter).
+    ``method`` is ``"brute"``, ``"grid"``, ``"rtree"``, ``"batch"``
+    (the precomputed CSR graph of
+    :mod:`repro.cluster.neighbor_graph`), or ``"auto"``.
+
+    The ``"auto"`` policy: brute below
+    :data:`AUTO_BATCH_THRESHOLD` segments (nothing to amortise) and
+    whenever a zero ``w_perp``/``w_par`` weight voids the geometric
+    prefilter *and* bounded memory matters (the batch fallback would
+    evaluate — exactly but eagerly — all O(n^2) pairs); batch otherwise.
+    Batch strictly dominates grid/rtree for whole-dataset consumers
+    (same candidate sets, each pair evaluated once, no per-query Python
+    loop); the per-query engines remain available explicitly for
+    few-query or memory-capped workloads.
     """
     distance = distance if distance is not None else SegmentDistance()
     if method == "brute":
@@ -230,15 +263,17 @@ def make_neighborhood_engine(
         return GridNeighborhood(segments, eps, distance)
     if method == "rtree":
         return RTreeNeighborhood(segments, eps, distance)
+    if method == "batch":
+        return PrecomputedNeighborhood(segments, eps, distance)
     if method != "auto":
         raise ClusteringError(
             f"unknown neighborhood method {method!r}; "
-            "expected 'brute', 'grid', 'rtree', or 'auto'"
+            f"expected one of {NEIGHBORHOOD_METHODS}"
         )
     if (
-        len(segments) >= 2000
+        len(segments) >= AUTO_BATCH_THRESHOLD
         and distance.w_perp > 0
         and distance.w_par > 0
     ):
-        return GridNeighborhood(segments, eps, distance)
+        return PrecomputedNeighborhood(segments, eps, distance)
     return BruteForceNeighborhood(segments, eps, distance)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.cluster.neighborhood import NEIGHBORHOOD_METHODS
 from repro.distance.weighted import SegmentDistance
 from repro.exceptions import ClusteringError
 
@@ -47,7 +48,10 @@ class TraclusConfig:
     gamma:
         Representative-trajectory smoothing parameter γ (Figure 15).
     neighborhood_method:
-        ``"auto"`` / ``"brute"`` / ``"grid"`` ε-query engine.
+        ε-query engine: ``"auto"`` (batched graph above a size
+        threshold, brute below), ``"brute"``, ``"grid"``, ``"rtree"``,
+        or ``"batch"`` (precomputed CSR neighbor graph).  Applied to
+        both the grouping phase and the Section 4.4 parameter search.
     eps_search_values:
         Optional explicit ε grid for the heuristic; ``None`` uses a
         data-driven default.
@@ -89,6 +93,11 @@ class TraclusConfig:
             raise ClusteringError(
                 "cardinality_threshold must be non-negative, got "
                 f"{self.cardinality_threshold}"
+            )
+        if self.neighborhood_method not in NEIGHBORHOOD_METHODS:
+            raise ClusteringError(
+                f"unknown neighborhood method {self.neighborhood_method!r}; "
+                f"expected one of {NEIGHBORHOOD_METHODS}"
             )
         # Delegate weight validation to SegmentDistance.
         self.distance()

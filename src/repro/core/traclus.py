@@ -68,6 +68,7 @@ class TRACLUS:
                 eps_values=config.eps_search_values,
                 distance=distance,
                 method=config.eps_search_method,
+                neighborhood_method=config.neighborhood_method,
             )
             if eps is None:
                 eps = estimate.eps

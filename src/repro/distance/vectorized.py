@@ -1,11 +1,20 @@
-"""Vectorized one-vs-many distance kernels.
+"""Vectorized distance kernels: one-vs-many and many-pairs.
 
 The grouping phase needs ``|N_eps(L)|`` for every segment (Figure 12),
-i.e. one-vs-all distance evaluations.  This module computes all three
-components from one query segment to every segment of a
-:class:`~repro.model.segmentset.SegmentSet` in a handful of NumPy
-operations, honouring the paper's ordering rule (the longer segment of
-each pair acts as ``Li``).
+i.e. one-vs-all distance evaluations; the batched neighbor-graph engine
+(:mod:`repro.cluster.neighbor_graph`) needs distances for an arbitrary
+list of candidate *pairs*.  Both are served by one shared core,
+:func:`_pair_components`, which evaluates the three TRACLUS components
+for row-aligned pairs of segments in a handful of NumPy operations,
+honouring the paper's ordering rule (the longer segment of each pair
+acts as ``Li``; equal lengths break the tie by internal id).
+
+Because the core assigns the ``Li``/``Lj`` roles per row and then runs a
+single arithmetic path, the computed distance for a pair is *bitwise
+identical* no matter which side is presented as the query.  That
+exact symmetry is what lets the neighbor graph evaluate each unordered
+pair once and mirror the result into both CSR rows while remaining
+indistinguishable from the per-query engines.
 
 The math is identical to :mod:`repro.distance.components`; property
 tests assert agreement to 1e-9.
@@ -13,7 +22,7 @@ tests assert agreement to 1e-9.
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional
+from typing import NamedTuple, Optional, Union
 
 import numpy as np
 
@@ -22,7 +31,7 @@ from repro.model.segmentset import SegmentSet
 
 
 class ComponentArrays(NamedTuple):
-    """Per-segment component distances from one query to a whole set."""
+    """Per-row component distances (one row per query/pair)."""
 
     perpendicular: np.ndarray
     parallel: np.ndarray
@@ -55,6 +64,119 @@ def _project_many(
     return starts + u[:, None] * vectors
 
 
+def _pair_components(
+    a_starts: np.ndarray,
+    a_ends: np.ndarray,
+    a_ids: np.ndarray,
+    b_starts: np.ndarray,
+    b_ends: np.ndarray,
+    b_ids: np.ndarray,
+    directed: bool = True,
+    b_vecs: Optional[np.ndarray] = None,
+    b_sq: Optional[np.ndarray] = None,
+    b_len: Optional[np.ndarray] = None,
+) -> ComponentArrays:
+    """Component distances for row-aligned segment pairs ``(a_k, b_k)``.
+
+    The ordering rule (Lemma 2) is applied per row: the longer segment
+    becomes ``Li``; equal lengths break the tie by id, the smaller id
+    becoming ``Li``.  Swapping the ``a`` and ``b`` sides therefore
+    selects the same roles and runs the same arithmetic, so the result
+    is bitwise symmetric.
+
+    The one-vs-many caller repeats one query on the ``b`` side and may
+    pass its precomputed ``b_vecs``/``b_sq``/``b_len`` (broadcast
+    views) to skip the per-row recompute; they MUST equal what the
+    expressions below would produce for those rows — derive them with
+    the same einsum/sqrt on a one-row array, never a different norm
+    routine, or the equal-length tie break stops matching the pairs
+    route bit for bit.
+
+    Rows where the designated ``Li`` is numerically degenerate (squared
+    length below the smallest normal float, mirroring
+    ``Segment.is_degenerate``) fall to the point-distance branch; the
+    ordering rule guarantees ``Lj`` is degenerate there too.
+    """
+    m = a_starts.shape[0]
+    perp = np.zeros(m, dtype=np.float64)
+    par = np.zeros(m, dtype=np.float64)
+    ang = np.zeros(m, dtype=np.float64)
+    if m == 0:
+        return ComponentArrays(perp, par, ang)
+
+    a_vecs = a_ends - a_starts
+    if b_vecs is None:
+        b_vecs = b_ends - b_starts
+    # Squared lengths must be *normal* floats for 1/sq to be finite —
+    # subnormal squared lengths mark numerically degenerate segments.
+    a_sq = np.einsum("ij,ij->i", a_vecs, a_vecs)
+    if b_sq is None:
+        b_sq = np.einsum("ij,ij->i", b_vecs, b_vecs)
+    a_len = np.sqrt(a_sq)
+    if b_len is None:
+        b_len = np.sqrt(b_sq)
+    tiny = np.finfo(np.float64).tiny
+    a_usable = a_sq >= tiny
+    b_usable = b_sq >= tiny
+
+    a_is_li = (a_len > b_len) | ((a_len == b_len) & (a_ids <= b_ids))
+    role = a_is_li[:, None]
+    li_starts = np.where(role, a_starts, b_starts)
+    li_ends = np.where(role, a_ends, b_ends)
+    li_vecs = np.where(role, a_vecs, b_vecs)
+    li_sq = np.where(a_is_li, a_sq, b_sq)
+    li_usable = np.where(a_is_li, a_usable, b_usable)
+    lj_starts = np.where(role, b_starts, a_starts)
+    lj_ends = np.where(role, b_ends, a_ends)
+    lj_vecs = np.where(role, b_vecs, a_vecs)
+    lj_len = np.where(a_is_li, b_len, a_len)
+    lj_usable = np.where(a_is_li, b_usable, a_usable)
+
+    # ------------------------------------------------------------------
+    # Main branch: Li is a real segment; project Lj's endpoints onto it.
+    main = li_usable
+    if np.any(main):
+        s = li_starts[main]
+        e = li_ends[main]
+        v = li_vecs[main]
+        inv_sq = 1.0 / li_sq[main]
+        js = lj_starts[main]
+        je = lj_ends[main]
+        ps = _project_many(s, v, inv_sq, js)
+        pe = _project_many(s, v, inv_sq, je)
+        l_perp1 = _row_norms(ps - js)
+        l_perp2 = _row_norms(pe - je)
+        sums = l_perp1 + l_perp2
+        with np.errstate(invalid="ignore", divide="ignore"):
+            perp_m = np.where(
+                sums > 0.0,
+                (l_perp1**2 + l_perp2**2) / np.where(sums > 0, sums, 1.0),
+                0.0,
+            )
+        l_par1 = np.minimum(_row_norms(ps - s), _row_norms(ps - e))
+        l_par2 = np.minimum(_row_norms(pe - s), _row_norms(pe - e))
+        par_m = np.minimum(l_par1, l_par2)
+        ang_m = _angle_component(
+            v,
+            li_sq[main],
+            lj_vecs[main],
+            lj_len=np.where(lj_usable[main], lj_len[main], 0.0),
+            directed=directed,
+        )
+        perp[main] = perp_m
+        par[main] = par_m
+        ang[main] = ang_m
+
+    # ------------------------------------------------------------------
+    # Degenerate branch: both sides are points; plain point distance.
+    deg = ~main
+    if np.any(deg):
+        perp[deg] = _row_norms(a_starts[deg] - b_starts[deg])
+        # parallel and angle stay 0
+
+    return ComponentArrays(perp, par, ang)
+
+
 def component_distances_to_all(
     query: Segment,
     segments: SegmentSet,
@@ -79,97 +201,59 @@ def component_distances_to_all(
         return ComponentArrays(empty.copy(), empty.copy(), empty.copy())
 
     q_id = query.seg_id if query_seg_id is None else query_seg_id
-    q_start, q_end = query.start, query.end
-    q_vec = q_end - q_start
-    q_len = float(np.linalg.norm(q_vec))
-    q_sq = float(np.dot(q_vec, q_vec))
+    shape = segments.starts.shape
+    q_start = np.asarray(query.start, dtype=np.float64)
+    q_end = np.asarray(query.end, dtype=np.float64)
+    # Query-side quantities computed once and broadcast — through the
+    # exact expressions the core would run per row (see its docstring).
+    q_vec_row = (q_end - q_start)[None, :]
+    q_sq = np.einsum("ij,ij->i", q_vec_row, q_vec_row)
+    return _pair_components(
+        segments.starts,
+        segments.ends,
+        np.arange(n),
+        np.broadcast_to(q_start, shape),
+        np.broadcast_to(q_end, shape),
+        np.full(n, int(q_id), dtype=np.int64),
+        directed=directed,
+        b_vecs=np.broadcast_to(q_vec_row[0], shape),
+        b_sq=np.broadcast_to(q_sq, (n,)),
+        b_len=np.broadcast_to(np.sqrt(q_sq), (n,)),
+    )
 
-    lengths = segments.lengths
-    # Squared lengths must be *normal* floats for 1/sq to be finite —
-    # subnormal squared lengths mark numerically degenerate segments
-    # (mirrors Segment.is_degenerate exactly).
-    sq_lengths = np.einsum("ij,ij->i", segments.vectors, segments.vectors)
-    tiny = np.finfo(np.float64).tiny
-    store_usable = sq_lengths >= tiny
-    query_usable = q_sq >= tiny
-    seg_ids = np.arange(n)
 
-    # Ordering rule (Lemma 2): the longer segment is Li; equal lengths
-    # break the tie by internal id, smaller id becoming Li.
-    store_is_li = (lengths > q_len) | ((lengths == q_len) & (seg_ids <= q_id))
+def component_distances_pairs(
+    segments: SegmentSet,
+    left: Union[np.ndarray, "list[int]"],
+    right: Union[np.ndarray, "list[int]"],
+    directed: bool = True,
+) -> ComponentArrays:
+    """Component distances for each aligned pair of *stored* segments
+    ``(left[k], right[k])``.
 
-    perp = np.zeros(n, dtype=np.float64)
-    par = np.zeros(n, dtype=np.float64)
-    ang = np.zeros(n, dtype=np.float64)
-
-    # ------------------------------------------------------------------
-    # Case A: the store segment plays Li; project query endpoints onto it.
-    # Only valid where the store segment is numerically usable.
-    mask_a = store_is_li & store_usable
-    if np.any(mask_a):
-        s = segments.starts[mask_a]
-        v = segments.vectors[mask_a]
-        e = segments.ends[mask_a]
-        inv_sq = 1.0 / sq_lengths[mask_a]
-        ps = _project_many(s, v, inv_sq, np.broadcast_to(q_start, s.shape))
-        pe = _project_many(s, v, inv_sq, np.broadcast_to(q_end, s.shape))
-        l_perp1 = _row_norms(ps - q_start)
-        l_perp2 = _row_norms(pe - q_end)
-        sums = l_perp1 + l_perp2
-        with np.errstate(invalid="ignore", divide="ignore"):
-            perp_a = np.where(
-                sums > 0.0, (l_perp1**2 + l_perp2**2) / np.where(sums > 0, sums, 1.0), 0.0
-            )
-        l_par1 = np.minimum(_row_norms(ps - s), _row_norms(ps - e))
-        l_par2 = np.minimum(_row_norms(pe - s), _row_norms(pe - e))
-        par_a = np.minimum(l_par1, l_par2)
-        ang_a = _angle_component(
-            v, sq_lengths[mask_a],
-            q_vec, lj_len=(q_len if query_usable else 0.0),
-            directed=directed,
+    One call evaluates an arbitrary batch of pairs — this is the kernel
+    behind the blocked all-candidate-pairs join of
+    :mod:`repro.cluster.neighbor_graph`.  Results are bitwise identical
+    to querying :func:`component_distances_to_all` row by row (both
+    routes share :func:`_pair_components`), and bitwise symmetric in
+    ``left``/``right``.
+    """
+    left = np.asarray(left, dtype=np.int64)
+    right = np.asarray(right, dtype=np.int64)
+    if left.shape != right.shape or left.ndim != 1:
+        raise ValueError(
+            f"left/right must be congruent 1-D index arrays, got "
+            f"{left.shape} vs {right.shape}"
         )
-        perp[mask_a] = perp_a
-        par[mask_a] = par_a
-        ang[mask_a] = ang_a
-
-    # ------------------------------------------------------------------
-    # Case B: the query plays Li; project store endpoints onto the query.
-    mask_b = (~store_is_li) & query_usable
-    if np.any(mask_b):
-        s = segments.starts[mask_b]
-        e = segments.ends[mask_b]
-        u1 = (s - q_start) @ q_vec / q_sq
-        u2 = (e - q_start) @ q_vec / q_sq
-        ps = q_start + u1[:, None] * q_vec
-        pe = q_start + u2[:, None] * q_vec
-        l_perp1 = _row_norms(s - ps)
-        l_perp2 = _row_norms(e - pe)
-        sums = l_perp1 + l_perp2
-        perp_b = np.where(
-            sums > 0.0, (l_perp1**2 + l_perp2**2) / np.where(sums > 0, sums, 1.0), 0.0
-        )
-        l_par1 = np.minimum(_row_norms(ps - q_start), _row_norms(ps - q_end))
-        l_par2 = np.minimum(_row_norms(pe - q_start), _row_norms(pe - q_end))
-        par_b = np.minimum(l_par1, l_par2)
-        ang_b = _angle_component(
-            np.broadcast_to(q_vec, s.shape),
-            np.full(s.shape[0], q_sq),
-            segments.vectors[mask_b],
-            lj_len=np.where(store_usable[mask_b], lengths[mask_b], 0.0),
-            directed=directed,
-        )
-        perp[mask_b] = perp_b
-        par[mask_b] = par_b
-        ang[mask_b] = ang_b
-
-    # ------------------------------------------------------------------
-    # Degenerate case: both the store segment and the query are points.
-    mask_d = ~(mask_a | mask_b)
-    if np.any(mask_d):
-        perp[mask_d] = _row_norms(segments.starts[mask_d] - q_start)
-        # parallel and angle stay 0
-
-    return ComponentArrays(perp, par, ang)
+    return _pair_components(
+        segments.starts[left],
+        segments.ends[left],
+        left,
+        segments.starts[right],
+        segments.ends[right],
+        right,
+        directed=directed,
+    )
 
 
 def _angle_component(
@@ -183,10 +267,8 @@ def _angle_component(
 
     ``||Lj|| * sin(theta)`` is evaluated as the norm of the rejection of
     Lj's vector from Li's direction (numerically stable near parallel;
-    identical formula to the scalar reference).  *lj_vectors* may be a
-    single broadcast vector (Case A, the query is Lj everywhere) or
-    per-row vectors (Case B); ``lj_len`` is scalar or per-row
-    accordingly.  Rows with ``li_sq_lengths == 0`` must not occur (the
+    identical formula to the scalar reference).  ``lj_len`` is scalar or
+    per-row.  Rows with ``li_sq_lengths == 0`` must not occur (the
     caller's masks route those to the degenerate branch).
     """
     if lj_vectors.ndim == 1:
@@ -219,4 +301,18 @@ def distances_to_all(
     comps = component_distances_to_all(
         query, segments, directed=directed, query_seg_id=query_seg_id
     )
+    return comps.weighted_sum(w_perp, w_par, w_theta)
+
+
+def distances_pairs(
+    segments: SegmentSet,
+    left: Union[np.ndarray, "list[int]"],
+    right: Union[np.ndarray, "list[int]"],
+    w_perp: float = 1.0,
+    w_par: float = 1.0,
+    w_theta: float = 1.0,
+    directed: bool = True,
+) -> np.ndarray:
+    """Weighted TRACLUS distance for aligned pairs of stored segments."""
+    comps = component_distances_pairs(segments, left, right, directed=directed)
     return comps.weighted_sum(w_perp, w_par, w_theta)

@@ -14,7 +14,11 @@ from typing import Optional
 import numpy as np
 
 from repro.distance.components import ComponentDistances, component_distances
-from repro.distance.vectorized import ComponentArrays, component_distances_to_all
+from repro.distance.vectorized import (
+    ComponentArrays,
+    component_distances_pairs,
+    component_distances_to_all,
+)
 from repro.exceptions import ClusteringError
 from repro.model.segment import Segment
 from repro.model.segmentset import SegmentSet
@@ -89,6 +93,38 @@ class SegmentDistance:
         return self.components_to_all(query, segments, query_seg_id).weighted_sum(
             self.w_perp, self.w_par, self.w_theta
         )
+
+    def pairs_components(
+        self,
+        segments: SegmentSet,
+        left: np.ndarray,
+        right: np.ndarray,
+    ) -> ComponentArrays:
+        """Raw components for aligned pairs of stored segments."""
+        return component_distances_pairs(
+            segments, left, right, directed=self.directed
+        )
+
+    def pairs(
+        self,
+        segments: SegmentSet,
+        left: np.ndarray,
+        right: np.ndarray,
+    ) -> np.ndarray:
+        """Distances for each aligned pair ``(left[k], right[k])`` of
+        stored segments, evaluated in one vectorized batch.
+
+        Bitwise identical to per-query :meth:`member_to_all` lookups
+        (both share one kernel) and symmetric in ``left``/``right`` —
+        the property the batched neighbor graph relies on to evaluate
+        each unordered pair once.  Self-pairs (``left[k] == right[k]``)
+        are pinned to exactly 0, mirroring :meth:`member_to_all`.
+        """
+        result = self.pairs_components(segments, left, right).weighted_sum(
+            self.w_perp, self.w_par, self.w_theta
+        )
+        result[np.asarray(left) == np.asarray(right)] = 0.0
+        return result
 
     def member_to_all(self, index: int, segments: SegmentSet) -> np.ndarray:
         """Distances from stored segment *index* to the whole set.

@@ -72,7 +72,8 @@ class SegmentGrid:
         hi = np.maximum(self.segments.starts[index], self.segments.ends[index])
         lo_cell, hi_cell = self._cell_range(lo, hi)
         spans = hi_cell - lo_cell + 1
-        if int(np.prod(spans)) > self.max_cells_per_segment:
+        # Product in float: tiny cells give spans that overflow int64.
+        if float(np.prod(spans, dtype=np.float64)) > self.max_cells_per_segment:
             self._oversize.append(index)
             return
         ranges = [range(int(a), int(b) + 1) for a, b in zip(lo_cell, hi_cell)]
@@ -89,7 +90,7 @@ class SegmentGrid:
         lo_cell, hi_cell = self._cell_range(lo, hi)
         spans = hi_cell - lo_cell + 1
         found: List[int] = list(self._oversize)
-        if int(np.prod(spans)) > 16 * self.max_cells_per_segment:
+        if float(np.prod(spans, dtype=np.float64)) > 16 * self.max_cells_per_segment:
             # The window covers most of the domain; scanning every cell
             # key is cheaper than rasterising the window.
             for cell, members in self._cells.items():

@@ -58,6 +58,7 @@ def recommend_parameters(
     distance: Optional[SegmentDistance] = None,
     method: str = "grid",
     rng: Optional[np.random.Generator] = None,
+    neighborhood_method: str = "auto",
 ) -> ParameterEstimate:
     """Run the Section 4.4 heuristic on a partitioned segment set.
 
@@ -73,6 +74,11 @@ def recommend_parameters(
         also returns the full entropy curve for plotting Figures 16/19);
         ``"anneal"`` — the paper's simulated annealing over the same
         bracket.
+    neighborhood_method:
+        How ``|N_eps|`` is counted: ``"auto"``/``"batch"`` stream the
+        batched candidate-pair join of
+        :mod:`repro.cluster.neighbor_graph`; ``"brute"`` loops one
+        distance row per segment.  Identical counts either way.
     """
     if len(segments) == 0:
         raise ParameterSearchError("cannot recommend parameters for zero segments")
@@ -87,7 +93,9 @@ def recommend_parameters(
         raise ParameterSearchError("eps_values must be non-empty")
 
     if method == "grid":
-        entropies, avg_sizes = entropy_curve(segments, grid, distance)
+        entropies, avg_sizes = entropy_curve(
+            segments, grid, distance, method=neighborhood_method
+        )
         best = int(np.argmin(entropies))
         eps = float(grid[best])
         entropy = float(entropies[best])
@@ -102,6 +110,7 @@ def recommend_parameters(
             distance=distance,
             quantum=max(quantum, 1e-9),
             rng=rng,
+            neighborhood_method=neighborhood_method,
         )
         curve_eps, curve_entropy = (), ()
     else:

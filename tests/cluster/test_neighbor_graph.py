@@ -1,0 +1,219 @@
+"""Unit tests for the batched CSR neighbor graph and its engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.neighbor_graph import (
+    NeighborGraph,
+    PrecomputedNeighborhood,
+    neighborhood_size_counts,
+)
+from repro.cluster.neighborhood import (
+    AUTO_BATCH_THRESHOLD,
+    BruteForceNeighborhood,
+    make_neighborhood_engine,
+)
+from repro.distance.weighted import SegmentDistance
+from repro.exceptions import ClusteringError
+from repro.model.segment import Segment
+from repro.model.segmentset import SegmentSet
+from repro.params.entropy import neighborhood_size_curve
+
+
+class TestNeighborGraphStructure:
+    def test_csr_invariants(self, random_segments):
+        graph = NeighborGraph.build(random_segments, eps=12.0)
+        n = len(random_segments)
+        assert graph.n_segments == n
+        assert graph.indptr.shape == (n + 1,)
+        assert graph.indptr[0] == 0 and graph.indptr[-1] == graph.n_edges
+        assert graph.indices.shape == graph.data.shape
+        for i in range(n):
+            row = graph.row(i)
+            assert np.all(np.diff(row) > 0)  # ascending, no duplicates
+            assert i in row  # diagonal present
+            dists = graph.row_distances(i)
+            assert np.all(dists <= 12.0)
+            assert dists[np.searchsorted(row, i)] == 0.0
+
+    def test_symmetry(self, random_segments):
+        graph = NeighborGraph.build(random_segments, eps=15.0)
+        for i in range(len(random_segments)):
+            for j in graph.row(i):
+                assert i in graph.row(int(j))
+
+    def test_sizes_match_rows(self, random_segments):
+        graph = NeighborGraph.build(random_segments, eps=9.0)
+        sizes = graph.sizes()
+        assert np.array_equal(
+            sizes,
+            [graph.row(i).size for i in range(len(random_segments))],
+        )
+
+    def test_small_pair_block_same_graph(self, random_segments):
+        whole = NeighborGraph.build(random_segments, eps=10.0)
+        blocked = NeighborGraph.build(random_segments, eps=10.0, pair_block=7)
+        assert np.array_equal(whole.indptr, blocked.indptr)
+        assert np.array_equal(whole.indices, blocked.indices)
+        assert np.array_equal(whole.data, blocked.data)
+
+    def test_empty_set(self):
+        graph = NeighborGraph.build(SegmentSet.empty(), eps=1.0)
+        assert graph.n_segments == 0 and graph.n_edges == 0
+
+    def test_negative_eps_raises(self, random_segments):
+        with pytest.raises(ClusteringError):
+            NeighborGraph.build(random_segments, eps=-1.0)
+
+    def test_rows_are_read_only(self, random_segments):
+        graph = NeighborGraph.build(random_segments, eps=10.0)
+        with pytest.raises(ValueError):
+            graph.row(0)[0] = 99
+
+
+class TestRestrict:
+    def test_restrict_equals_fresh_build(self, random_segments):
+        wide = NeighborGraph.build(random_segments, eps=25.0)
+        narrow = wide.restrict(8.0)
+        fresh = NeighborGraph.build(random_segments, eps=8.0)
+        assert np.array_equal(narrow.indptr, fresh.indptr)
+        assert np.array_equal(narrow.indices, fresh.indices)
+        assert np.array_equal(narrow.data, fresh.data)
+
+    def test_restrict_to_wider_raises(self, random_segments):
+        graph = NeighborGraph.build(random_segments, eps=5.0)
+        with pytest.raises(ClusteringError):
+            graph.restrict(6.0)
+
+
+class TestPrecomputedEngine:
+    def test_matches_brute(self, random_segments):
+        brute = BruteForceNeighborhood(random_segments, 10.0)
+        batch = PrecomputedNeighborhood(random_segments, 10.0)
+        assert np.array_equal(
+            brute.neighborhood_sizes(), batch.neighborhood_sizes()
+        )
+        for i in range(len(random_segments)):
+            assert np.array_equal(brute.neighbors_of(i), batch.neighbors_of(i))
+
+    def test_accepts_wider_prebuilt_graph(self, random_segments):
+        wide = NeighborGraph.build(random_segments, eps=30.0)
+        engine = PrecomputedNeighborhood(random_segments, 10.0, graph=wide)
+        brute = BruteForceNeighborhood(random_segments, 10.0)
+        for i in range(len(random_segments)):
+            assert np.array_equal(brute.neighbors_of(i), engine.neighbors_of(i))
+
+    def test_rejects_mismatched_graph(self, random_segments):
+        other = NeighborGraph.build(random_segments.subset(range(5)), eps=3.0)
+        with pytest.raises(ClusteringError):
+            PrecomputedNeighborhood(random_segments, 3.0, graph=other)
+
+    def test_rejects_narrower_prebuilt_graph(self, random_segments):
+        narrow = NeighborGraph.build(random_segments, eps=2.0)
+        with pytest.raises(ClusteringError):
+            PrecomputedNeighborhood(random_segments, 10.0, graph=narrow)
+
+
+class TestPrebuiltEngineGuards:
+    def test_dbscan_rejects_engine_with_other_eps(self, random_segments):
+        from repro.cluster.dbscan import LineSegmentDBSCAN
+
+        engine = PrecomputedNeighborhood(random_segments, 1.0)
+        dbscan = LineSegmentDBSCAN(eps=5.0, min_lns=3)
+        with pytest.raises(ClusteringError):
+            dbscan.fit(random_segments, engine=engine)
+
+    def test_dbscan_rejects_engine_over_other_segments(self, random_segments):
+        from repro.cluster.dbscan import LineSegmentDBSCAN
+
+        subset = random_segments.subset(range(10))
+        engine = PrecomputedNeighborhood(subset, 5.0)
+        dbscan = LineSegmentDBSCAN(eps=5.0, min_lns=3)
+        with pytest.raises(ClusteringError):
+            dbscan.fit(random_segments, engine=engine)
+
+    def test_optics_rejects_narrower_graph(self, random_segments):
+        from repro.cluster.optics import LineSegmentOPTICS
+
+        narrow = NeighborGraph.build(random_segments, eps=0.5)
+        optics = LineSegmentOPTICS(eps=5.0, min_lns=2)
+        with pytest.raises(ClusteringError):
+            optics.fit(random_segments, graph=narrow)
+
+    def test_optics_per_query_methods_skip_graph_and_match(
+        self, random_segments, monkeypatch
+    ):
+        """'grid'/'rtree' are the memory-capped escape hatch: OPTICS
+        must run the per-query loop (no O(E) graph) yet produce the
+        identical reachability plot."""
+        from repro.cluster import optics as optics_module
+        from repro.cluster.optics import LineSegmentOPTICS
+
+        reference = LineSegmentOPTICS(
+            8.0, 3, neighborhood_method="batch"
+        ).fit(random_segments)
+
+        class ForbiddenGraph:
+            @staticmethod
+            def build(*args, **kwargs):
+                raise AssertionError("per-query method materialized the graph")
+
+        monkeypatch.setattr(optics_module, "NeighborGraph", ForbiddenGraph)
+        for method in ("grid", "rtree"):
+            result = LineSegmentOPTICS(
+                8.0, 3, neighborhood_method=method
+            ).fit(random_segments)
+            assert np.array_equal(reference.ordering, result.ordering)
+            assert np.array_equal(
+                reference.reachability, result.reachability
+            )
+
+
+class TestFactoryBatch:
+    def test_explicit_batch(self, random_segments):
+        engine = make_neighborhood_engine(random_segments, 1.0, method="batch")
+        assert isinstance(engine, PrecomputedNeighborhood)
+
+    def test_auto_large_set_uses_batch(self):
+        rng = np.random.default_rng(9)
+        n = AUTO_BATCH_THRESHOLD
+        store = SegmentSet.from_segments(
+            Segment(rng.uniform(0, 50, 2), rng.uniform(0, 50, 2), seg_id=i)
+            for i in range(n)
+        )
+        engine = make_neighborhood_engine(store, 4.0, method="auto")
+        assert isinstance(engine, PrecomputedNeighborhood)
+
+    def test_auto_degenerate_weights_fall_back_to_brute(self):
+        rng = np.random.default_rng(10)
+        store = SegmentSet.from_segments(
+            Segment(rng.uniform(0, 50, 2), rng.uniform(0, 50, 2), seg_id=i)
+            for i in range(AUTO_BATCH_THRESHOLD)
+        )
+        engine = make_neighborhood_engine(
+            store, 4.0, SegmentDistance(w_par=0.0), method="auto"
+        )
+        assert isinstance(engine, BruteForceNeighborhood)
+
+
+class TestStreamingCounts:
+    def test_matches_brute_curve(self, random_segments):
+        eps_values = np.array([0.0, 2.0, 7.5, 7.5, 31.0, 4.0])
+        batched = neighborhood_size_counts(random_segments, eps_values)
+        legacy = neighborhood_size_curve(
+            random_segments, eps_values, method="brute"
+        )
+        assert np.array_equal(batched, legacy)
+
+    def test_small_blocks_identical(self, random_segments):
+        eps_values = np.array([1.0, 6.0, 18.0])
+        assert np.array_equal(
+            neighborhood_size_counts(random_segments, eps_values, pair_block=5),
+            neighborhood_size_counts(random_segments, eps_values),
+        )
+
+    def test_rejects_bad_thresholds(self, random_segments):
+        with pytest.raises(ClusteringError):
+            neighborhood_size_counts(random_segments, [])
+        with pytest.raises(ClusteringError):
+            neighborhood_size_counts(random_segments, [-1.0])

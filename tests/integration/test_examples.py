@@ -1,27 +1,38 @@
 """Every example script must run cleanly end-to-end.
 
 Examples are executed as subprocesses with a temporary working
-directory so their SVG artifacts land in the sandbox.
+directory so their SVG artifacts land in the sandbox.  The subprocess
+environment gets ``src`` prepended to ``PYTHONPATH`` — the examples
+import :mod:`repro`, which the test process resolves via its own
+``PYTHONPATH`` but a child interpreter would not inherit a working
+import path for.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 
 def run_example(name, tmp_path, timeout=300):
     script = EXAMPLES_DIR / name
     assert script.exists(), f"missing example {name}"
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
     result = subprocess.run(
         [sys.executable, str(script)],
         cwd=str(tmp_path),
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout
