@@ -26,7 +26,7 @@ Quickstart
 True
 """
 
-from repro.core.config import TraclusConfig
+from repro.core.config import StreamConfig, TraclusConfig
 from repro.core.traclus import TRACLUS, traclus
 from repro.cluster.dbscan import LineSegmentDBSCAN, cluster_segments
 from repro.cluster.optics import LineSegmentOPTICS
@@ -45,13 +45,16 @@ from repro.representative.sweep import (
     RepresentativeConfig,
     generate_representative,
 )
+from repro.stream import StreamingTRACLUS
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TRACLUS",
     "traclus",
     "TraclusConfig",
+    "StreamConfig",
+    "StreamingTRACLUS",
     "LineSegmentDBSCAN",
     "cluster_segments",
     "LineSegmentOPTICS",

@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Four subcommands, composable through CSV/JSON files:
+Five subcommands, composable through CSV/JSON files:
 
 * ``cluster``  — run TRACLUS on a trajectory CSV, write JSON/SVG results;
 * ``params``   — run the Section 4.4 heuristic and print the estimates;
 * ``generate`` — write one of the built-in synthetic datasets to CSV;
 * ``render``   — render a trajectory CSV (optionally with a result JSON)
-  to SVG.
+  to SVG;
+* ``stream``   — tail a trajectory CSV through the online pipeline and
+  print label deltas as points arrive.
 
 Examples
 --------
@@ -17,6 +19,7 @@ Examples
     python -m repro cluster tracks.csv --eps 6 --min-lns 8 \
         --json result.json --svg result.svg
     python -m repro render tracks.csv -o tracks.svg
+    python -m repro stream tracks.csv --eps 6 --min-lns 8 --window 5000
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.neighborhood import NEIGHBORHOOD_METHODS
-from repro.core.config import TraclusConfig
+from repro.core.config import StreamConfig, TraclusConfig
 from repro.core.traclus import TRACLUS
 from repro.datasets.hurricane import generate_hurricane_tracks
 from repro.datasets.starkey import generate_deer1995, generate_elk1993
@@ -37,10 +40,15 @@ from repro.datasets.synthetic import (
     add_noise_trajectories,
     generate_corridor_set,
 )
-from repro.io.csvio import read_trajectories_csv, write_trajectories_csv
+from repro.io.csvio import (
+    iter_point_rows,
+    read_trajectories_csv,
+    write_trajectories_csv,
+)
 from repro.io.jsonio import result_to_dict
 from repro.params.heuristic import recommend_parameters
 from repro.partition.approximate import partition_all
+from repro.stream.pipeline import StreamingTRACLUS
 from repro.viz.svg import render_result_svg, render_trajectories_svg
 
 
@@ -105,6 +113,40 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("-o", "--output", required=True)
     render.add_argument("--width", type=int, default=900)
     render.add_argument("--height", type=int, default=650)
+
+    stream = sub.add_parser(
+        "stream",
+        help="tail a trajectory CSV through the online pipeline and "
+             "print label deltas",
+    )
+    stream.add_argument("input", help="trajectory CSV (long format)")
+    stream.add_argument("--eps", type=float, required=True,
+                        help="neighborhood radius (required: the entropy "
+                             "heuristic needs the whole dataset)")
+    stream.add_argument("--min-lns", type=float, required=True,
+                        help="density threshold MinLns")
+    stream.add_argument("--window", type=int, default=None,
+                        help="sliding-window cap on live segments")
+    stream.add_argument("--horizon", type=float, default=None,
+                        help="evict segments more than this far behind the "
+                             "newest timestamp")
+    stream.add_argument("--suppression", type=float, default=0.0,
+                        help="partitioning suppression constant (Sec 4.1.3)")
+    stream.add_argument("--undirected", action="store_true",
+                        help="use the undirected angle distance")
+    stream.add_argument("--use-weights", action="store_true",
+                        help="weighted eps-neighborhood cardinality")
+    stream.add_argument("--batch-points", type=int, default=25,
+                        help="points buffered per trajectory before a "
+                             "clustering update (1 = update per point)")
+    stream.add_argument("--follow", action="store_true",
+                        help="keep tailing the file after EOF (tail -f)")
+    stream.add_argument("--poll", type=float, default=0.5,
+                        help="seconds between polls with --follow")
+    stream.add_argument("--max-deltas", type=int, default=12,
+                        help="label changes printed per update (0 = quiet)")
+    stream.add_argument("--checkpoint", default=None,
+                        help="write a stream checkpoint here on exit")
 
     return parser
 
@@ -197,6 +239,91 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_label(label: Optional[int]) -> str:
+    if label is None:
+        return "out"
+    return "noise" if label < 0 else f"c{label}"
+
+
+def _print_update(update, event: int, max_deltas: int) -> None:
+    print(
+        f"[{event:>5}] live={len(update.labels):>5} "
+        f"clusters={update.n_clusters:>3} "
+        f"+{len(update.inserted)} -{len(update.evicted)} segs, "
+        f"{len(update.changed)} label changes"
+    )
+    if max_deltas <= 0:
+        return
+    for slot in sorted(update.changed)[:max_deltas]:
+        old, new = update.changed[slot]
+        print(f"        seg {slot}: {_format_label(old)} -> {_format_label(new)}")
+    if len(update.changed) > max_deltas:
+        print(f"        ... {len(update.changed) - max_deltas} more")
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    config = StreamConfig(
+        eps=args.eps,
+        min_lns=args.min_lns,
+        directed=not args.undirected,
+        suppression=args.suppression,
+        use_weights=args.use_weights,
+        max_segments=args.window,
+        horizon=args.horizon,
+    )
+    pipeline = StreamingTRACLUS(config)
+    if args.batch_points < 1:
+        raise SystemExit("--batch-points must be >= 1")
+    pending: "dict[int, list]" = {}
+    opened: "set[int]" = set()
+    event = 0
+
+    def flush(traj_id: int) -> None:
+        nonlocal event
+        rows = pending.pop(traj_id)
+        points = np.array([r.point for r in rows])
+        times = [r.time for r in rows]
+        # First row wins on weight (matching read_trajectories_csv);
+        # later batches keep the opening weight even if the column
+        # drifts mid-trajectory.
+        weight = None if traj_id in opened else rows[0].weight
+        opened.add(traj_id)
+        update = pipeline.append(
+            traj_id,
+            points,
+            times=None if times[0] is None else times,
+            weight=weight,
+        )
+        event += 1
+        if update.changed or update.inserted or update.evicted:
+            _print_update(update, event, args.max_deltas)
+
+    try:
+        for row in iter_point_rows(
+            args.input, follow=args.follow, poll=args.poll
+        ):
+            pending.setdefault(row.traj_id, []).append(row)
+            if len(pending[row.traj_id]) >= args.batch_points:
+                flush(row.traj_id)
+        for traj_id in sorted(pending):
+            flush(traj_id)
+    except KeyboardInterrupt:
+        print("\ninterrupted — final state below")
+    slots, labels = pipeline.labels()
+    n_clusters = int(labels.max()) + 1 if labels.size else 0
+    noise = int(np.sum(labels < 0))
+    print(
+        f"final: {max(n_clusters, 0)} clusters over {slots.size} live "
+        f"segments ({noise} noise)"
+    )
+    if args.checkpoint:
+        from repro.stream.checkpoint import save_checkpoint
+
+        save_checkpoint(pipeline, args.checkpoint)
+        print(f"wrote {args.checkpoint}")
+    return 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     trajectories = read_trajectories_csv(args.input)
     render_trajectories_svg(
@@ -211,6 +338,7 @@ _COMMANDS = {
     "params": _cmd_params,
     "generate": _cmd_generate,
     "render": _cmd_render,
+    "stream": _cmd_stream,
 }
 
 

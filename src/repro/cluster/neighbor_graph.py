@@ -76,22 +76,268 @@ def candidate_radius(eps: float, distance: SegmentDistance) -> float:
     )
 
 
+#: Mirrors ``SegmentGrid(max_cells_per_segment=...)``: segments whose
+#: bbox covers more cells go to the always-candidate oversize list.
+_MAX_CELLS_PER_SEGMENT = 1024
+
+#: Mirrors the grid engine's big-window escape hatch: query windows
+#: covering more cells than this scan the registration ranges directly.
+_HUGE_WINDOW_CELLS = 16 * _MAX_CELLS_PER_SEGMENT
+
+#: Window cells enumerated per vectorized chunk (bounds the scratch of
+#: the cell-key join).
+_CELL_CHUNK_BUDGET = 1 << 16
+
+
+def _suffix_products(spans: np.ndarray) -> np.ndarray:
+    """Row-wise mixed-radix strides: ``strides[:, k] = prod(spans[:, k+1:])``."""
+    strides = np.ones_like(spans)
+    for k in range(spans.shape[1] - 2, -1, -1):
+        strides[:, k] = strides[:, k + 1] * spans[:, k + 1]
+    return strides
+
+
+def _enumerate_cells(
+    lo_cells: np.ndarray, spans: np.ndarray, counts: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand row-wise integer cell ranges into ``(owner_row, coords)``
+    arrays: every cell of row ``r``'s box appears once, owner-major."""
+    total = int(counts.sum())
+    owners = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    strides = _suffix_products(spans)
+    coords = lo_cells[owners] + (
+        offsets[:, None] // strides[owners]
+    ) % spans[owners]
+    return owners, coords
+
+
+def _vector_candidate_stream(
+    segments: SegmentSet,
+    eps: float,
+    distance: SegmentDistance,
+    cell_size: Optional[float],
+    pair_block: int,
+) -> Optional[Iterator[Tuple[np.ndarray, np.ndarray]]]:
+    """Vectorized per-cell candidate generation.
+
+    Emits the same candidate pairs as the per-query grid walk (same
+    cell layout, same oversize and big-window rules) without a Python
+    loop over segments: registration cells and query windows are
+    enumerated with mixed-radix array arithmetic, candidates come from
+    one ``searchsorted`` join against the sorted cell keys, and each
+    unordered pair is *owned by its smaller id* (only ``candidate >
+    query`` survives), so a pair can never be emitted from two chunks.
+    Peak scratch is bounded by chunking both the cell enumeration
+    (:data:`_CELL_CHUNK_BUDGET` cells) and the member expansion
+    (``pair_block`` candidates, split at query boundaries).
+
+    Returns ``None`` when the cell coordinates cannot be packed into
+    int64 keys (gigantic extent/cell-size ratios); the caller then
+    falls back to the per-query grid walk.
+    """
+    n = len(segments)
+    if n < 2:
+        return iter(())
+    radius = candidate_radius(eps, distance)
+    cs = float(cell_size) if cell_size else max(radius, 1e-9)
+    box_lo = np.minimum(segments.starts, segments.ends)
+    box_hi = np.maximum(segments.starts, segments.ends)
+    origin = box_lo.min(axis=0)
+    with np.errstate(over="ignore", invalid="ignore"):
+        reg_lo_f = np.floor((box_lo - origin) / cs)
+        reg_hi_f = np.floor((box_hi - origin) / cs)
+        qry_lo_f = np.floor((box_lo - radius - origin) / cs)
+        qry_hi_f = np.floor((box_hi + radius - origin) / cs)
+    bound = 2.0**62
+    if not (
+        np.all(np.isfinite(qry_lo_f))
+        and np.all(np.isfinite(qry_hi_f))
+        and float(np.abs(qry_lo_f).max()) < bound
+        and float(np.abs(qry_hi_f).max()) < bound
+    ):
+        return None
+    glo = qry_lo_f.min(axis=0).astype(np.int64)
+    ghi = qry_hi_f.max(axis=0).astype(np.int64)
+    extents = ghi - glo + 1
+    if float(np.prod(extents.astype(np.float64))) >= bound:
+        return None
+    radix = np.ones(extents.shape[0], dtype=np.int64)
+    for k in range(extents.shape[0] - 2, -1, -1):
+        radix[k] = radix[k + 1] * extents[k + 1]
+
+    reg_lo = reg_lo_f.astype(np.int64)
+    reg_hi = reg_hi_f.astype(np.int64)
+    qry_lo = qry_lo_f.astype(np.int64)
+    qry_hi = qry_hi_f.astype(np.int64)
+
+    def encode(coords: np.ndarray) -> np.ndarray:
+        return (coords - glo) @ radix
+
+    def generate() -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        # --- registration: sorted cell keys with member groups --------
+        reg_spans = reg_hi - reg_lo + 1
+        reg_cells = np.prod(reg_spans.astype(np.float64), axis=1)
+        oversize_mask = reg_cells > _MAX_CELLS_PER_SEGMENT
+        oversize = np.flatnonzero(oversize_mask)
+        registered = np.flatnonzero(~oversize_mask)
+        if registered.size:
+            counts = np.prod(reg_spans[registered], axis=1)
+            owners, coords = _enumerate_cells(
+                reg_lo[registered], reg_spans[registered], counts
+            )
+            keys = encode(coords)
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            members = registered[owners[order]]
+            unique_keys, group_start = np.unique(
+                sorted_keys, return_index=True
+            )
+            group_count = np.diff(
+                np.append(group_start, sorted_keys.size)
+            )
+        else:
+            members = np.empty(0, dtype=np.int64)
+            unique_keys = np.empty(0, dtype=np.int64)
+            group_start = np.empty(0, dtype=np.int64)
+            group_count = np.empty(0, dtype=np.int64)
+
+        def emit(
+            left: np.ndarray, right: np.ndarray
+        ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+            for at in range(0, left.size, pair_block):
+                yield left[at:at + pair_block], right[at:at + pair_block]
+
+        # --- huge-window queries: scan registration ranges ------------
+        qry_spans = qry_hi - qry_lo + 1
+        window_cells = np.prod(qry_spans.astype(np.float64), axis=1)
+        for i in np.flatnonzero(window_cells > _HUGE_WINDOW_CELLS).tolist():
+            hit = np.all(
+                (reg_lo <= qry_hi[i]) & (reg_hi >= qry_lo[i]), axis=1
+            )
+            hit &= ~oversize_mask
+            mates = np.union1d(np.flatnonzero(hit), oversize)
+            mates = mates[mates > i]
+            if mates.size:
+                yield from emit(
+                    np.full(mates.size, i, dtype=np.int64), mates
+                )
+
+        # --- normal queries: chunked cell-key join --------------------
+        queries = np.flatnonzero(window_cells <= _HUGE_WINDOW_CELLS)
+        if queries.size == 0:
+            return
+        query_cells = np.prod(qry_spans[queries], axis=1)
+        cell_cum = np.cumsum(query_cells)
+        start = 0
+        while start < queries.size:
+            base = cell_cum[start - 1] if start else 0
+            stop = int(
+                np.searchsorted(cell_cum, base + _CELL_CHUNK_BUDGET, "right")
+            )
+            stop = min(max(stop, start + 1), queries.size)
+            chunk = queries[start:stop]
+            counts = query_cells[start:stop]
+            rows, coords = _enumerate_cells(
+                qry_lo[chunk], qry_spans[chunk], counts
+            )
+            keys = encode(coords)
+            pos = np.searchsorted(unique_keys, keys)
+            np.clip(pos, 0, max(unique_keys.size - 1, 0), out=pos)
+            matched = (
+                unique_keys[pos] == keys
+                if unique_keys.size
+                else np.zeros(keys.size, dtype=bool)
+            )
+            match_row = rows[matched]
+            match_gid = pos[matched]
+            match_count = group_count[match_gid]
+            # Split the member expansion at query boundaries so no
+            # sub-chunk materializes (much) more than pair_block
+            # candidates — the same bound the per-query walk has.
+            per_query = np.bincount(
+                match_row, weights=match_count, minlength=chunk.size
+            ).astype(np.int64) + oversize.size
+            expansion_cum = np.cumsum(per_query)
+            row_bounds = np.searchsorted(
+                match_row, np.arange(chunk.size + 1)
+            )
+            sub = 0
+            while sub < chunk.size:
+                base2 = expansion_cum[sub - 1] if sub else 0
+                sub_stop = int(
+                    np.searchsorted(expansion_cum, base2 + pair_block, "right")
+                )
+                sub_stop = min(max(sub_stop, sub + 1), chunk.size)
+                lo_m, hi_m = row_bounds[sub], row_bounds[sub_stop]
+                sub_row = match_row[lo_m:hi_m]
+                sub_gid = match_gid[lo_m:hi_m]
+                sub_cnt = match_count[lo_m:hi_m]
+                expanded = int(sub_cnt.sum())
+                if expanded:
+                    member_at = (
+                        np.arange(expanded, dtype=np.int64)
+                        - np.repeat(np.cumsum(sub_cnt) - sub_cnt, sub_cnt)
+                        + np.repeat(group_start[sub_gid], sub_cnt)
+                    )
+                    query_ids = chunk[np.repeat(sub_row, sub_cnt)]
+                    candidates = members[member_at]
+                else:
+                    query_ids = np.empty(0, dtype=np.int64)
+                    candidates = np.empty(0, dtype=np.int64)
+                if oversize.size:
+                    span = chunk[sub:sub_stop]
+                    query_ids = np.concatenate(
+                        [query_ids, np.repeat(span, oversize.size)]
+                    )
+                    candidates = np.concatenate(
+                        [candidates, np.tile(oversize, span.size)]
+                    )
+                keep = candidates > query_ids
+                if np.any(keep):
+                    pair_keys = np.unique(
+                        query_ids[keep] * n + candidates[keep]
+                    )
+                    yield from emit(pair_keys // n, pair_keys % n)
+                sub = sub_stop
+            start = stop
+
+    return generate()
+
+
 def _candidate_pair_stream(
     segments: SegmentSet,
     eps: float,
     distance: SegmentDistance,
     cell_size: Optional[float],
     pair_block: int,
+    vectorized: Optional[bool] = None,
 ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
     """Yield ``(left, right)`` blocks of candidate pairs, ``left < right``
     row-wise, each block at most ``pair_block`` pairs.
 
     Every pair within distance ε appears in exactly one block (the grid
-    prefilter is a superset; duplicates cannot occur because pair
-    ``(i, j)`` is only emitted from ``i``'s window).
+    prefilter is a superset; duplicates cannot occur because a pair is
+    only emitted from its smaller member's window).
+
+    ``vectorized`` selects the candidate generator when the geometric
+    prefilter applies: ``None`` (default) uses the vectorized cell join
+    of :func:`_vector_candidate_stream` and falls back to the per-query
+    grid walk when the cell-key space cannot be packed into int64;
+    ``False`` forces the grid walk (the pre-vectorization reference,
+    kept for benchmarking and as the fallback).
     """
     n = len(segments)
     prefilter = distance.w_perp > 0 and distance.w_par > 0
+    if prefilter and vectorized is not False:
+        stream = _vector_candidate_stream(
+            segments, eps, distance, cell_size, pair_block
+        )
+        if stream is not None:
+            yield from stream
+            return
     if prefilter:
         radius = candidate_radius(eps, distance)
         grid = SegmentGrid(
@@ -163,8 +409,14 @@ class NeighborGraph:
         distance: Optional[SegmentDistance] = None,
         cell_size: Optional[float] = None,
         pair_block: int = DEFAULT_PAIR_BLOCK,
+        vectorized_candidates: Optional[bool] = None,
     ) -> "NeighborGraph":
-        """Compute the whole ε-neighborhood relation in one blocked pass."""
+        """Compute the whole ε-neighborhood relation in one blocked pass.
+
+        ``vectorized_candidates`` forwards to
+        :func:`_candidate_pair_stream` (``False`` forces the per-query
+        grid walk; the default auto-selects the vectorized cell join).
+        """
         if eps < 0:
             raise ClusteringError(f"eps must be non-negative, got {eps}")
         if pair_block < 1:
@@ -177,7 +429,8 @@ class NeighborGraph:
         kept_right: List[np.ndarray] = []
         kept_dist: List[np.ndarray] = []
         for left, right in _candidate_pair_stream(
-            segments, eps, distance, cell_size, pair_block
+            segments, eps, distance, cell_size, pair_block,
+            vectorized=vectorized_candidates,
         ):
             dists = distance.pairs(segments, left, right)
             mask = dists <= eps

@@ -110,3 +110,79 @@ class TraclusConfig:
             w_theta=self.w_theta,
             directed=self.directed,
         )
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Parameters of a streaming TRACLUS session.
+
+    Unlike :class:`TraclusConfig`, ``eps`` and ``min_lns`` are required
+    — the Section 4.4 entropy heuristic needs the whole segment set,
+    which an online session never has.  Two sliding-window eviction
+    policies bound the working set (both may be active at once):
+
+    max_segments:
+        Count window — after each append the oldest live segments are
+        evicted until at most this many remain.
+    horizon:
+        Timestamp window — segments whose stamp falls more than
+        ``horizon`` behind the newest ingested stamp are evicted.
+        Stamps come from per-point ``times`` (or the point index on
+        untimed feeds), so horizons assume feed-wide comparable clocks.
+
+    The remaining knobs mirror their :class:`TraclusConfig`
+    counterparts; ``dim`` fixes the stream's spatial dimensionality up
+    front (an online store cannot infer it from data it has not seen).
+    """
+
+    eps: float
+    min_lns: float
+    w_perp: float = 1.0
+    w_par: float = 1.0
+    w_theta: float = 1.0
+    directed: bool = True
+    suppression: float = 0.0
+    cardinality_threshold: Optional[float] = None
+    use_weights: bool = False
+    gamma: float = 0.0
+    max_segments: Optional[int] = None
+    horizon: Optional[float] = None
+    dim: int = 2
+
+    def __post_init__(self):
+        if self.eps < 0:
+            raise ClusteringError(f"eps must be non-negative, got {self.eps}")
+        if self.min_lns <= 0:
+            raise ClusteringError(f"min_lns must be positive, got {self.min_lns}")
+        if self.suppression < 0:
+            raise ClusteringError(
+                f"suppression must be non-negative, got {self.suppression}"
+            )
+        if self.gamma < 0:
+            raise ClusteringError(f"gamma must be non-negative, got {self.gamma}")
+        if self.cardinality_threshold is not None and self.cardinality_threshold < 0:
+            raise ClusteringError(
+                "cardinality_threshold must be non-negative, got "
+                f"{self.cardinality_threshold}"
+            )
+        if self.max_segments is not None and self.max_segments < 1:
+            raise ClusteringError(
+                f"max_segments must be positive, got {self.max_segments}"
+            )
+        if self.horizon is not None and self.horizon < 0:
+            raise ClusteringError(
+                f"horizon must be non-negative, got {self.horizon}"
+            )
+        if self.dim < 1:
+            raise ClusteringError(f"dim must be positive, got {self.dim}")
+        # Delegate weight validation to SegmentDistance.
+        self.distance()
+
+    def distance(self) -> SegmentDistance:
+        """The configured :class:`SegmentDistance`."""
+        return SegmentDistance(
+            w_perp=self.w_perp,
+            w_par=self.w_par,
+            w_theta=self.w_theta,
+            directed=self.directed,
+        )

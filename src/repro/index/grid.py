@@ -80,6 +80,34 @@ class SegmentGrid:
         for cell in product(*ranges):
             self._cells.setdefault(cell, []).append(index)
 
+    # -- dynamic maintenance -------------------------------------------------
+    def insert(self, index: int) -> None:
+        """Register stored segment *index* (for dynamic callers whose
+        segment store grows after construction)."""
+        if not 0 <= index < len(self.segments):
+            raise IndexError_(
+                f"segment index {index} out of range 0..{len(self.segments) - 1}"
+            )
+        self._insert(index)
+
+    def remove(self, index: int) -> None:
+        """Unregister stored segment *index*.  The segment's coordinates
+        must be unchanged since insertion (cells are recomputed from
+        them)."""
+        lo = np.minimum(self.segments.starts[index], self.segments.ends[index])
+        hi = np.maximum(self.segments.starts[index], self.segments.ends[index])
+        lo_cell, hi_cell = self._cell_range(lo, hi)
+        spans = hi_cell - lo_cell + 1
+        if float(np.prod(spans, dtype=np.float64)) > self.max_cells_per_segment:
+            self._oversize.remove(index)
+            return
+        ranges = [range(int(a), int(b) + 1) for a, b in zip(lo_cell, hi_cell)]
+        for cell in product(*ranges):
+            members = self._cells[cell]
+            members.remove(index)
+            if not members:
+                del self._cells[cell]
+
     # -- queries -----------------------------------------------------------
     def candidates_in_window(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
         """Indices of all segments whose boxes *may* overlap the window

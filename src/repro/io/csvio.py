@@ -7,12 +7,18 @@ The on-disk format is long/tidy: one row per point,
 with a header naming the columns.  ``weight`` and ``label`` are
 carried in optional per-trajectory metadata columns (repeated on every
 row of the trajectory; the first row wins on read).
+
+:func:`iter_point_rows` reads the same format *incrementally* — one
+point per yield, optionally tailing a growing file — for the streaming
+pipeline (``repro stream``).
 """
 
 from __future__ import annotations
 
 import csv
-from typing import List, Sequence, TextIO, Union
+import time
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, TextIO, Union
 
 import numpy as np
 
@@ -117,3 +123,74 @@ def read_trajectories_csv(source: Union[str, TextIO]) -> List[Trajectory]:
             )
         )
     return trajectories
+
+
+@dataclass(frozen=True)
+class PointRow:
+    """One point of the long CSV format, read incrementally."""
+
+    traj_id: int
+    point: np.ndarray
+    weight: float
+    time: Optional[float]
+
+
+def iter_point_rows(
+    source: Union[str, TextIO],
+    follow: bool = False,
+    poll: float = 0.5,
+    max_polls: Optional[int] = None,
+) -> Iterator[PointRow]:
+    """Yield the points of a long-format trajectory CSV one at a time.
+
+    With ``follow=True`` the iterator does not stop at end-of-file: it
+    sleeps *poll* seconds and retries, tailing a file another process
+    is appending to (``tail -f`` semantics; partial trailing lines are
+    left in place until their newline arrives).  ``max_polls`` bounds
+    the number of consecutive empty polls (``None`` = forever).
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8", newline="") as handle:
+            yield from iter_point_rows(handle, follow, poll, max_polls)
+            return
+    header_line = source.readline()
+    if not header_line.strip():
+        raise DatasetError("empty CSV input")
+    header = next(csv.reader([header_line]))
+    try:
+        id_col = header.index("traj_id")
+    except ValueError:
+        raise DatasetError("CSV header must contain a 'traj_id' column") from None
+    coord_cols = [k for k, name in enumerate(header) if name.startswith("c")]
+    if not coord_cols:
+        raise DatasetError("CSV header has no coordinate (c*) columns")
+    weight_col = header.index("weight") if "weight" in header else None
+    time_col = header.index("t") if "t" in header else None
+
+    idle_polls = 0
+    # Text-mode tell() costs more than the readline itself, so track
+    # rewind positions only when tailing can actually rewind.
+    position = source.tell() if follow else 0
+    while True:
+        line = source.readline()
+        if not line or (follow and not line.endswith("\n")):
+            if not follow or (max_polls is not None and idle_polls >= max_polls):
+                return
+            # While tailing, a line may still be mid-write: rewind so
+            # the retry sees it whole.
+            source.seek(position)
+            idle_polls += 1
+            time.sleep(poll)
+            continue
+        if follow:
+            position = source.tell()
+        idle_polls = 0
+        if not line.strip():
+            continue
+        row = next(csv.reader([line]))
+        yield PointRow(
+            traj_id=int(row[id_col]),
+            point=np.array([float(row[k]) for k in coord_cols]),
+            weight=float(row[weight_col]) if weight_col is not None else 1.0,
+            time=float(row[time_col]) if time_col is not None else None,
+        )

@@ -1,6 +1,7 @@
 """Trajectory partitioning (Section 3): MDL cost model, the O(n)
 approximate algorithm of Figure 8, the exact dynamic-programming
-optimum, and the precision measurement comparing the two.
+optimum, the precision measurement comparing the two, and the
+resumable incremental scanner behind the streaming subsystem.
 """
 
 from repro.partition.mdl import (
@@ -16,6 +17,7 @@ from repro.partition.approximate import (
     partition_all,
 )
 from repro.partition.exact import exact_partition
+from repro.partition.incremental import IncrementalPartitioner
 from repro.partition.precision import partitioning_precision
 
 __all__ = [
@@ -28,5 +30,6 @@ __all__ = [
     "partition_trajectory",
     "partition_all",
     "exact_partition",
+    "IncrementalPartitioner",
     "partitioning_precision",
 ]

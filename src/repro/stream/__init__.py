@@ -1,0 +1,43 @@
+"""Streaming TRACLUS: online ingestion, dynamic ε-graph maintenance,
+and incremental cluster labels.
+
+The batch pipeline (:mod:`repro.core.traclus`) recomputes everything
+from scratch; this subsystem maintains the same outputs under
+append-only point streams and sliding-window eviction:
+
+* :mod:`repro.stream.ingest` — per-trajectory point appends are
+  re-partitioned only on the affected suffix
+  (:class:`~repro.partition.incremental.IncrementalPartitioner`),
+  emitting segment insert/retract deltas;
+* :mod:`repro.stream.dynamic_graph` — the ε-neighborhood relation is
+  maintained under segment insert and evict, with edges bitwise
+  identical to a batch :class:`~repro.cluster.neighbor_graph.NeighborGraph`
+  rebuild (both run the same pair kernel);
+* :mod:`repro.stream.online_dbscan` — DBSCAN labels are maintained
+  incrementally (core promotion/demotion, union-find merges, bounded
+  local reclustering on splits) and reproduce a fresh batch
+  :class:`~repro.cluster.dbscan.LineSegmentDBSCAN` refit exactly;
+* :mod:`repro.stream.pipeline` — :class:`StreamingTRACLUS` glues the
+  three together and applies the eviction window;
+* :mod:`repro.stream.checkpoint` — snapshot/restore of the whole
+  streaming state.
+"""
+
+from repro.stream.checkpoint import load_checkpoint, save_checkpoint
+from repro.stream.dynamic_graph import DynamicNeighborGraph, StreamSegmentStore
+from repro.stream.ingest import SegmentRecord, StreamDelta, TrajectoryStream
+from repro.stream.online_dbscan import OnlineDBSCAN
+from repro.stream.pipeline import StreamingTRACLUS, StreamUpdate
+
+__all__ = [
+    "DynamicNeighborGraph",
+    "OnlineDBSCAN",
+    "SegmentRecord",
+    "StreamDelta",
+    "StreamSegmentStore",
+    "StreamingTRACLUS",
+    "StreamUpdate",
+    "TrajectoryStream",
+    "load_checkpoint",
+    "save_checkpoint",
+]

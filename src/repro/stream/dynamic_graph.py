@@ -1,0 +1,367 @@
+"""Dynamic ε-neighborhood graph: the PR-1 batch relation under updates.
+
+:class:`StreamSegmentStore` is the streaming counterpart of
+:class:`~repro.model.segmentset.SegmentSet`: an append-only columnar
+store with an alive mask.  Slots are never reused — a slot id is a
+stable, monotonically increasing identity, so the *relative order* of
+any two live slots equals their positional order in a compacted
+:class:`SegmentSet`.  That invariant is what keeps the equal-length
+tie-break of the distance kernel (smaller id acts as ``Li``) — and
+therefore every computed distance — bitwise identical between the
+online graph and a batch rebuild on the surviving segments.
+
+:class:`DynamicNeighborGraph` maintains the ε-neighborhood relation
+under segment insert and evict:
+
+* **insert** — the new segment is registered in a
+  :class:`~repro.index.grid.SegmentGrid` over the store; its candidate
+  mates come from the same expanded-bbox window (same
+  :func:`~repro.cluster.neighbor_graph.candidate_radius`, same
+  subnormal floor) the batch builder uses, and the surviving edges are
+  filtered by the same symmetric pair kernel
+  (:meth:`SegmentDistance.pairs <repro.distance.weighted.SegmentDistance.pairs>`).
+  A zero ``w_perp``/``w_par`` voids the geometric prefilter exactly as
+  documented for the batch builder, and the candidate set degrades to
+  all live slots.
+* **evict** — the segment leaves the grid and its adjacency rows are
+  unlinked; neighbors are reported so label maintenance can react.
+
+Because candidate generation is a superset in both regimes and the
+kernel is shared, ``neighbors_of`` answers are bitwise identical to a
+fresh :class:`~repro.cluster.neighbor_graph.NeighborGraph` built over
+the compacted survivors — the property tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.neighbor_graph import candidate_radius
+from repro.distance.weighted import SegmentDistance
+from repro.exceptions import ClusteringError
+from repro.index.grid import SegmentGrid
+from repro.model.segmentset import SegmentSet
+
+#: Initial slot capacity of a :class:`StreamSegmentStore`.
+_INITIAL_CAPACITY = 64
+
+
+class StreamSegmentStore:
+    """Append-only columnar segment store with an alive mask.
+
+    Exposes the same column attributes the vectorized distance kernels
+    read (``starts``, ``ends``, ``traj_ids``, ``weights``, ``lengths``)
+    trimmed to the allocated slot count, so a
+    :class:`~repro.distance.weighted.SegmentDistance` treats it exactly
+    like a :class:`SegmentSet`.  Dead slots keep their (frozen)
+    coordinates; they are simply never offered as candidates.
+    """
+
+    def __init__(self, dim: int = 2):
+        if dim < 1:
+            raise ClusteringError(f"dim must be positive, got {dim}")
+        self._dim = int(dim)
+        self._capacity = _INITIAL_CAPACITY
+        self._starts = np.empty((self._capacity, dim), dtype=np.float64)
+        self._ends = np.empty((self._capacity, dim), dtype=np.float64)
+        self._traj_ids = np.empty(self._capacity, dtype=np.int64)
+        self._weights = np.empty(self._capacity, dtype=np.float64)
+        self._stamps = np.empty(self._capacity, dtype=np.float64)
+        self._alive = np.zeros(self._capacity, dtype=bool)
+        self._n = 0
+        self._n_alive = 0
+
+    # -- column views (duck-typed SegmentSet) ------------------------------
+    def __len__(self) -> int:
+        """Allocated slots (dead included) — the index space."""
+        return self._n
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def starts(self) -> np.ndarray:
+        return self._starts[: self._n]
+
+    @property
+    def ends(self) -> np.ndarray:
+        return self._ends[: self._n]
+
+    @property
+    def traj_ids(self) -> np.ndarray:
+        return self._traj_ids[: self._n]
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._weights[: self._n]
+
+    @property
+    def stamps(self) -> np.ndarray:
+        return self._stamps[: self._n]
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return np.linalg.norm(self.ends - self.starts, axis=1)
+
+    @property
+    def alive_mask(self) -> np.ndarray:
+        return self._alive[: self._n]
+
+    @property
+    def n_alive(self) -> int:
+        return self._n_alive
+
+    def alive_slots(self) -> np.ndarray:
+        """Live slot ids, ascending."""
+        return np.flatnonzero(self._alive[: self._n])
+
+    def is_alive(self, slot: int) -> bool:
+        return bool(0 <= slot < self._n and self._alive[slot])
+
+    # -- mutation ----------------------------------------------------------
+    def _grow(self) -> None:
+        self._capacity *= 2
+        for name in ("_starts", "_ends"):
+            grown = np.empty((self._capacity, self._dim), dtype=np.float64)
+            grown[: self._n] = getattr(self, name)[: self._n]
+            setattr(self, name, grown)
+        for name, dtype in (
+            ("_traj_ids", np.int64),
+            ("_weights", np.float64),
+            ("_stamps", np.float64),
+        ):
+            grown = np.empty(self._capacity, dtype=dtype)
+            grown[: self._n] = getattr(self, name)[: self._n]
+            setattr(self, name, grown)
+        grown_alive = np.zeros(self._capacity, dtype=bool)
+        grown_alive[: self._n] = self._alive[: self._n]
+        self._alive = grown_alive
+
+    def append(
+        self,
+        start: np.ndarray,
+        end: np.ndarray,
+        traj_id: int,
+        weight: float = 1.0,
+        stamp: float = 0.0,
+    ) -> int:
+        """Allocate a live slot; returns its (stable) id."""
+        start = np.asarray(start, dtype=np.float64)
+        end = np.asarray(end, dtype=np.float64)
+        if start.shape != (self._dim,) or end.shape != (self._dim,):
+            raise ClusteringError(
+                f"endpoints must be ({self._dim},) vectors, got "
+                f"{start.shape} and {end.shape}"
+            )
+        if weight <= 0:
+            raise ClusteringError(f"segment weight must be positive, got {weight}")
+        if self._n == self._capacity:
+            self._grow()
+        slot = self._n
+        self._starts[slot] = start
+        self._ends[slot] = end
+        self._traj_ids[slot] = int(traj_id)
+        self._weights[slot] = float(weight)
+        self._stamps[slot] = float(stamp)
+        self._alive[slot] = True
+        self._n += 1
+        self._n_alive += 1
+        return slot
+
+    def kill(self, slot: int) -> None:
+        if not self.is_alive(slot):
+            raise ClusteringError(f"slot {slot} is not alive")
+        self._alive[slot] = False
+        self._n_alive -= 1
+
+    def compact(self) -> Tuple[SegmentSet, np.ndarray]:
+        """The survivors as an immutable :class:`SegmentSet` (positional
+        ids in ascending slot order) plus the slot array mapping each
+        position back to its slot."""
+        slots = self.alive_slots()
+        segments = SegmentSet(
+            self._starts[slots].copy(),
+            self._ends[slots].copy(),
+            self._traj_ids[slots].copy(),
+            self._weights[slots].copy(),
+        )
+        return segments, slots
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamSegmentStore(n_slots={self._n}, "
+            f"n_alive={self._n_alive}, dim={self._dim})"
+        )
+
+
+class DynamicNeighborGraph:
+    """ε-neighborhood adjacency maintained under insert and evict."""
+
+    def __init__(
+        self,
+        eps: float,
+        distance: Optional[SegmentDistance] = None,
+        dim: int = 2,
+        cell_size: Optional[float] = None,
+    ):
+        if eps < 0:
+            raise ClusteringError(f"eps must be non-negative, got {eps}")
+        self.eps = float(eps)
+        self.distance = distance if distance is not None else SegmentDistance()
+        self.store = StreamSegmentStore(dim=dim)
+        self._prefilter = self.distance.w_perp > 0 and self.distance.w_par > 0
+        if self._prefilter:
+            self._radius = candidate_radius(self.eps, self.distance)
+            self._grid = SegmentGrid(
+                self.store,
+                cell_size=cell_size if cell_size else max(self._radius, 1e-9),
+            )
+        else:
+            self._radius = None
+            self._grid = None
+        #: proper neighbors only (no self loop), distance per edge.
+        self._adjacency: Dict[int, Dict[int, float]] = {}
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def n_alive(self) -> int:
+        return self.store.n_alive
+
+    @property
+    def n_edges(self) -> int:
+        """Symmetric edges, each unordered pair counted once."""
+        return sum(len(row) for row in self._adjacency.values()) // 2
+
+    def neighbors_of(self, slot: int) -> np.ndarray:
+        """``N_eps`` of live *slot*, ascending, self included — the same
+        row a batch :class:`NeighborGraph` over the survivors holds."""
+        if not self.store.is_alive(slot):
+            raise ClusteringError(f"slot {slot} is not alive")
+        row = np.fromiter(
+            self._adjacency[slot], dtype=np.int64,
+            count=len(self._adjacency[slot]),
+        )
+        return np.sort(np.append(row, slot))
+
+    def neighbor_distances(self, slot: int) -> Dict[int, float]:
+        """Proper-neighbor distances of live *slot* (no self entry)."""
+        if not self.store.is_alive(slot):
+            raise ClusteringError(f"slot {slot} is not alive")
+        return dict(self._adjacency[slot])
+
+    def adjacent(self, slot: int):
+        """Proper-neighbor slots of live *slot* (unordered view, no
+        copy) — the hot path for label maintenance."""
+        return self._adjacency[slot].keys()
+
+    # -- updates -----------------------------------------------------------
+    def insert(
+        self,
+        start: np.ndarray,
+        end: np.ndarray,
+        traj_id: int,
+        weight: float = 1.0,
+        stamp: float = 0.0,
+    ) -> Tuple[int, np.ndarray]:
+        """Add a segment; returns ``(slot, proper_neighbors)`` with the
+        neighbor slots ascending."""
+        slot = self.store.append(start, end, traj_id, weight, stamp)
+        if self._grid is not None:
+            self._grid.insert(slot)
+            candidates = self._grid.candidates_near(slot, self._radius)
+            candidates = candidates[
+                self.store.alive_mask[candidates] & (candidates != slot)
+            ]
+        else:
+            candidates = self.store.alive_slots()
+            candidates = candidates[candidates != slot]
+        row: Dict[int, float] = {}
+        if candidates.size:
+            dists = self.distance.pairs(
+                self.store,
+                np.full(candidates.size, slot, dtype=np.int64),
+                candidates,
+            )
+            mask = dists <= self.eps
+            for mate, dist in zip(candidates[mask], dists[mask]):
+                mate = int(mate)
+                dist = float(dist)
+                row[mate] = dist
+                self._adjacency[mate][slot] = dist
+        self._adjacency[slot] = row
+        return slot, np.sort(
+            np.fromiter(row, dtype=np.int64, count=len(row))
+        )
+
+    def evict(self, slot: int) -> np.ndarray:
+        """Remove a live segment; returns its former proper neighbors
+        (ascending)."""
+        if not self.store.is_alive(slot):
+            raise ClusteringError(f"slot {slot} is not alive")
+        row = self._adjacency.pop(slot)
+        for mate in row:
+            del self._adjacency[mate][slot]
+        if self._grid is not None:
+            self._grid.remove(slot)
+        self.store.kill(slot)
+        return np.sort(np.fromiter(row, dtype=np.int64, count=len(row)))
+
+    # -- checkpointing -----------------------------------------------------
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(u, v, dist)`` with ``u < v``, each unordered edge once."""
+        us: List[int] = []
+        vs: List[int] = []
+        ds: List[float] = []
+        for u, row in self._adjacency.items():
+            for v, dist in row.items():
+                if u < v:
+                    us.append(u)
+                    vs.append(v)
+                    ds.append(dist)
+        return (
+            np.asarray(us, dtype=np.int64),
+            np.asarray(vs, dtype=np.int64),
+            np.asarray(ds, dtype=np.float64),
+        )
+
+    def restore_slots(
+        self,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        traj_ids: np.ndarray,
+        weights: np.ndarray,
+        stamps: np.ndarray,
+        alive: np.ndarray,
+        edges_u: np.ndarray,
+        edges_v: np.ndarray,
+        edges_d: np.ndarray,
+    ) -> None:
+        """Refill an *empty* graph from checkpointed slot and edge
+        arrays without re-evaluating any distance."""
+        if len(self.store) or self._adjacency:
+            raise ClusteringError("can only restore into an empty graph")
+        for slot in range(starts.shape[0]):
+            self.store.append(
+                starts[slot], ends[slot], int(traj_ids[slot]),
+                float(weights[slot]), float(stamps[slot]),
+            )
+            if alive[slot]:
+                self._adjacency[slot] = {}
+                if self._grid is not None:
+                    self._grid.insert(slot)
+            else:
+                self.store.kill(slot)
+        for u, v, dist in zip(
+            edges_u.tolist(), edges_v.tolist(), edges_d.tolist()
+        ):
+            self._adjacency[u][v] = dist
+            self._adjacency[v][u] = dist
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicNeighborGraph(eps={self.eps}, n_alive={self.n_alive}, "
+            f"n_edges={self.n_edges})"
+        )

@@ -1,0 +1,208 @@
+"""Trajectory ingestion: point appends in, segment deltas out.
+
+:class:`TrajectoryStream` owns one
+:class:`~repro.partition.incremental.IncrementalPartitioner` per
+trajectory and translates its resumable Figure 8 scan into a *delta
+protocol* over segments:
+
+* every emitted segment carries a stream-unique integer ``key``;
+* a **committed** segment (between two committed characteristic
+  points) is inserted once and never touched again;
+* the **trailing** segment (last committed point to the current last
+  point) is retracted and re-inserted on every append that moves the
+  trajectory's end.
+
+Consumers apply a :class:`StreamDelta` by evicting the retracted keys
+and inserting the new records, in that order.  After any sequence of
+appends the live records equal the segments a batch
+``SegmentSet.from_partitions`` would produce for the same points —
+that is what makes online clustering comparable to a batch refit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import TrajectoryError
+from repro.partition.incremental import IncrementalPartitioner
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One segment emitted by the stream.
+
+    ``stamp`` is the event time of the segment's end point (the point
+    index when the feed carries no timestamps) — eviction horizons are
+    expressed against it.  ``trailing`` marks records that a later
+    append to the same trajectory will retract.
+    """
+
+    key: int
+    traj_id: int
+    start: np.ndarray
+    end: np.ndarray
+    weight: float
+    stamp: float
+    trailing: bool
+
+
+@dataclass(frozen=True)
+class StreamDelta:
+    """Retract-then-insert instructions for one append."""
+
+    inserted: Tuple[SegmentRecord, ...]
+    retracted: Tuple[int, ...]
+
+    def __bool__(self) -> bool:
+        return bool(self.inserted or self.retracted)
+
+
+class _TrajectoryState:
+    __slots__ = ("partitioner", "weight", "times", "trailing_key")
+
+    def __init__(self, partitioner: IncrementalPartitioner, weight: float):
+        self.partitioner = partitioner
+        self.weight = weight
+        self.times: Optional[List[float]] = None
+        self.trailing_key: Optional[int] = None
+
+
+class TrajectoryStream:
+    """Multi-trajectory append-only ingestion front end."""
+
+    def __init__(self, suppression: float = 0.0):
+        self.suppression = float(suppression)
+        self._trajectories: Dict[int, _TrajectoryState] = {}
+        self._next_key = 0
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def traj_ids(self) -> List[int]:
+        return sorted(self._trajectories)
+
+    def n_points(self, traj_id: int) -> int:
+        state = self._trajectories.get(int(traj_id))
+        return 0 if state is None else state.partitioner.n_points
+
+    def characteristic_points(self, traj_id: int) -> List[int]:
+        state = self._trajectories.get(int(traj_id))
+        if state is None:
+            raise TrajectoryError(f"unknown trajectory id {traj_id}")
+        return state.partitioner.characteristic_points()
+
+    # -- ingestion ---------------------------------------------------------
+    def _take_key(self) -> int:
+        key = self._next_key
+        self._next_key += 1
+        return key
+
+    def _record(
+        self,
+        state: _TrajectoryState,
+        traj_id: int,
+        a: int,
+        b: int,
+        trailing: bool,
+    ) -> SegmentRecord:
+        points = state.partitioner.points
+        stamp = state.times[b] if state.times is not None else float(b)
+        return SegmentRecord(
+            key=self._take_key(),
+            traj_id=traj_id,
+            start=points[a].copy(),
+            end=points[b].copy(),
+            weight=state.weight,
+            stamp=stamp,
+            trailing=trailing,
+        )
+
+    def append(
+        self,
+        traj_id: int,
+        points: Union[Sequence[Sequence[float]], np.ndarray],
+        times: Optional[Sequence[float]] = None,
+        weight: Optional[float] = None,
+    ) -> StreamDelta:
+        """Append *points* to trajectory *traj_id* and return the delta.
+
+        ``times`` (one stamp per appended point, non-decreasing across
+        appends) enables timestamp-horizon eviction; a trajectory must
+        be consistently timed or consistently untimed.  ``weight`` is
+        fixed at the trajectory's first append (default 1.0); passing
+        any explicit weight that differs from it later is an error,
+        ``None`` means "keep the opening weight".
+        """
+        traj_id = int(traj_id)
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points[None, :]
+        state = self._trajectories.get(traj_id)
+        if state is None:
+            opening_weight = 1.0 if weight is None else float(weight)
+            if opening_weight <= 0:
+                raise TrajectoryError(
+                    f"trajectory weight must be positive, got {weight}"
+                )
+            state = _TrajectoryState(
+                IncrementalPartitioner(self.suppression), opening_weight
+            )
+            self._trajectories[traj_id] = state
+            if times is not None:
+                state.times = []
+        elif weight is not None and state.weight != float(weight):
+            raise TrajectoryError(
+                f"trajectory {traj_id} was opened with weight "
+                f"{state.weight}; cannot change it to {weight}"
+            )
+        if (times is not None) != (state.times is not None):
+            raise TrajectoryError(
+                f"trajectory {traj_id} must be consistently timed: "
+                f"times {'given' if times is not None else 'missing'} now, "
+                f"{'missing' if times is not None else 'given'} before"
+            )
+        if times is not None:
+            times = np.asarray(times, dtype=np.float64)
+            if times.shape != (points.shape[0],):
+                raise TrajectoryError(
+                    f"times must have one entry per appended point: "
+                    f"{times.shape} vs {points.shape[0]}"
+                )
+            if np.any(np.diff(times) < 0) or (
+                state.times and times[0] < state.times[-1]
+            ):
+                raise TrajectoryError("timestamps must be non-decreasing")
+
+        part = state.partitioner
+        previous_last = part.committed[-1] if part.n_points else None
+        had_trailing = state.trailing_key is not None
+        newly_committed = part.append(points)
+        if times is not None:
+            state.times.extend(float(t) for t in times)
+
+        retracted: List[int] = []
+        inserted: List[SegmentRecord] = []
+        if had_trailing:
+            # The trajectory's end moved: the old trailing segment is
+            # stale whether or not new points were committed.
+            retracted.append(state.trailing_key)
+            state.trailing_key = None
+        anchor = previous_last if previous_last is not None else 0
+        for cp in newly_committed:
+            inserted.append(self._record(state, traj_id, anchor, cp, False))
+            anchor = cp
+        last_committed = part.committed[-1]
+        end = part.n_points - 1
+        if end > last_committed:
+            record = self._record(state, traj_id, last_committed, end, True)
+            state.trailing_key = record.key
+            inserted.append(record)
+        return StreamDelta(tuple(inserted), tuple(retracted))
+
+    def __repr__(self) -> str:
+        return (
+            f"TrajectoryStream(n_trajectories={len(self._trajectories)}, "
+            f"next_key={self._next_key})"
+        )

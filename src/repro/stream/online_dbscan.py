@@ -1,0 +1,406 @@
+"""Incremental line-segment DBSCAN: Figure 12 labels under updates.
+
+The batch algorithm's output is a *deterministic function of the
+ε-graph* — no replay of its scan is needed.  Unwinding Figure 12:
+
+* a segment is **core** iff its ε-cardinality (count, or summed weight
+  with the Section 4.2 extension) reaches MinLns; cardinality is fixed
+  by the graph, so "previously noise" segments can never expand;
+* cores that are ε-neighbors always share a cluster (a core reached by
+  an earlier cluster's expansion is itself expanded into it), so the
+  clusters' core sets are exactly the **connected components of the
+  core subgraph**;
+* each cluster is fully expanded before the scan proceeds (Figure 12
+  line 09), so clusters *form* in ascending order of their smallest
+  core index (their *seed*), and a contested **border** segment
+  (non-core with core neighbors) is claimed by the earliest-formed
+  component among them — expansion (line 23) never overwrites a
+  cluster label — *unless* the border lies in the ε-neighborhood of a
+  later-formed cluster's seed: line 07 assigns the whole seed
+  neighborhood unconditionally, so the last seed adjacent to the
+  border wins;
+* Step 3 removes clusters below the trajectory-cardinality threshold
+  and the survivors are renumbered densely in formation order.
+
+:class:`OnlineDBSCAN` therefore maintains, per update: exact
+cardinalities, core promotion/demotion, the core components (merge via
+union-by-size; splits by reclustering bounded to the affected
+component), and per-segment core-neighbor sets for border assignment.
+:meth:`labels` evaluates the rules above — and because slot order
+equals compacted positional order, the result is *identical* (not just
+equivalent up to relabeling) to ``LineSegmentDBSCAN.fit`` on the
+surviving segments.  Representative trajectories (Figure 15) are
+refreshed lazily: clusters whose membership is unchanged reuse the
+cached sweep result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.distance.weighted import SegmentDistance
+from repro.exceptions import ClusteringError
+from repro.model.cluster import NOISE, Cluster
+from repro.representative.sweep import (
+    RepresentativeConfig,
+    generate_representative,
+)
+from repro.stream.dynamic_graph import DynamicNeighborGraph
+
+
+class OnlineDBSCAN:
+    """Figure 12 labels maintained under segment insert and evict.
+
+    Parameters mirror :class:`~repro.cluster.dbscan.LineSegmentDBSCAN`
+    (eps, MinLns, distance, the Step-3 ``cardinality_threshold``
+    defaulting to MinLns, and ``use_weights``); ``dim`` fixes the
+    spatial dimensionality of the stream.
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        min_lns: float,
+        distance: Optional[SegmentDistance] = None,
+        cardinality_threshold: Optional[float] = None,
+        use_weights: bool = False,
+        dim: int = 2,
+    ):
+        if eps < 0:
+            raise ClusteringError(f"eps must be non-negative, got {eps}")
+        if min_lns <= 0:
+            raise ClusteringError(f"min_lns must be positive, got {min_lns}")
+        self.eps = float(eps)
+        self.min_lns = float(min_lns)
+        self.distance = distance if distance is not None else SegmentDistance()
+        self.cardinality_threshold = (
+            float(cardinality_threshold)
+            if cardinality_threshold is not None
+            else float(min_lns)
+        )
+        self.use_weights = bool(use_weights)
+        self.graph = DynamicNeighborGraph(self.eps, self.distance, dim=dim)
+        # |N_eps| including self: int count, or the batch-identical
+        # weighted sum (recomputed on touch; see _cardinality).
+        self._card: Dict[int, float] = {}
+        self._core: Set[int] = set()
+        # Core ε-neighbors of every live slot (cores adjacent to a core
+        # are, by the component invariant, always in the same component).
+        self._core_neighbors: Dict[int, Set[int]] = {}
+        # Core components: opaque token per core.  Tokens come from a
+        # monotone counter, never from slot ids — a demoted slot can be
+        # promoted again later, and a slot-id token it minted earlier
+        # may still name a surviving component.
+        self._comp_of: Dict[int, int] = {}
+        self._comp_members: Dict[int, Set[int]] = {}
+        self._comp_min: Dict[int, int] = {}
+        self._next_comp = 0
+        self._rep_cache: Dict[bytes, np.ndarray] = {}
+
+    # -- cardinality -------------------------------------------------------
+    @property
+    def store(self):
+        return self.graph.store
+
+    def _cardinality(self, slot: int) -> float:
+        """Exact |N_eps(slot)| as the batch computes it.
+
+        Weighted sums are *recomputed* from the ascending neighbor row
+        (never incrementally adjusted): ``np.sum`` over the same-order
+        array is bitwise identical to the batch's, so a sum that lands
+        exactly on MinLns classifies identically — float drift from
+        repeated add/subtract would not.
+        """
+        if not self.use_weights:
+            return float(len(self.graph.adjacent(slot)) + 1)
+        neighbors = self.graph.neighbors_of(slot)
+        return float(np.sum(self.store.weights[neighbors]))
+
+    def cardinality(self, slot: int) -> float:
+        if slot not in self._card:
+            raise ClusteringError(f"slot {slot} is not alive")
+        return self._card[slot]
+
+    def is_core(self, slot: int) -> bool:
+        return slot in self._core
+
+    # -- component machinery -----------------------------------------------
+    def _new_component(self, members: Set[int]) -> int:
+        token = self._next_comp
+        self._next_comp += 1
+        for member in members:
+            self._comp_of[member] = token
+        self._comp_members[token] = members
+        self._comp_min[token] = min(members)
+        return token
+
+    def _union(self, a: int, b: int) -> None:
+        ra, rb = self._comp_of[a], self._comp_of[b]
+        if ra == rb:
+            return
+        if len(self._comp_members[ra]) < len(self._comp_members[rb]):
+            ra, rb = rb, ra
+        small = self._comp_members.pop(rb)
+        for member in small:
+            self._comp_of[member] = ra
+        self._comp_members[ra].update(small)
+        self._comp_min[ra] = min(
+            self._comp_min[ra], self._comp_min.pop(rb)
+        )
+
+    def _promote(self, slots: List[int]) -> None:
+        """Make *slots* core (flags and singleton components first, then
+        unions — order-independent even when two promotions are
+        adjacent)."""
+        for u in slots:
+            self._core.add(u)
+            self._new_component({u})
+            for w in self.graph.adjacent(u):
+                self._core_neighbors[w].add(u)
+        for u in slots:
+            for w in list(self._core_neighbors[u]):
+                self._union(u, w)
+
+    def _remove_from_component(self, x: int) -> int:
+        root = self._comp_of.pop(x)
+        self._comp_members[root].discard(x)
+        return root
+
+    def _repair_components(
+        self, removals_by_root: Dict[int, List[Tuple[int, int]]]
+    ) -> None:
+        """Re-establish connectivity of each affected component after
+        core removals.  ``removals_by_root[root]`` lists ``(slot,
+        core_degree_at_removal)`` pairs; a lone degree<=1 removal cannot
+        disconnect the rest, so the BFS recluster (bounded to the
+        component) runs only when a split is possible."""
+        for root, removals in removals_by_root.items():
+            members = self._comp_members[root]
+            if not members:
+                del self._comp_members[root]
+                del self._comp_min[root]
+                continue
+            if len(removals) == 1 and removals[0][1] <= 1:
+                if removals[0][0] == self._comp_min[root]:
+                    self._comp_min[root] = min(members)
+                continue
+            del self._comp_members[root]
+            del self._comp_min[root]
+            remaining = set(members)
+            while remaining:
+                seed = remaining.pop()
+                component = {seed}
+                stack = [seed]
+                while stack:
+                    u = stack.pop()
+                    for w in self._core_neighbors[u]:
+                        if w in remaining:
+                            remaining.discard(w)
+                            component.add(w)
+                            stack.append(w)
+                self._new_component(component)
+
+    # -- updates -----------------------------------------------------------
+    def insert(
+        self,
+        start: np.ndarray,
+        end: np.ndarray,
+        traj_id: int,
+        weight: float = 1.0,
+        stamp: float = 0.0,
+    ) -> int:
+        """Add one segment; returns its slot id."""
+        slot, neighbors = self.graph.insert(start, end, traj_id, weight, stamp)
+        self._core_neighbors[slot] = {
+            int(v) for v in neighbors if int(v) in self._core
+        }
+        if self.use_weights:
+            self._card[slot] = self._cardinality(slot)
+            for v in neighbors:
+                self._card[int(v)] = self._cardinality(int(v))
+        else:
+            self._card[slot] = float(neighbors.size + 1)
+            for v in neighbors:
+                self._card[int(v)] += 1.0
+        promoted = [
+            u
+            for u in [slot, *(int(v) for v in neighbors)]
+            if u not in self._core and self._card[u] >= self.min_lns
+        ]
+        if promoted:
+            self._promote(promoted)
+        return slot
+
+    def evict(self, slot: int) -> None:
+        """Remove one live segment (graph, cardinalities, labels)."""
+        was_core = slot in self._core
+        core_degree = len(self._core_neighbors.get(slot, ()))
+        neighbors = self.graph.evict(slot)
+        del self._card[slot]
+        del self._core_neighbors[slot]
+        if self.use_weights:
+            for v in neighbors:
+                self._card[int(v)] = self._cardinality(int(v))
+        else:
+            for v in neighbors:
+                self._card[int(v)] -= 1.0
+        removals_by_root: Dict[int, List[Tuple[int, int]]] = {}
+        if was_core:
+            self._core.discard(slot)
+            for v in neighbors:
+                self._core_neighbors[int(v)].discard(slot)
+            root = self._remove_from_component(slot)
+            removals_by_root.setdefault(root, []).append((slot, core_degree))
+        for v in neighbors:
+            v = int(v)
+            if v in self._core and self._card[v] < self.min_lns:
+                degree = len(self._core_neighbors[v])
+                self._core.discard(v)
+                for w in self.graph.adjacent(v):
+                    self._core_neighbors[w].discard(v)
+                root = self._remove_from_component(v)
+                removals_by_root.setdefault(root, []).append((v, degree))
+        if removals_by_root:
+            self._repair_components(removals_by_root)
+
+    # -- labels ------------------------------------------------------------
+    def labels(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(slots, labels)``: live slot ids ascending and their Figure
+        12 labels (>= 0 cluster id in formation order after the Step-3
+        filter, -1 noise) — exactly what ``LineSegmentDBSCAN.fit`` on
+        the compacted survivors returns."""
+        slots = self.store.alive_slots()
+        labels = np.full(slots.size, NOISE, dtype=np.int64)
+        if slots.size == 0:
+            return slots, labels
+        roots_in_formation_order = sorted(
+            self._comp_members, key=self._comp_min.__getitem__
+        )
+        rank = {root: k for k, root in enumerate(roots_in_formation_order)}
+        core = self._core
+        comp_of = self._comp_of
+        comp_min = self._comp_min
+        core_neighbors = self._core_neighbors
+        for position, slot in enumerate(slots.tolist()):
+            if slot in core:
+                labels[position] = rank[comp_of[slot]]
+                continue
+            adjacent_cores = core_neighbors[slot]
+            if not adjacent_cores:
+                continue
+            # Figure 12 border rule (module docstring): the last seed
+            # whose neighborhood contains the segment wins (line 07
+            # overwrites unconditionally); with no adjacent seed, the
+            # earliest-formed cluster's expansion claimed it first.
+            first_claim = len(rank)
+            last_seed = -1
+            for neighbor in adjacent_cores:
+                root = comp_of[neighbor]
+                neighbor_rank = rank[root]
+                if neighbor_rank < first_claim:
+                    first_claim = neighbor_rank
+                if comp_min[root] == neighbor and neighbor_rank > last_seed:
+                    last_seed = neighbor_rank
+            labels[position] = last_seed if last_seed >= 0 else first_claim
+        return slots, self._filter_cardinality(slots, labels, len(rank))
+
+    def _filter_cardinality(
+        self, slots: np.ndarray, labels: np.ndarray, n_clusters: int
+    ) -> np.ndarray:
+        """Figure 12 Step 3: drop clusters with ``|PTR(C)| <
+        threshold``, renumber survivors densely in formation order."""
+        if n_clusters == 0:
+            return labels
+        clustered = labels >= 0
+        pairs = np.unique(
+            np.stack(
+                [labels[clustered], self.store.traj_ids[slots[clustered]]]
+            ),
+            axis=1,
+        )
+        ptr = np.bincount(pairs[0], minlength=n_clusters)
+        keep = ptr >= self.cardinality_threshold
+        dense = np.cumsum(keep) - 1
+        labels[clustered] = np.where(
+            keep[labels[clustered]], dense[labels[clustered]], NOISE
+        )
+        return labels
+
+    # -- representatives ---------------------------------------------------
+    def clusters(self) -> Tuple[List[Cluster], np.ndarray, np.ndarray]:
+        """``(clusters, labels, slots)`` over the compacted survivors
+        (cluster member indices are positions into the compacted set)."""
+        segments, slots = self.store.compact()
+        _, labels = self.labels()
+        clusters = [
+            Cluster(cid, np.flatnonzero(labels == cid), segments)
+            for cid in range(int(labels.max()) + 1 if labels.size else 0)
+        ]
+        return clusters, labels, slots
+
+    def representatives(
+        self, config: Optional[RepresentativeConfig] = None
+    ) -> List[Cluster]:
+        """Current clusters with representative trajectories attached.
+
+        Lazily refreshed: a cluster whose member slots are unchanged
+        since the last call reuses the cached Figure 15 sweep; the
+        cache drops entries for memberships that no longer exist.
+        """
+        if config is None:
+            config = RepresentativeConfig(min_lns=self.min_lns)
+        clusters, labels, slots = self.clusters()
+        refreshed: Dict[bytes, np.ndarray] = {}
+        for cluster in clusters:
+            signature = slots[cluster.member_indices].tobytes()
+            representative = self._rep_cache.get(signature)
+            if representative is None:
+                representative = generate_representative(cluster, config)
+            refreshed[signature] = representative
+            cluster.representative = representative
+        self._rep_cache = refreshed
+        return clusters
+
+    # -- checkpointing -----------------------------------------------------
+    def rebuild_from_graph(self) -> None:
+        """Recompute all derived label state (cardinalities, cores,
+        components) from the restored graph — one O(V + E) pass; the
+        partition it produces is the one incremental maintenance would
+        have reached (root tokens are arbitrary, labels are not)."""
+        self._card.clear()
+        self._core.clear()
+        self._core_neighbors.clear()
+        self._comp_of.clear()
+        self._comp_members.clear()
+        self._comp_min.clear()
+        alive = self.store.alive_slots().tolist()
+        for slot in alive:
+            self._card[slot] = self._cardinality(slot)
+            if self._card[slot] >= self.min_lns:
+                self._core.add(slot)
+        for slot in alive:
+            self._core_neighbors[slot] = {
+                v for v in self.graph.adjacent(slot) if v in self._core
+            }
+        unvisited = set(self._core)
+        while unvisited:
+            seed = unvisited.pop()
+            component = {seed}
+            stack = [seed]
+            while stack:
+                u = stack.pop()
+                for w in self._core_neighbors[u]:
+                    if w in unvisited:
+                        unvisited.discard(w)
+                        component.add(w)
+                        stack.append(w)
+            self._new_component(component)
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineDBSCAN(eps={self.eps}, min_lns={self.min_lns}, "
+            f"n_alive={self.store.n_alive}, n_cores={len(self._core)}, "
+            f"n_components={len(self._comp_members)})"
+        )

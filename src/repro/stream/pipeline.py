@@ -1,0 +1,177 @@
+"""The streaming TRACLUS pipeline: ingestion -> graph -> labels.
+
+:class:`StreamingTRACLUS` wires a
+:class:`~repro.stream.ingest.TrajectoryStream` (suffix-only MDL
+re-partitioning) to an :class:`~repro.stream.online_dbscan.OnlineDBSCAN`
+(incremental ε-graph and labels) and applies the configured sliding
+window.  Each :meth:`append` returns a :class:`StreamUpdate` describing
+what changed — the streaming analogue of one batch
+:meth:`TRACLUS.fit <repro.core.traclus.TRACLUS.fit>` call, at the cost
+of only the touched neighborhood.
+
+Cluster ids in consecutive updates are comparable only through the
+label maps (renumbering can shift ids when clusters form, merge, or
+fall to the Step-3 filter); ``StreamUpdate.changed`` reports exactly
+the slots whose label moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import StreamConfig
+from repro.model.cluster import Cluster
+from repro.representative.sweep import RepresentativeConfig
+from repro.stream.ingest import TrajectoryStream
+from repro.stream.online_dbscan import OnlineDBSCAN
+
+
+@dataclass(frozen=True)
+class StreamUpdate:
+    """What one append did to the clustering.
+
+    ``changed`` maps slot -> (old label, new label); ``None`` stands
+    for "not in the window" on either side.  ``labels`` is the full
+    current slot -> label map (-1 noise).
+    """
+
+    inserted: Tuple[int, ...]
+    evicted: Tuple[int, ...]
+    labels: Dict[int, int]
+    changed: Dict[int, Tuple[Optional[int], Optional[int]]]
+    n_clusters: int
+
+
+class StreamingTRACLUS:
+    """Online partition-and-group over append-only point streams."""
+
+    def __init__(self, config: StreamConfig):
+        self.config = config
+        self.stream = TrajectoryStream(suppression=config.suppression)
+        self.clusterer = OnlineDBSCAN(
+            eps=config.eps,
+            min_lns=config.min_lns,
+            distance=config.distance(),
+            cardinality_threshold=config.cardinality_threshold,
+            use_weights=config.use_weights,
+            dim=config.dim,
+        )
+        self._key_to_slot: Dict[int, int] = {}
+        self._slot_to_key: Dict[int, int] = {}
+        self._last_labels: Dict[int, int] = {}
+        self._evict_cursor = 0
+        self._max_stamp = -np.inf
+
+    # -- ingestion ---------------------------------------------------------
+    def append(
+        self,
+        traj_id: int,
+        points: Union[Sequence[Sequence[float]], np.ndarray],
+        times: Optional[Sequence[float]] = None,
+        weight: Optional[float] = None,
+    ) -> StreamUpdate:
+        """Feed points to one trajectory and update the clustering.
+
+        ``weight`` fixes the trajectory weight at its first append
+        (``None`` = default 1.0, or keep the opening weight later)."""
+        delta = self.stream.append(traj_id, points, times=times, weight=weight)
+        evicted: List[int] = []
+        for key in delta.retracted:
+            slot = self._key_to_slot.pop(key, None)
+            if slot is None:
+                continue  # already evicted by the window
+            del self._slot_to_key[slot]
+            self.clusterer.evict(slot)
+            evicted.append(slot)
+        inserted: List[int] = []
+        for record in delta.inserted:
+            slot = self.clusterer.insert(
+                record.start,
+                record.end,
+                record.traj_id,
+                record.weight,
+                record.stamp,
+            )
+            self._key_to_slot[record.key] = slot
+            self._slot_to_key[slot] = record.key
+            if record.stamp > self._max_stamp:
+                self._max_stamp = record.stamp
+            inserted.append(slot)
+        evicted.extend(self._apply_window())
+        return self._build_update(inserted, evicted)
+
+    def _evict_slot(self, slot: int) -> None:
+        key = self._slot_to_key.pop(slot)
+        self._key_to_slot.pop(key, None)
+        self.clusterer.evict(slot)
+
+    def _apply_window(self) -> List[int]:
+        """Enforce the configured eviction policies (horizon first, then
+        the count cap)."""
+        evicted: List[int] = []
+        store = self.clusterer.store
+        if self.config.horizon is not None and np.isfinite(self._max_stamp):
+            cutoff = self._max_stamp - self.config.horizon
+            for slot in store.alive_slots().tolist():
+                if store.stamps[slot] < cutoff:
+                    self._evict_slot(slot)
+                    evicted.append(slot)
+        if self.config.max_segments is not None:
+            # Slots are allocated in stream order, so the oldest live
+            # segment is the smallest live slot; the cursor only ever
+            # moves forward (amortized O(1) per eviction).
+            while store.n_alive > self.config.max_segments:
+                while not store.is_alive(self._evict_cursor):
+                    self._evict_cursor += 1
+                self._evict_slot(self._evict_cursor)
+                evicted.append(self._evict_cursor)
+        return evicted
+
+    def _build_update(
+        self, inserted: List[int], evicted: List[int]
+    ) -> StreamUpdate:
+        slots, labels = self.clusterer.labels()
+        current = dict(zip(slots.tolist(), labels.tolist()))
+        changed: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+        for slot, label in current.items():
+            old = self._last_labels.get(slot)
+            if old != label:
+                changed[slot] = (old, label)
+        for slot, old in self._last_labels.items():
+            if slot not in current:
+                changed[slot] = (old, None)
+        self._last_labels = current
+        n_clusters = int(labels.max()) + 1 if labels.size else 0
+        return StreamUpdate(
+            inserted=tuple(inserted),
+            evicted=tuple(evicted),
+            labels=current,
+            changed=changed,
+            n_clusters=max(n_clusters, 0),
+        )
+
+    # -- queries -----------------------------------------------------------
+    def labels(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current ``(slots, labels)`` (see :meth:`OnlineDBSCAN.labels`)."""
+        return self.clusterer.labels()
+
+    def representatives(self) -> List[Cluster]:
+        """Current clusters with lazily refreshed representatives."""
+        return self.clusterer.representatives(
+            RepresentativeConfig(
+                min_lns=self.config.min_lns, gamma=self.config.gamma
+            )
+        )
+
+    @property
+    def n_alive(self) -> int:
+        return self.clusterer.store.n_alive
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingTRACLUS(n_alive={self.n_alive}, "
+            f"n_trajectories={len(self.stream.traj_ids)})"
+        )

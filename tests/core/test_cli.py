@@ -32,6 +32,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explode", "x"])
 
+    @pytest.mark.parametrize("command", ["cluster", "params"])
+    def test_neighborhood_method_typo_fails_at_argparse_time(
+        self, command, capsys
+    ):
+        """``choices=`` on --neighborhood-method: a typo must die in
+        argparse (exit code 2), not deep inside the engine factory."""
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                [command, "in.csv", "--neighborhood-method", "bruet"]
+            )
+        assert excinfo.value.code == 2
+        assert "--neighborhood-method" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["cluster", "params"])
+    @pytest.mark.parametrize(
+        "method", ["auto", "brute", "grid", "rtree", "batch"]
+    )
+    def test_every_engine_name_is_accepted(self, command, method):
+        args = build_parser().parse_args(
+            [command, "in.csv", "--neighborhood-method", method]
+        )
+        assert args.neighborhood_method == method
+
+    def test_stream_requires_eps_and_min_lns(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["stream", "in.csv"])
+        assert excinfo.value.code == 2
+        assert "--eps" in capsys.readouterr().err
+
 
 class TestClusterCommand:
     def test_cluster_with_explicit_params(self, tracks_csv, tmp_path, capsys):
@@ -108,6 +137,62 @@ class TestRenderCommand:
         assert main(["render", tracks_csv, "-o", out]) == 0
         with open(out) as handle:
             assert handle.read().startswith("<svg")
+
+
+class TestStreamCommand:
+    def test_stream_over_generated_csv(self, tracks_csv, capsys):
+        assert main([
+            "stream", tracks_csv, "--eps", "8", "--min-lns", "4",
+            "--batch-points", "5",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "final:" in output
+        assert "clusters over" in output
+
+    def test_stream_with_window_and_checkpoint(self, tracks_csv, tmp_path):
+        checkpoint = str(tmp_path / "state.npz")
+        assert main([
+            "stream", tracks_csv, "--eps", "8", "--min-lns", "4",
+            "--window", "40", "--max-deltas", "0",
+            "--checkpoint", checkpoint,
+        ]) == 0
+        from repro.stream.checkpoint import load_checkpoint
+
+        pipeline = load_checkpoint(checkpoint)
+        assert pipeline.n_alive <= 40
+
+    def test_stream_tolerates_weight_drift_within_trajectory(
+        self, tmp_path, capsys
+    ):
+        """Regression: the batch reader's first-row-wins rule applies
+        to streaming too — a weight column that drifts mid-trajectory
+        must not abort the stream."""
+        path = str(tmp_path / "drift.csv")
+        with open(path, "w") as handle:
+            handle.write("traj_id,c0,c1,weight,label\n")
+            for row, weight in enumerate([2.0] * 4 + [3.0] * 4):
+                handle.write(f"0,{float(row)},0.0,{weight},\n")
+        assert main([
+            "stream", path, "--eps", "6", "--min-lns", "2",
+            "--batch-points", "3",
+        ]) == 0
+        assert "final:" in capsys.readouterr().out
+
+    def test_stream_labels_match_batch_cluster(self, tracks_csv):
+        """Unwindowed streaming of a whole CSV ends at the same labels
+        the batch `cluster` path computes."""
+        from repro.cluster.dbscan import LineSegmentDBSCAN
+        from repro.core.config import StreamConfig
+        from repro.io.csvio import iter_point_rows
+        from repro.stream.pipeline import StreamingTRACLUS
+
+        pipeline = StreamingTRACLUS(StreamConfig(eps=8.0, min_lns=4.0))
+        for row in iter_point_rows(tracks_csv):
+            pipeline.append(row.traj_id, row.point[None, :], weight=row.weight)
+        segments, _ = pipeline.clusterer.store.compact()
+        _, expected = LineSegmentDBSCAN(eps=8.0, min_lns=4.0).fit(segments)
+        _, labels = pipeline.labels()
+        assert np.array_equal(labels, expected)
 
 
 class TestPipelineViaCli:

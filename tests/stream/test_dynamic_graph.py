@@ -1,0 +1,127 @@
+"""Unit tests for the dynamic ε-graph and its segment store."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.neighbor_graph import NeighborGraph
+from repro.distance.weighted import SegmentDistance
+from repro.exceptions import ClusteringError
+from repro.stream.dynamic_graph import DynamicNeighborGraph, StreamSegmentStore
+
+
+def random_segments(n, seed=0, scale=40.0):
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0, scale, (n, 2))
+    ends = starts + rng.normal(0, 3.0, (n, 2))
+    return starts, ends
+
+
+def batch_rows(graph):
+    """Rows of a batch rebuild over the survivors, keyed by slot."""
+    segments, slots = graph.store.compact()
+    batch = NeighborGraph.build(segments, graph.eps, graph.distance)
+    return {
+        int(slot): slots[batch.row(position)]
+        for position, slot in enumerate(slots)
+    }
+
+
+class TestStreamSegmentStore:
+    def test_slots_are_stable_and_monotone(self):
+        store = StreamSegmentStore(dim=2)
+        slots = [
+            store.append([0.0, k], [1.0, k], traj_id=k) for k in range(200)
+        ]
+        assert slots == list(range(200))  # growth does not renumber
+        store.kill(5)
+        assert store.append([9.0, 9.0], [10.0, 9.0], traj_id=9) == 200
+
+    def test_compact_preserves_slot_order(self):
+        store = StreamSegmentStore(dim=2)
+        for k in range(10):
+            store.append([0.0, k], [1.0, k], traj_id=k)
+        for dead in (0, 3, 7):
+            store.kill(dead)
+        segments, slots = store.compact()
+        assert slots.tolist() == [1, 2, 4, 5, 6, 8, 9]
+        assert np.array_equal(segments.starts[:, 1], slots.astype(float))
+
+    def test_kill_twice_rejected(self):
+        store = StreamSegmentStore(dim=2)
+        slot = store.append([0.0, 0.0], [1.0, 0.0], traj_id=0)
+        store.kill(slot)
+        with pytest.raises(ClusteringError):
+            store.kill(slot)
+
+    def test_validation(self):
+        store = StreamSegmentStore(dim=2)
+        with pytest.raises(ClusteringError):
+            store.append([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], traj_id=0)
+        with pytest.raises(ClusteringError):
+            store.append([0.0, 0.0], [1.0, 0.0], traj_id=0, weight=0.0)
+
+
+class TestDynamicNeighborGraph:
+    def test_rows_match_batch_rebuild_after_inserts(self):
+        starts, ends = random_segments(60, seed=1)
+        graph = DynamicNeighborGraph(eps=4.0)
+        for k in range(60):
+            graph.insert(starts[k], ends[k], traj_id=k % 7)
+        for slot, expected in batch_rows(graph).items():
+            assert np.array_equal(graph.neighbors_of(slot), expected)
+
+    def test_rows_match_batch_rebuild_after_evictions(self):
+        starts, ends = random_segments(50, seed=2)
+        graph = DynamicNeighborGraph(eps=5.0)
+        for k in range(50):
+            graph.insert(starts[k], ends[k], traj_id=k % 5)
+        rng = np.random.default_rng(3)
+        for slot in rng.choice(50, size=20, replace=False).tolist():
+            graph.evict(slot)
+        for slot, expected in batch_rows(graph).items():
+            assert np.array_equal(graph.neighbors_of(slot), expected)
+
+    def test_distances_are_bitwise_batch_identical(self):
+        starts, ends = random_segments(40, seed=4)
+        graph = DynamicNeighborGraph(eps=6.0)
+        for k in range(40):
+            graph.insert(starts[k], ends[k], traj_id=k % 4)
+        segments, slots = graph.store.compact()
+        batch = NeighborGraph.build(segments, 6.0, graph.distance)
+        position_of = {int(slot): pos for pos, slot in enumerate(slots)}
+        for slot in slots.tolist():
+            online = graph.neighbor_distances(slot)
+            position = position_of[slot]
+            row = batch.row(position)
+            row_dists = batch.row_distances(position)
+            for mate, dist in zip(row.tolist(), row_dists.tolist()):
+                if mate == position:
+                    continue
+                assert online[int(slots[mate])] == dist  # bitwise
+
+    def test_degenerate_weights_degrade_to_all_pairs(self):
+        starts, ends = random_segments(30, seed=5)
+        distance = SegmentDistance(w_perp=0.0, w_par=1.0, w_theta=1.0)
+        graph = DynamicNeighborGraph(eps=5.0, distance=distance)
+        for k in range(30):
+            graph.insert(starts[k], ends[k], traj_id=k % 3)
+        for slot, expected in batch_rows(graph).items():
+            assert np.array_equal(graph.neighbors_of(slot), expected)
+
+    def test_eviction_unlinks_both_sides(self):
+        graph = DynamicNeighborGraph(eps=10.0)
+        a, _ = graph.insert([0.0, 0.0], [1.0, 0.0], traj_id=0)
+        b, neighbors = graph.insert([0.0, 0.1], [1.0, 0.1], traj_id=1)
+        assert neighbors.tolist() == [a]
+        graph.evict(a)
+        assert graph.neighbors_of(b).tolist() == [b]
+        with pytest.raises(ClusteringError):
+            graph.neighbors_of(a)
+
+    def test_eps_zero_duplicates_are_neighbors(self):
+        graph = DynamicNeighborGraph(eps=0.0)
+        a, _ = graph.insert([0.0, 0.0], [1.0, 1.0], traj_id=0)
+        b, neighbors = graph.insert([0.0, 0.0], [1.0, 1.0], traj_id=1)
+        assert neighbors.tolist() == [a]
+        c, neighbors = graph.insert([5.0, 5.0], [6.0, 6.0], traj_id=2)
+        assert neighbors.size == 0
