@@ -1,0 +1,119 @@
+"""Phase-1 engine comparison: per-trajectory scan vs lock-step batched.
+
+The acceptance bar of the batched-partitioning PR: on a corpus of at
+least 1,000 trajectories of ~100 points, the lock-step engine
+(``partition/batched.py``) must partition at least 5x faster than the
+per-trajectory Python scan — while producing *exactly* (bitwise) the
+same characteristic points.
+
+Run under pytest (``pytest benchmarks/bench_partition.py``) for the
+asserted comparison, or standalone for the full trajectory-count /
+trajectory-length grid::
+
+    PYTHONPATH=src python benchmarks/bench_partition.py [--smoke]
+"""
+
+import time
+
+import numpy as np
+
+from conftest import print_table
+from repro.partition.approximate import approximate_partition
+from repro.partition.batched import batched_partition_arrays
+
+
+def random_walk_corpus(n_trajectories, n_points, seed):
+    """Smooth random-walk tracks (the workload Figure 8 sees: long
+    near-straight stretches punctuated by turns)."""
+    rng = np.random.default_rng(seed)
+    arrays = []
+    for _ in range(n_trajectories):
+        headings = np.cumsum(rng.normal(0.0, 0.25, n_points))
+        steps = np.stack(
+            [np.cos(headings), np.sin(headings)], axis=1
+        ) * rng.uniform(0.5, 2.0, (n_points, 1))
+        arrays.append(np.cumsum(steps, axis=0))
+    return arrays
+
+
+def compare_engines(n_trajectories, n_points, seed=11, suppression=0.0):
+    """Time both engines on one corpus; asserts identical output.
+
+    Returns ``(python_seconds, batched_seconds)``.
+    """
+    arrays = random_walk_corpus(n_trajectories, n_points, seed)
+    start = time.perf_counter()
+    expected = [
+        approximate_partition(a, suppression=suppression) for a in arrays
+    ]
+    python_time = time.perf_counter() - start
+    start = time.perf_counter()
+    got = batched_partition_arrays(arrays, suppression=suppression)
+    batched_time = time.perf_counter() - start
+    assert got == expected, (
+        f"engines disagree at {n_trajectories}x{n_points}"
+    )
+    return python_time, batched_time
+
+
+def test_batched_partition_speedup(benchmark):
+    """Acceptance: >= 5x over the per-trajectory scan at 1,000
+    trajectories x ~100 points, with bitwise-equal output."""
+    python_time, batched_time = benchmark.pedantic(
+        compare_engines, args=(1000, 100), rounds=1, iterations=1
+    )
+    print_table(
+        "Phase-1 engines at 1,000 x 100",
+        [
+            ("python (per-trajectory scan)", f"{python_time * 1000:.0f} ms"),
+            ("batched (lock-step)", f"{batched_time * 1000:.0f} ms"),
+            ("speedup", f"{python_time / batched_time:.1f}x"),
+        ],
+        ("engine", "time"),
+    )
+    assert python_time >= 5.0 * batched_time, (
+        f"batched ({batched_time * 1000:.0f} ms) not 5x faster than "
+        f"python ({python_time * 1000:.0f} ms)"
+    )
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced grid, prints the comparison without asserting "
+             "the speedup factor (equivalence is always asserted)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        grid = [(1, 100), (10, 50), (100, 50), (250, 100)]
+    else:
+        grid = [
+            (1, 100), (10, 100), (100, 100), (1000, 100),
+            (100, 30), (100, 300), (1000, 30), (2000, 100),
+        ]
+    rows = []
+    for n_trajectories, n_points in grid:
+        python_time, batched_time = compare_engines(n_trajectories, n_points)
+        rows.append(
+            (
+                n_trajectories,
+                n_points,
+                f"{python_time * 1000:.1f} ms",
+                f"{batched_time * 1000:.1f} ms",
+                f"{python_time / batched_time:.1f}x",
+            )
+        )
+    print_table(
+        f"Phase-1 engine grid ({'smoke' if args.smoke else 'full'} scale, "
+        f"outputs bitwise-verified equal)",
+        rows,
+        ("trajectories", "points", "python", "batched", "speedup"),
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

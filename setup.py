@@ -1,10 +1,12 @@
 """Setuptools shim.
 
-All project metadata lives in ``pyproject.toml``; this file exists so
-that ``pip install -e .`` works in fully offline environments where the
-``wheel`` package (required by the PEP 660 editable path) is not
-available — pip then falls back to the legacy ``setup.py develop``
-route.
+All project metadata lives in ``pyproject.toml`` (PEP 621); this file
+exists so that legacy tooling — ``python setup.py sdist``, direct
+``setup.py develop`` in environments too old or too offline for the
+PEP 660 editable-wheel path — keeps working.  ``pip install -e .``
+uses the ``pyproject.toml`` build-system declaration and needs the
+``wheel`` package available (any networked environment, including CI,
+has it).
 """
 
 from setuptools import setup

@@ -34,11 +34,17 @@ from repro.distance.weighted import SegmentDistance
 from repro.exceptions import ReproError
 from repro.model.cluster import Cluster, NOISE, UNCLASSIFIED
 from repro.model.result import ClusteringResult
+from repro.model.ragged import RaggedPoints
 from repro.model.segment import Segment
 from repro.model.segmentset import SegmentSet
 from repro.model.trajectory import Trajectory
 from repro.params.heuristic import ParameterEstimate, recommend_parameters
-from repro.partition.approximate import partition_all, partition_trajectory
+from repro.partition.approximate import (
+    PARTITION_METHODS,
+    partition_all,
+    partition_trajectory,
+)
+from repro.partition.batched import batched_partition_all
 from repro.partition.exact import exact_partition
 from repro.quality.qmeasure import quality_measure
 from repro.representative.sweep import (
@@ -64,13 +70,16 @@ __all__ = [
     "ClusteringResult",
     "NOISE",
     "UNCLASSIFIED",
+    "RaggedPoints",
     "Segment",
     "SegmentSet",
     "Trajectory",
     "ParameterEstimate",
     "recommend_parameters",
+    "PARTITION_METHODS",
     "partition_all",
     "partition_trajectory",
+    "batched_partition_all",
     "exact_partition",
     "quality_measure",
     "RepresentativeConfig",

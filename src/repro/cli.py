@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.cluster.neighborhood import NEIGHBORHOOD_METHODS
 from repro.core.config import StreamConfig, TraclusConfig
+from repro.partition.approximate import PARTITION_METHODS
 from repro.core.traclus import TRACLUS
 from repro.datasets.hurricane import generate_hurricane_tracks
 from repro.datasets.starkey import generate_deer1995, generate_elk1993
@@ -42,6 +43,7 @@ from repro.datasets.synthetic import (
 )
 from repro.io.csvio import (
     iter_point_rows,
+    read_csv_header,
     read_trajectories_csv,
     write_trajectories_csv,
 )
@@ -77,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=NEIGHBORHOOD_METHODS,
                          help="eps-neighborhood engine (auto picks the "
                               "batched graph above a size threshold)")
+    cluster.add_argument("--partition-method", default="auto",
+                         choices=PARTITION_METHODS,
+                         help="phase-1 partitioning engine (auto picks the "
+                              "lock-step batched scanner for multi-"
+                              "trajectory corpora)")
     cluster.add_argument("--json", dest="json_out", default=None,
                          help="write the full result JSON here")
     cluster.add_argument("--svg", dest="svg_out", default=None,
@@ -94,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=NEIGHBORHOOD_METHODS,
                         help="how |N_eps| is counted during the sweep "
                              "(brute = legacy per-segment rows)")
+    params.add_argument("--partition-method", default="auto",
+                        choices=PARTITION_METHODS,
+                        help="phase-1 partitioning engine")
 
     generate = sub.add_parser("generate", help="write a synthetic dataset CSV")
     generate.add_argument(
@@ -139,6 +149,16 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--batch-points", type=int, default=25,
                         help="points buffered per trajectory before a "
                              "clustering update (1 = update per point)")
+    stream.add_argument("--bulk-load", action="store_true",
+                        help="seed the session from the file's current "
+                             "contents in one batched phase-1 pass, then "
+                             "continue streaming (same labels as pure "
+                             "streaming, much faster ingest)")
+    stream.add_argument("--compact-dead-fraction", type=float, default=None,
+                        metavar="FRAC",
+                        help="compact the slot store when more than this "
+                             "fraction of slots is dead (bounds memory and "
+                             "checkpoint growth of long --follow sessions)")
     stream.add_argument("--follow", action="store_true",
                         help="keep tailing the file after EOF (tail -f)")
     stream.add_argument("--poll", type=float, default=0.5,
@@ -158,6 +178,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         min_lns=args.min_lns,
         directed=not args.undirected,
         suppression=args.suppression,
+        partition_method=args.partition_method,
         use_weights=args.use_weights,
         gamma=args.gamma,
         neighborhood_method=args.neighborhood_method,
@@ -188,7 +209,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 def _cmd_params(args: argparse.Namespace) -> int:
     trajectories = read_trajectories_csv(args.input)
-    segments, _ = partition_all(trajectories, suppression=args.suppression)
+    segments, _ = partition_all(
+        trajectories,
+        suppression=args.suppression,
+        method=args.partition_method,
+    )
     eps_values = (
         np.arange(1.0, args.eps_max + 1.0) if args.eps_max else None
     )
@@ -252,6 +277,9 @@ def _print_update(update, event: int, max_deltas: int) -> None:
         f"+{len(update.inserted)} -{len(update.evicted)} segs, "
         f"{len(update.changed)} label changes"
     )
+    if update.remapped is not None:
+        print(f"        compacted: {len(update.remapped)} live slots "
+              f"renumbered")
     if max_deltas <= 0:
         return
     for slot in sorted(update.changed)[:max_deltas]:
@@ -270,6 +298,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         use_weights=args.use_weights,
         max_segments=args.window,
         horizon=args.horizon,
+        compact_dead_fraction=args.compact_dead_fraction,
     )
     pipeline = StreamingTRACLUS(config)
     if args.batch_points < 1:
@@ -299,14 +328,48 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             _print_update(update, event, args.max_deltas)
 
     try:
-        for row in iter_point_rows(
-            args.input, follow=args.follow, poll=args.poll
-        ):
-            pending.setdefault(row.traj_id, []).append(row)
-            if len(pending[row.traj_id]) >= args.batch_points:
-                flush(row.traj_id)
-        for traj_id in sorted(pending):
-            flush(traj_id)
+        with open(args.input, "r", encoding="utf-8", newline="") as handle:
+            header = read_csv_header(handle)
+            if args.bulk_load:
+                # One batched phase-1 pass over everything already in
+                # the file.  When also following, only complete lines
+                # are consumed (max_polls=0 leaves a partial trailing
+                # line in place), so the tail loop below resumes the
+                # same handle mid-file with no re-read.
+                groups: "dict[int, list]" = {}
+                n_rows = 0
+                for row in iter_point_rows(
+                    handle, follow=args.follow, poll=0.0, max_polls=0,
+                    header=header,
+                ):
+                    groups.setdefault(row.traj_id, []).append(row)
+                    n_rows += 1
+                if groups:
+                    items = []
+                    for traj_id, rows in groups.items():  # file order
+                        times = [r.time for r in rows]
+                        items.append((
+                            traj_id,
+                            np.array([r.point for r in rows]),
+                            None if times[0] is None else times,
+                            rows[0].weight,
+                        ))
+                    update = pipeline.bulk_load(items)
+                    opened.update(groups)
+                    event += 1
+                    print(f"bulk-loaded {n_rows} points / {len(groups)} "
+                          f"trajectories")
+                    _print_update(update, event, args.max_deltas)
+            if not args.bulk_load or args.follow:
+                for row in iter_point_rows(
+                    handle, follow=args.follow, poll=args.poll,
+                    header=header,
+                ):
+                    pending.setdefault(row.traj_id, []).append(row)
+                    if len(pending[row.traj_id]) >= args.batch_points:
+                        flush(row.traj_id)
+            for traj_id in sorted(pending):
+                flush(traj_id)
     except KeyboardInterrupt:
         print("\ninterrupted — final state below")
     slots, labels = pipeline.labels()

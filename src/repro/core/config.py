@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 from repro.cluster.neighborhood import NEIGHBORHOOD_METHODS
 from repro.distance.weighted import SegmentDistance
 from repro.exceptions import ClusteringError
+from repro.partition.approximate import PARTITION_METHODS
 
 
 @dataclass(frozen=True)
@@ -39,6 +40,12 @@ class TraclusConfig:
         Constant added to ``cost_nopar`` during partitioning to favour
         longer partitions (Section 4.1.3); 0 reproduces Figure 8
         exactly.
+    partition_method:
+        Phase-1 (Figure 8) engine: ``"auto"`` (the lock-step batched
+        scanner for multi-trajectory corpora, the per-trajectory python
+        scan otherwise), ``"python"``, or ``"batched"``.  Both engines
+        produce bitwise-identical characteristic points; the knob only
+        trades constant factors.
     cardinality_threshold:
         Minimum trajectory cardinality ``|PTR(C)|`` (Figure 12 Step 3);
         ``None`` uses MinLns.
@@ -70,6 +77,7 @@ class TraclusConfig:
     w_theta: float = 1.0
     directed: bool = True
     suppression: float = 0.0
+    partition_method: str = "auto"
     cardinality_threshold: Optional[float] = None
     use_weights: bool = False
     gamma: float = 0.0
@@ -98,6 +106,11 @@ class TraclusConfig:
             raise ClusteringError(
                 f"unknown neighborhood method {self.neighborhood_method!r}; "
                 f"expected one of {NEIGHBORHOOD_METHODS}"
+            )
+        if self.partition_method not in PARTITION_METHODS:
+            raise ClusteringError(
+                f"unknown partition method {self.partition_method!r}; "
+                f"expected one of {PARTITION_METHODS}"
             )
         # Delegate weight validation to SegmentDistance.
         self.distance()
@@ -129,6 +142,18 @@ class StreamConfig:
         ``horizon`` behind the newest ingested stamp are evicted.
         Stamps come from per-point ``times`` (or the point index on
         untimed feeds), so horizons assume feed-wide comparable clocks.
+    compact_dead_fraction:
+        Slot-store compaction trigger.  The segment store is
+        append-only — evicted slots stay allocated so slot ids remain
+        stable — which means an unbounded ``--follow`` session grows
+        memory, alive-mask scans, and checkpoint size with *total
+        ingested history*.  When the dead fraction of the slot space
+        exceeds this threshold (checked after each update), live slots
+        are renumbered by a monotone remap (relative order preserved,
+        hence every distance and label bitwise unchanged) and the dead
+        slots are reclaimed.  ``None`` (default) never compacts —
+        matching the pre-compaction behavior where a slot id, once
+        issued, stays valid forever.
 
     The remaining knobs mirror their :class:`TraclusConfig`
     counterparts; ``dim`` fixes the stream's spatial dimensionality up
@@ -147,6 +172,7 @@ class StreamConfig:
     gamma: float = 0.0
     max_segments: Optional[int] = None
     horizon: Optional[float] = None
+    compact_dead_fraction: Optional[float] = None
     dim: int = 2
 
     def __post_init__(self):
@@ -172,6 +198,13 @@ class StreamConfig:
         if self.horizon is not None and self.horizon < 0:
             raise ClusteringError(
                 f"horizon must be non-negative, got {self.horizon}"
+            )
+        if self.compact_dead_fraction is not None and not (
+            0.0 < self.compact_dead_fraction < 1.0
+        ):
+            raise ClusteringError(
+                "compact_dead_fraction must be in (0, 1), got "
+                f"{self.compact_dead_fraction}"
             )
         if self.dim < 1:
             raise ClusteringError(f"dim must be positive, got {self.dim}")

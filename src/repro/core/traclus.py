@@ -55,7 +55,9 @@ class TRACLUS:
 
         # Phase 1: partitioning (Figure 4 lines 01-03).
         segments, characteristic_points = partition_all(
-            trajectories, suppression=config.suppression
+            trajectories,
+            suppression=config.suppression,
+            method=config.partition_method,
         )
 
         # Parameter selection (Section 4.4) when not fully specified.

@@ -125,6 +125,14 @@ def read_trajectories_csv(source: Union[str, TextIO]) -> List[Trajectory]:
     return trajectories
 
 
+def read_csv_header(source: TextIO) -> List[str]:
+    """Consume and parse the header line of a long-format CSV handle."""
+    header_line = source.readline()
+    if not header_line.strip():
+        raise DatasetError("empty CSV input")
+    return next(csv.reader([header_line]))
+
+
 @dataclass(frozen=True)
 class PointRow:
     """One point of the long CSV format, read incrementally."""
@@ -140,6 +148,7 @@ def iter_point_rows(
     follow: bool = False,
     poll: float = 0.5,
     max_polls: Optional[int] = None,
+    header: Optional[Sequence[str]] = None,
 ) -> Iterator[PointRow]:
     """Yield the points of a long-format trajectory CSV one at a time.
 
@@ -147,16 +156,24 @@ def iter_point_rows(
     sleeps *poll* seconds and retries, tailing a file another process
     is appending to (``tail -f`` semantics; partial trailing lines are
     left in place until their newline arrives).  ``max_polls`` bounds
-    the number of consecutive empty polls (``None`` = forever).
+    the number of consecutive empty polls (``None`` = forever); when it
+    exhausts, the handle is left at the last complete-line boundary, so
+    a later call can resume exactly where this one stopped.
+
+    ``header`` supplies already-parsed column names for such resumed
+    reads: the handle is taken to be positioned at the first unread
+    data row and no header line is consumed (used by ``repro stream
+    --bulk-load``, which reads a file's current contents once and then
+    keeps tailing the same handle).
     """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8", newline="") as handle:
-            yield from iter_point_rows(handle, follow, poll, max_polls)
+            yield from iter_point_rows(handle, follow, poll, max_polls, header)
             return
-    header_line = source.readline()
-    if not header_line.strip():
-        raise DatasetError("empty CSV input")
-    header = next(csv.reader([header_line]))
+    if header is None:
+        header = read_csv_header(source)
+    else:
+        header = list(header)
     try:
         id_col = header.index("traj_id")
     except ValueError:
@@ -174,11 +191,13 @@ def iter_point_rows(
     while True:
         line = source.readline()
         if not line or (follow and not line.endswith("\n")):
+            if follow:
+                # While tailing, a line may still be mid-write: rewind
+                # so the retry — or whoever reads the handle after a
+                # max_polls return — sees it whole.
+                source.seek(position)
             if not follow or (max_polls is not None and idle_polls >= max_polls):
                 return
-            # While tailing, a line may still be mid-write: rewind so
-            # the retry sees it whole.
-            source.seek(position)
             idle_polls += 1
             time.sleep(poll)
             continue

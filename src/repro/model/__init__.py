@@ -5,12 +5,15 @@ d-dimensional points, a *trajectory partition* as a line segment between
 two points of the same trajectory, and a *cluster* as a set of trajectory
 partitions together with a *representative trajectory*.  This subpackage
 holds those types plus :class:`SegmentSet`, the columnar store that all
-distance kernels and the clustering algorithm operate on.
+distance kernels and the clustering algorithm operate on, and
+:class:`RaggedPoints`, the flattened (offsets + flat points) container
+that corpus-wide kernels such as the batched partitioner scan.
 """
 
 from repro.model.segment import Segment
 from repro.model.trajectory import Trajectory
 from repro.model.segmentset import SegmentSet
+from repro.model.ragged import RaggedPoints, concatenate_ranges
 from repro.model.cluster import Cluster, NOISE, UNCLASSIFIED
 from repro.model.result import ClusteringResult
 
@@ -18,6 +21,8 @@ __all__ = [
     "Segment",
     "Trajectory",
     "SegmentSet",
+    "RaggedPoints",
+    "concatenate_ranges",
     "Cluster",
     "ClusteringResult",
     "NOISE",

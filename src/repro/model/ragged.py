@@ -1,0 +1,160 @@
+"""Ragged (offsets + flat) containers for variable-length point rows.
+
+A trajectory corpus is a ragged 2-D structure: ``T`` rows of differing
+point counts.  Python-level lists of ``(n_t, d)`` arrays force every
+whole-corpus kernel back into a per-row interpreter loop, so the
+batched phase-1 engine (:mod:`repro.partition.batched`) — and any
+future corpus-wide kernel — works on the standard flattened form
+instead:
+
+* ``flat`` — one ``(N, d)`` float64 array holding every row's points
+  back to back, row-major;
+* ``offsets`` — an ``(T + 1,)`` int64 array with row ``t`` occupying
+  ``flat[offsets[t]:offsets[t + 1]]``.
+
+:func:`concatenate_ranges` is the companion gather helper: it expands
+per-window ``(first, count)`` descriptors into one flat index array
+without a Python loop, which is how the lock-step scanner materialises
+every active trajectory's enclosed segments in a single fancy-index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import TrajectoryError
+
+
+def concatenate_ranges(first: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat int64 index array ``[first_0 .. first_0+counts_0-1,
+    first_1 .. , ...]`` — ragged ``arange`` concatenation, vectorized.
+
+    Empty ranges (``counts == 0``) contribute nothing.
+    """
+    first = np.asarray(first, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if first.shape != counts.shape or first.ndim != 1:
+        raise TrajectoryError(
+            f"first/counts must be congruent 1-D arrays, got "
+            f"{first.shape} vs {counts.shape}"
+        )
+    if np.any(counts < 0):
+        raise TrajectoryError("range counts must be non-negative")
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.cumsum(counts) - counts  # output offset of each range
+    within = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    return np.repeat(first, counts) + within
+
+
+class RaggedPoints:
+    """Immutable ragged collection of point rows in flattened form.
+
+    Attributes
+    ----------
+    flat:
+        ``(N, d)`` float64 array of all points, rows back to back.
+    offsets:
+        ``(T + 1,)`` int64 array; row ``t`` is
+        ``flat[offsets[t]:offsets[t + 1]]``.
+    """
+
+    __slots__ = ("flat", "offsets")
+
+    def __init__(self, flat: np.ndarray, offsets: np.ndarray):
+        flat = np.asarray(flat, dtype=np.float64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if flat.ndim != 2:
+            raise TrajectoryError(
+                f"flat points must be (N, d), got shape {flat.shape}"
+            )
+        if offsets.ndim != 1 or offsets.shape[0] < 1:
+            raise TrajectoryError(
+                f"offsets must be a (T + 1,) array, got shape {offsets.shape}"
+            )
+        if offsets[0] != 0 or offsets[-1] != flat.shape[0]:
+            raise TrajectoryError(
+                f"offsets must run 0 .. {flat.shape[0]}, got "
+                f"{offsets[0]} .. {offsets[-1]}"
+            )
+        if np.any(np.diff(offsets) < 0):
+            raise TrajectoryError("offsets must be non-decreasing")
+        self.flat = flat
+        self.offsets = offsets
+        self.flat.setflags(write=False)
+        self.offsets.setflags(write=False)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls, arrays: Sequence[Union[Sequence[Sequence[float]], np.ndarray]]
+    ) -> "RaggedPoints":
+        """Flatten a sequence of ``(n_t, d)`` point arrays."""
+        arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+        if not arrays:
+            return cls(np.empty((0, 2)), np.zeros(1, dtype=np.int64))
+        dims = set()
+        for a in arrays:
+            if a.ndim != 2 or a.shape[0] < 1:
+                raise TrajectoryError(
+                    f"each row needs a non-empty (n, d) array, got shape "
+                    f"{a.shape}"
+                )
+            dims.add(a.shape[1])
+        if len(dims) != 1:
+            raise TrajectoryError(
+                f"all rows must share one dimensionality, got {sorted(dims)}"
+            )
+        lengths = np.array([a.shape[0] for a in arrays], dtype=np.int64)
+        offsets = np.zeros(lengths.shape[0] + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        return cls(np.concatenate(arrays, axis=0), offsets)
+
+    @classmethod
+    def from_trajectories(cls, trajectories) -> "RaggedPoints":
+        """Flatten the points of :class:`~repro.model.trajectory.Trajectory`
+        objects (ids/weights/times are not carried — pair row index
+        ``t`` with ``trajectories[t]`` for those)."""
+        return cls.from_arrays([t.points for t in trajectories])
+
+    # -- protocol ----------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of rows."""
+        return int(self.offsets.shape[0] - 1)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for t in range(len(self)):
+            yield self.row(t)
+
+    def __repr__(self) -> str:
+        return (
+            f"RaggedPoints(n_rows={len(self)}, n_points={self.n_points}, "
+            f"dim={self.dim})"
+        )
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return int(self.flat.shape[1])
+
+    @property
+    def n_points(self) -> int:
+        return int(self.flat.shape[0])
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """``(T,)`` point count per row."""
+        return np.diff(self.offsets)
+
+    def row(self, t: int) -> np.ndarray:
+        """Read-only view of row *t*'s points."""
+        if not 0 <= t < len(self):
+            raise TrajectoryError(f"row {t} out of range 0..{len(self) - 1}")
+        return self.flat[self.offsets[t] : self.offsets[t + 1]]
+
+    def to_arrays(self) -> List[np.ndarray]:
+        """The rows as a list of views (inverse of :meth:`from_arrays`)."""
+        return [self.row(t) for t in range(len(self))]

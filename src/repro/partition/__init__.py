@@ -2,33 +2,64 @@
 approximate algorithm of Figure 8, the exact dynamic-programming
 optimum, the precision measurement comparing the two, and the
 resumable incremental scanner behind the streaming subsystem.
+
+Phase-1 engines are selectable (``PARTITION_METHODS``): the
+paper-literal per-trajectory **python** scan
+(:mod:`repro.partition.approximate`), and the lock-step **batched**
+corpus scanner (:mod:`repro.partition.batched`) that advances every
+trajectory simultaneously through the shared multi-window MDL kernel
+(:func:`~repro.partition.mdl.window_mdl_costs`) — bitwise-identical
+characteristic points, interpreter work per global step instead of per
+point.  ``partition_all(method="auto")`` picks between them; the
+streaming subsystem's bulk-load seed path rides the batched engine and
+hands its resumable scan states to the incremental scanner.
 """
 
 from repro.partition.mdl import (
+    clamped_log2,
     encoded_cost,
     lh_cost,
     ldh_cost,
+    mdl_costs,
     mdl_par,
     mdl_nopar,
+    window_mdl_costs,
 )
 from repro.partition.approximate import (
+    AUTO_BATCH_MIN_TRAJECTORIES,
+    PARTITION_METHODS,
     approximate_partition,
     partition_trajectory,
     partition_all,
+    resolve_partition_method,
+)
+from repro.partition.batched import (
+    batched_partition_all,
+    batched_partition_arrays,
+    lockstep_scan,
 )
 from repro.partition.exact import exact_partition
 from repro.partition.incremental import IncrementalPartitioner
 from repro.partition.precision import partitioning_precision
 
 __all__ = [
+    "clamped_log2",
     "encoded_cost",
     "lh_cost",
     "ldh_cost",
+    "mdl_costs",
     "mdl_par",
     "mdl_nopar",
+    "window_mdl_costs",
+    "AUTO_BATCH_MIN_TRAJECTORIES",
+    "PARTITION_METHODS",
     "approximate_partition",
     "partition_trajectory",
     "partition_all",
+    "resolve_partition_method",
+    "batched_partition_all",
+    "batched_partition_arrays",
+    "lockstep_scan",
     "exact_partition",
     "IncrementalPartitioner",
     "partitioning_precision",

@@ -12,6 +12,13 @@ clustering (a short segment's angle distance is tiny regardless of the
 actual angle), so partitioning can be *suppressed* by adding a small
 constant to ``cost_nopar``, lengthening partitions by 20-30 %.  That
 constant is the ``suppression`` parameter below.
+
+This module holds the paper-literal **python engine** (one trajectory
+at a time) and the engine-selection front door :func:`partition_all`;
+the lock-step **batched engine** — same characteristic points, bitwise,
+from one vectorized scan over the whole corpus — lives in
+:mod:`repro.partition.batched` and is what ``method="auto"`` picks for
+multi-trajectory corpora.
 """
 
 from __future__ import annotations
@@ -23,7 +30,8 @@ import numpy as np
 from repro.exceptions import PartitionError
 from repro.model.segmentset import SegmentSet
 from repro.model.trajectory import Trajectory
-from repro.partition.mdl import mdl_nopar, mdl_par
+from repro.partition.batched import batched_partition_all
+from repro.partition.mdl import mdl_costs
 
 
 def approximate_partition(
@@ -59,8 +67,8 @@ def approximate_partition(
     start_index, length = 0, 1  # line 02
     while start_index + length <= n - 1:  # line 03 (0-based bound)
         curr_index = start_index + length  # line 04
-        cost_par = mdl_par(points, start_index, curr_index)  # line 05
-        cost_nopar = mdl_nopar(points, start_index, curr_index) + suppression
+        cost_par, base_nopar = mdl_costs(points, start_index, curr_index)
+        cost_nopar = base_nopar + suppression  # lines 05-06
         if cost_par > cost_nopar and curr_index - 1 > start_index:  # line 07
             # The guard `curr_index - 1 > start_index` cannot fire on the
             # very first step (cost_par == cost_nopar exactly when the
@@ -82,16 +90,61 @@ def partition_trajectory(
     return approximate_partition(trajectory.points, suppression=suppression)
 
 
+#: Selectable phase-1 engines (mirrors ``NEIGHBORHOOD_METHODS`` for the
+#: ε-queries of phase 2): ``"python"`` is the per-trajectory Figure-8
+#: scan above, ``"batched"`` the lock-step corpus scanner of
+#: :mod:`repro.partition.batched`, and ``"auto"`` picks between them.
+PARTITION_METHODS = ("auto", "python", "batched")
+
+#: ``"auto"`` picks the batched engine from this many trajectories up.
+#: The lock-step scan wins as soon as there is more than one trajectory
+#: to advance per global step; driving a *single* trajectory through it
+#: degenerates to the python scan plus ragged-gather overhead (~1.5x
+#: slower), so solo trajectories stay on the python engine.
+AUTO_BATCH_MIN_TRAJECTORIES = 2
+
+
+def resolve_partition_method(
+    method: str, n_trajectories: int
+) -> str:
+    """Resolve ``"auto"`` to a concrete engine for a corpus size."""
+    if method not in PARTITION_METHODS:
+        raise PartitionError(
+            f"unknown partition method {method!r}; expected one of "
+            f"{PARTITION_METHODS}"
+        )
+    if method != "auto":
+        return method
+    return (
+        "batched"
+        if n_trajectories >= AUTO_BATCH_MIN_TRAJECTORIES
+        else "python"
+    )
+
+
 def partition_all(
-    trajectories: Sequence[Trajectory], suppression: float = 0.0
+    trajectories: Sequence[Trajectory],
+    suppression: float = 0.0,
+    method: str = "auto",
 ) -> "tuple[SegmentSet, List[List[int]]]":
     """The whole partitioning phase of TRACLUS (Figure 4, lines 01-03).
 
     Runs Figure 8 on every trajectory and accumulates the resulting
     trajectory partitions into one :class:`SegmentSet` ``D``.
 
+    ``method`` selects the phase-1 engine: ``"python"`` scans one
+    trajectory at a time, ``"batched"`` advances all trajectories in
+    lock-step through the shared cost kernel
+    (:mod:`repro.partition.batched` — bitwise-identical characteristic
+    points, one interpreter step per global scan step), and ``"auto"``
+    (default) picks the batched engine whenever the corpus has at least
+    :data:`AUTO_BATCH_MIN_TRAJECTORIES` trajectories.
+
     Returns ``(segments, characteristic_points)``.
     """
+    resolved = resolve_partition_method(method, len(trajectories))
+    if resolved == "batched":
+        return batched_partition_all(trajectories, suppression=suppression)
     all_cps: List[List[int]] = [
         partition_trajectory(trajectory, suppression=suppression)
         for trajectory in trajectories

@@ -34,7 +34,7 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from repro.exceptions import PartitionError
-from repro.partition.mdl import mdl_nopar, mdl_par
+from repro.partition.mdl import mdl_costs
 
 
 class IncrementalPartitioner:
@@ -145,10 +145,8 @@ class IncrementalPartitioner:
         newly: List[int] = []
         while self._start + self._length <= self._n - 1:  # line 03
             curr = self._start + self._length  # line 04
-            cost_par = mdl_par(points, self._start, curr)  # line 05
-            cost_nopar = (
-                mdl_nopar(points, self._start, curr) + self.suppression
-            )  # line 06
+            cost_par, base_nopar = mdl_costs(points, self._start, curr)
+            cost_nopar = base_nopar + self.suppression  # lines 05-06
             if cost_par > cost_nopar and curr - 1 > self._start:  # line 07
                 self._committed.append(curr - 1)  # line 08
                 newly.append(curr - 1)

@@ -14,35 +14,49 @@ the data given the hypothesis.
 
 Real values are encoded with precision ``delta = 1`` (Section 3.2), so
 ``L(x) = log2(x)``; values below 1 encode in 0 bits — this clamp is
-centralised in :func:`encoded_cost`.
+centralised in :func:`clamped_log2` (array) and its scalar facade
+:func:`encoded_cost`.
 
 The distance components inside ``L(D|H)`` treat the *partition* as the
 reference line ``Li`` (that is how Formula (7) writes its arguments:
 the hypothesis segment first), and use the directed angle distance.
+
+Engine-sharing contract
+-----------------------
+Both phase-1 engines — the per-trajectory Python scan
+(:mod:`repro.partition.approximate`, :mod:`repro.partition.incremental`)
+and the lock-step batched scanner (:mod:`repro.partition.batched`) —
+evaluate their costs through the *same* multi-window kernel,
+:func:`window_mdl_costs`.  Every elementwise operation is an IEEE-exact
+ufunc (no BLAS mat-vec, whose FMA use would differ from an explicit
+multiply-add) and every per-window sum is a ``np.add.reduceat`` over a
+contiguous slice, so a window's costs are bitwise identical whether it
+is evaluated alone (the scalar :func:`mdl_par`/:func:`mdl_nopar`
+wrappers) or flattened next to a thousand other windows.  Identical
+cost bits mean identical Figure-8 comparisons, which is what lets the
+batched engine promise *exactly* equal characteristic points.
 """
 
 from __future__ import annotations
 
-import math
+from typing import Tuple
 
 import numpy as np
 
 from repro.exceptions import PartitionError
 
 
-def encoded_cost(x: float) -> float:
+def clamped_log2(values: np.ndarray) -> np.ndarray:
     """``L(x)`` in bits at precision delta = 1: ``log2(x)``, clamped to
     0 for ``x < 1`` (such values round to an integer representable in
-    zero bits)."""
-    if x < 1.0:
-        return 0.0
-    return math.log2(x)
+    zero bits).  Elementwise over any shape; the single clamped-log2
+    used by every engine."""
+    return np.log2(np.maximum(values, 1.0))
 
 
-def _encoded_cost_array(values: np.ndarray) -> np.ndarray:
-    """Vectorized :func:`encoded_cost`."""
-    clamped = np.maximum(values, 1.0)
-    return np.log2(clamped)
+def encoded_cost(x: float) -> float:
+    """Scalar facade over :func:`clamped_log2`."""
+    return float(clamped_log2(np.float64(x)))
 
 
 def _check_indices(points: np.ndarray, i: int, j: int) -> None:
@@ -55,82 +69,152 @@ def _check_indices(points: np.ndarray, i: int, j: int) -> None:
         )
 
 
-def lh_cost(points: np.ndarray, i: int, j: int) -> float:
-    """``L(H)`` of the single partition ``p_i p_j`` — Formula (6) for a
-    one-segment hypothesis: ``log2(len(p_i p_j))``."""
-    _check_indices(points, i, j)
-    length = float(np.linalg.norm(points[j] - points[i]))
-    return encoded_cost(length)
+def window_mdl_costs(
+    hyp_starts: np.ndarray,
+    hyp_ends: np.ndarray,
+    sub_starts: np.ndarray,
+    sub_ends: np.ndarray,
+    window_of: np.ndarray,
+    offsets: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """MDL cost components of many candidate partitions at once.
 
+    Window ``w`` hypothesises one partition ``hyp_starts[w] ->
+    hyp_ends[w]`` over the enclosed original segments
+    ``sub_starts[k] -> sub_ends[k]`` for ``k`` in the contiguous flat
+    range ``offsets[w] .. offsets[w+1]-1`` (the last window runs to the
+    end of the flat arrays).  ``window_of[k]`` maps flat segment ``k``
+    back to its window; every window must enclose at least one segment.
 
-def ldh_cost(points: np.ndarray, i: int, j: int) -> float:
-    """``L(D|H)`` of the partition ``p_i p_j`` against the enclosed
-    original segments ``p_k p_k+1`` for ``i <= k <= j-1`` — Formula (7).
+    Returns ``(lh, ldh, nopar)`` per window: Formula (6), Formula (7),
+    and the no-partitioning cost (the summed encoded lengths of the
+    enclosed segments).  ``MDL_par = lh + ldh``; ``MDL_nopar = nopar``.
 
-    Fully vectorized over the enclosed segments.
+    A window whose hypothesis has (numerically) zero length falls back
+    to encoded point distances with zero angle contribution, and a
+    window enclosing exactly one segment — which in Figure-8 use *is*
+    the hypothesis — has ``ldh == 0.0`` exactly, both mirroring the
+    historical scalar behavior.
     """
-    _check_indices(points, i, j)
-    if j == i + 1:
-        # One enclosed segment identical to the hypothesis: both
-        # distances are 0, encoding in 0 bits.
-        return 0.0
+    n_windows = hyp_starts.shape[0]
+    if n_windows == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty.copy(), empty.copy()
 
-    hyp_vec = points[j] - points[i]
-    hyp_sq = float(np.dot(hyp_vec, hyp_vec))
+    hyp_vecs = hyp_ends - hyp_starts
+    hyp_sq = np.sum(hyp_vecs * hyp_vecs, axis=1)
+    lh = clamped_log2(np.sqrt(hyp_sq))
 
-    sub_starts = points[i:j]
-    sub_ends = points[i + 1 : j + 1]
+    # Closed-loop (or numerically zero-length: subnormal squared
+    # lengths overflow 1/x) hypotheses: no supporting line; fall back
+    # to point distances from the hypothesis point, with zero angle
+    # contribution (a point has no direction).
+    degenerate = hyp_sq < np.finfo(np.float64).tiny
+    inv_sq = 1.0 / np.where(degenerate, 1.0, hyp_sq)
+
+    hv = hyp_vecs[window_of]
+    hs = hyp_starts[window_of]
+    inv = inv_sq[window_of]
+    deg = degenerate[window_of]
+
     sub_vecs = sub_ends - sub_starts
-    sub_lens = np.linalg.norm(sub_vecs, axis=1)
-
-    if hyp_sq < np.finfo(np.float64).tiny:
-        # Closed-loop (or numerically zero-length: subnormal squared
-        # lengths overflow 1/x) hypothesis: no supporting line; fall
-        # back to point distances from the hypothesis point, with zero
-        # angle contribution (a point has no direction).
-        perp = np.linalg.norm(sub_starts - points[i], axis=1)
-        return float(np.sum(_encoded_cost_array(perp)))
+    sub_lens = np.sqrt(np.sum(sub_vecs * sub_vecs, axis=1))
+    nopar = np.add.reduceat(clamped_log2(sub_lens), offsets)
 
     # Perpendicular component (Definition 1) with the partition as Li.
-    inv_sq = 1.0 / hyp_sq
-    u1 = (sub_starts - points[i]) @ hyp_vec * inv_sq
-    u2 = (sub_ends - points[i]) @ hyp_vec * inv_sq
-    proj1 = points[i] + u1[:, None] * hyp_vec
-    proj2 = points[i] + u2[:, None] * hyp_vec
-    l_perp1 = np.linalg.norm(sub_starts - proj1, axis=1)
-    l_perp2 = np.linalg.norm(sub_ends - proj2, axis=1)
+    rel1 = sub_starts - hs
+    rel2 = sub_ends - hs
+    u1 = np.sum(rel1 * hv, axis=1) * inv
+    u2 = np.sum(rel2 * hv, axis=1) * inv
+    off1 = sub_starts - (hs + u1[:, None] * hv)
+    off2 = sub_ends - (hs + u2[:, None] * hv)
+    l_perp1 = np.sqrt(np.sum(off1 * off1, axis=1))
+    l_perp2 = np.sqrt(np.sum(off2 * off2, axis=1))
     sums = l_perp1 + l_perp2
     d_perp = np.where(
         sums > 0.0,
-        (l_perp1**2 + l_perp2**2) / np.where(sums > 0.0, sums, 1.0),
+        (l_perp1 * l_perp1 + l_perp2 * l_perp2)
+        / np.where(sums > 0.0, sums, 1.0),
         0.0,
     )
 
     # Angle component (Definition 3, directed) with ||Lj|| = enclosed
     # segment length; ||Lj||*sin(theta) via the rejection norm (stable
     # near parallel, matching repro.distance exactly).
-    dots = sub_vecs @ hyp_vec
-    rejection = sub_vecs - (dots * inv_sq)[:, None] * hyp_vec
-    sin_term = np.linalg.norm(rejection, axis=1)
+    dots = np.sum(sub_vecs * hv, axis=1)
+    rejection = sub_vecs - (dots * inv)[:, None] * hv
+    sin_term = np.sqrt(np.sum(rejection * rejection, axis=1))
     d_theta = np.where(dots > 0.0, sin_term, sub_lens)
     d_theta = np.where(sub_lens > 0.0, d_theta, 0.0)
 
-    return float(
-        np.sum(_encoded_cost_array(d_perp)) + np.sum(_encoded_cost_array(d_theta))
+    point_dist = np.sqrt(np.sum(rel1 * rel1, axis=1))
+    enc_perp = np.where(deg, clamped_log2(point_dist), clamped_log2(d_perp))
+    enc_theta = np.where(deg, 0.0, clamped_log2(d_theta))
+    ldh = np.add.reduceat(enc_perp, offsets) + np.add.reduceat(
+        enc_theta, offsets
     )
+
+    # One enclosed segment identical to the hypothesis: both distances
+    # are 0, encoding in 0 bits.
+    counts = np.diff(offsets, append=sub_starts.shape[0])
+    ldh[counts == 1] = 0.0
+    return lh, ldh, nopar
+
+
+_ZERO_OFFSET = np.zeros(1, dtype=np.int64)
+
+
+def _single_window(
+    points: np.ndarray, i: int, j: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`window_mdl_costs` of the one window ``p_i .. p_j``."""
+    _check_indices(points, i, j)
+    window_of = np.zeros(j - i, dtype=np.int64)
+    return window_mdl_costs(
+        points[i][None, :],
+        points[j][None, :],
+        points[i:j],
+        points[i + 1 : j + 1],
+        window_of,
+        _ZERO_OFFSET,
+    )
+
+
+def lh_cost(points: np.ndarray, i: int, j: int) -> float:
+    """``L(H)`` of the single partition ``p_i p_j`` — Formula (6) for a
+    one-segment hypothesis: ``log2(len(p_i p_j))``."""
+    lh, _, _ = _single_window(points, i, j)
+    return float(lh[0])
+
+
+def ldh_cost(points: np.ndarray, i: int, j: int) -> float:
+    """``L(D|H)`` of the partition ``p_i p_j`` against the enclosed
+    original segments ``p_k p_k+1`` for ``i <= k <= j-1`` — Formula (7).
+
+    Fully vectorized over the enclosed segments."""
+    _, ldh, _ = _single_window(points, i, j)
+    return float(ldh[0])
+
+
+def mdl_costs(points: np.ndarray, i: int, j: int) -> Tuple[float, float]:
+    """``(MDL_par, MDL_nopar)`` of the window ``p_i .. p_j`` in one
+    kernel evaluation — the Figure-8 scan loops compare both every
+    step, so fusing them halves the per-step cost."""
+    lh, ldh, nopar = _single_window(points, i, j)
+    return float(lh[0]) + float(ldh[0]), float(nopar[0])
 
 
 def mdl_par(points: np.ndarray, i: int, j: int) -> float:
     """``MDL_par(p_i, p_j)`` — the MDL cost when ``p_i`` and ``p_j``
     are the only characteristic points of the stretch: ``L(H) + L(D|H)``
     (Section 3.3)."""
-    return lh_cost(points, i, j) + ldh_cost(points, i, j)
+    lh, ldh, _ = _single_window(points, i, j)
+    return float(lh[0]) + float(ldh[0])
 
 
 def mdl_nopar(points: np.ndarray, i: int, j: int) -> float:
     """``MDL_nopar(p_i, p_j)`` — the MDL cost of preserving the original
     trajectory between ``p_i`` and ``p_j``; ``L(D|H)`` is zero there, so
     the cost is the summed encoded length of the original segments."""
-    _check_indices(points, i, j)
-    sub_lens = np.linalg.norm(points[i + 1 : j + 1] - points[i:j], axis=1)
-    return float(np.sum(_encoded_cost_array(sub_lens)))
+    _, _, nopar = _single_window(points, i, j)
+    return float(nopar[0])

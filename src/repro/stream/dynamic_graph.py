@@ -177,6 +177,47 @@ class StreamSegmentStore:
         self._alive[slot] = False
         self._n_alive -= 1
 
+    def compact_slots(self) -> np.ndarray:
+        """Reclaim dead slots: renumber the live slots ``0 ..
+        n_alive - 1`` in ascending old-slot order and shrink the
+        backing arrays.
+
+        The remap is *monotone* — live slots keep their relative order
+        — which is the invariant everything downstream relies on (see
+        the class docstring), so distances and labels are bitwise
+        unaffected; only the ids change.  Returns an ``(old_n,)``
+        array mapping each old slot to its new id (-1 for dead slots).
+        Callers holding slot ids (grids, adjacency, label state) must
+        remap them; :meth:`DynamicNeighborGraph.compact_slots` does so
+        for the whole graph.
+        """
+        slots = self.alive_slots()
+        n_live = int(slots.size)
+        remap = np.full(self._n, -1, dtype=np.int64)
+        remap[slots] = np.arange(n_live, dtype=np.int64)
+        capacity = _INITIAL_CAPACITY
+        while capacity < n_live:
+            capacity *= 2
+        for name in ("_starts", "_ends"):
+            fresh = np.empty((capacity, self._dim), dtype=np.float64)
+            fresh[:n_live] = getattr(self, name)[slots]
+            setattr(self, name, fresh)
+        for name, dtype in (
+            ("_traj_ids", np.int64),
+            ("_weights", np.float64),
+            ("_stamps", np.float64),
+        ):
+            fresh = np.empty(capacity, dtype=dtype)
+            fresh[:n_live] = getattr(self, name)[slots]
+            setattr(self, name, fresh)
+        fresh_alive = np.zeros(capacity, dtype=bool)
+        fresh_alive[:n_live] = True
+        self._alive = fresh_alive
+        self._capacity = capacity
+        self._n = n_live
+        self._n_alive = n_live
+        return remap
+
     def compact(self) -> Tuple[SegmentSet, np.ndarray]:
         """The survivors as an immutable :class:`SegmentSet` (positional
         ids in ascending slot order) plus the slot array mapping each
@@ -308,6 +349,31 @@ class DynamicNeighborGraph:
             self._grid.remove(slot)
         self.store.kill(slot)
         return np.sort(np.fromiter(row, dtype=np.int64, count=len(row)))
+
+    def compact_slots(self) -> np.ndarray:
+        """Compact the slot store and remap the adjacency and the grid
+        to the new ids; returns the old -> new slot map (-1 = dead).
+
+        Pure renumbering: no distance is re-evaluated, no edge is
+        added or dropped, and ``neighbors_of`` answers are the same
+        rows under new names."""
+        remap = self.store.compact_slots()
+        self._adjacency = {
+            int(remap[slot]): {
+                int(remap[mate]): dist for mate, dist in row.items()
+            }
+            for slot, row in self._adjacency.items()
+        }
+        if self._grid is not None:
+            # Rebuild over the compacted store: every slot is now live,
+            # so the constructor's full-range insert is exactly the
+            # live set.
+            self._grid = SegmentGrid(
+                self.store,
+                cell_size=self._grid.cell_size,
+                max_cells_per_segment=self._grid.max_cells_per_segment,
+            )
+        return remap
 
     # -- checkpointing -----------------------------------------------------
     def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -17,6 +17,13 @@ and inserting the new records, in that order.  After any sequence of
 appends the live records equal the segments a batch
 ``SegmentSet.from_partitions`` would produce for the same points —
 that is what makes online clustering comparable to a batch refit.
+
+Whole-corpus seeding goes through :meth:`TrajectoryStream.bulk_append`:
+the lock-step batched engine (:mod:`repro.partition.batched`) partitions
+every new trajectory in one vectorized scan and hands back each
+trajectory's resumable Figure 8 state, so the bulk path emits exactly
+the records per-trajectory appends would — just without the per-point
+interpreter loop — and later appends continue incrementally.
 """
 
 from __future__ import annotations
@@ -27,7 +34,43 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.exceptions import TrajectoryError
+from repro.model.ragged import RaggedPoints
+from repro.model.trajectory import Trajectory
+from repro.partition.batched import lockstep_scan
 from repro.partition.incremental import IncrementalPartitioner
+
+
+def _as_point_batch(points) -> np.ndarray:
+    """Coerce one append's points to float64, promoting a single bare
+    point to a ``(1, d)`` batch."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim == 1:
+        points = points[None, :]
+    return points
+
+
+def _opening_weight(weight: Optional[float]) -> float:
+    """Validate a trajectory's opening weight (``None`` = default 1.0)."""
+    opening = 1.0 if weight is None else float(weight)
+    if opening <= 0:
+        raise TrajectoryError(
+            f"trajectory weight must be positive, got {weight}"
+        )
+    return opening
+
+
+def _validated_times(times, n_points: int) -> np.ndarray:
+    """Validate one batch's timestamps (shape and monotonicity within
+    the batch; cross-batch monotonicity is the caller's to check)."""
+    times = np.asarray(times, dtype=np.float64)
+    if times.shape != (n_points,):
+        raise TrajectoryError(
+            f"times must have one entry per appended point: "
+            f"{times.shape} vs {n_points}"
+        )
+    if np.any(np.diff(times) < 0):
+        raise TrajectoryError("timestamps must be non-decreasing")
+    return times
 
 
 @dataclass(frozen=True)
@@ -136,18 +179,12 @@ class TrajectoryStream:
         ``None`` means "keep the opening weight".
         """
         traj_id = int(traj_id)
-        points = np.asarray(points, dtype=np.float64)
-        if points.ndim == 1:
-            points = points[None, :]
+        points = _as_point_batch(points)
         state = self._trajectories.get(traj_id)
         if state is None:
-            opening_weight = 1.0 if weight is None else float(weight)
-            if opening_weight <= 0:
-                raise TrajectoryError(
-                    f"trajectory weight must be positive, got {weight}"
-                )
             state = _TrajectoryState(
-                IncrementalPartitioner(self.suppression), opening_weight
+                IncrementalPartitioner(self.suppression),
+                _opening_weight(weight),
             )
             self._trajectories[traj_id] = state
             if times is not None:
@@ -164,15 +201,8 @@ class TrajectoryStream:
                 f"{'missing' if times is not None else 'given'} before"
             )
         if times is not None:
-            times = np.asarray(times, dtype=np.float64)
-            if times.shape != (points.shape[0],):
-                raise TrajectoryError(
-                    f"times must have one entry per appended point: "
-                    f"{times.shape} vs {points.shape[0]}"
-                )
-            if np.any(np.diff(times) < 0) or (
-                state.times and times[0] < state.times[-1]
-            ):
+            times = _validated_times(times, points.shape[0])
+            if state.times and times[0] < state.times[-1]:
                 raise TrajectoryError("timestamps must be non-decreasing")
 
         part = state.partitioner
@@ -200,6 +230,96 @@ class TrajectoryStream:
             state.trailing_key = record.key
             inserted.append(record)
         return StreamDelta(tuple(inserted), tuple(retracted))
+
+    def bulk_append(
+        self,
+        items: Sequence[
+            Union[
+                Trajectory,
+                Tuple[int, Union[Sequence[Sequence[float]], np.ndarray]],
+                Tuple[int, Union[Sequence[Sequence[float]], np.ndarray],
+                      Optional[Sequence[float]]],
+                Tuple[int, Union[Sequence[Sequence[float]], np.ndarray],
+                      Optional[Sequence[float]], Optional[float]],
+            ]
+        ],
+    ) -> StreamDelta:
+        """Open many *new* trajectories at once through the batched
+        phase-1 engine.
+
+        *items* are :class:`~repro.model.trajectory.Trajectory` objects
+        or ``(traj_id, points[, times[, weight]])`` tuples.  Every
+        trajectory id must be unopened — bulk loading is a seed path,
+        not a multi-trajectory append.
+
+        Equivalent, record for record and state for state, to calling
+        :meth:`append` once per item in order: the lock-step scanner
+        commits bitwise-identical characteristic points and returns
+        each trajectory's resumable ``(start_index, length)`` scan
+        position, from which the per-trajectory incremental
+        partitioners are restored — so later appends to a bulk-loaded
+        trajectory continue exactly as if it had been fed point by
+        point.
+        """
+        parsed: List[Tuple[int, np.ndarray, Optional[np.ndarray], float]] = []
+        seen: set = set()
+        for item in items:
+            if isinstance(item, Trajectory):
+                traj_id, points = item.traj_id, item.points
+                times, weight = item.times, item.weight
+            else:
+                traj_id, points = int(item[0]), item[1]
+                times = item[2] if len(item) > 2 else None
+                weight = item[3] if len(item) > 3 else None
+            points = _as_point_batch(points)
+            if points.ndim != 2 or points.shape[0] == 0:
+                raise TrajectoryError(
+                    f"trajectory {traj_id}: need a non-empty (n, d) point "
+                    f"array, got shape {points.shape}"
+                )
+            if not np.all(np.isfinite(points)):
+                # append() inherits this check from the incremental
+                # partitioner; the bulk path restores past it.
+                raise TrajectoryError(
+                    f"trajectory {traj_id}: points must be finite"
+                )
+            if traj_id in self._trajectories or traj_id in seen:
+                raise TrajectoryError(
+                    f"trajectory {traj_id} is already open; bulk_append "
+                    f"only seeds new trajectories"
+                )
+            seen.add(traj_id)
+            if times is not None:
+                times = _validated_times(times, points.shape[0])
+            parsed.append((traj_id, points, times, _opening_weight(weight)))
+        if not parsed:
+            return StreamDelta((), ())
+
+        ragged = RaggedPoints.from_arrays([p for _, p, _, _ in parsed])
+        committed, starts, lengths = lockstep_scan(ragged, self.suppression)
+
+        inserted: List[SegmentRecord] = []
+        for row, (traj_id, points, times, weight) in enumerate(parsed):
+            partitioner = IncrementalPartitioner.restore(
+                self.suppression,
+                points,
+                committed[row],
+                int(starts[row]),
+                int(lengths[row]),
+            )
+            state = _TrajectoryState(partitioner, weight)
+            if times is not None:
+                state.times = [float(t) for t in times]
+            self._trajectories[traj_id] = state
+            cps = committed[row]
+            for a, b in zip(cps, cps[1:]):
+                inserted.append(self._record(state, traj_id, a, b, False))
+            end = points.shape[0] - 1
+            if end > cps[-1]:
+                record = self._record(state, traj_id, cps[-1], end, True)
+                state.trailing_key = record.key
+                inserted.append(record)
+        return StreamDelta(tuple(inserted), ())
 
     def __repr__(self) -> str:
         return (

@@ -363,6 +363,42 @@ class OnlineDBSCAN:
         self._rep_cache = refreshed
         return clusters
 
+    # -- compaction --------------------------------------------------------
+    def compact_slots(self) -> np.ndarray:
+        """Compact the underlying graph's slot store and rename every
+        slot held in the derived label state; returns the old -> new
+        slot map (-1 = dead).
+
+        The remap is monotone, so component formation order
+        (``_comp_min`` minima), the border seed rule, and the Step-3
+        filter all see the same relative order — :meth:`labels` returns
+        the identical label sequence over the renumbered slots.  The
+        representative cache keys on slot signatures and is dropped
+        (memberships are unchanged, so sweeps re-run only on the next
+        :meth:`representatives` call).
+        """
+        remap = self.graph.compact_slots()
+        self._card = {
+            int(remap[slot]): card for slot, card in self._card.items()
+        }
+        self._core = {int(remap[slot]) for slot in self._core}
+        self._core_neighbors = {
+            int(remap[slot]): {int(remap[mate]) for mate in mates}
+            for slot, mates in self._core_neighbors.items()
+        }
+        self._comp_of = {
+            int(remap[slot]): token for slot, token in self._comp_of.items()
+        }
+        self._comp_members = {
+            token: {int(remap[slot]) for slot in members}
+            for token, members in self._comp_members.items()
+        }
+        self._comp_min = {
+            token: int(remap[slot]) for token, slot in self._comp_min.items()
+        }
+        self._rep_cache.clear()
+        return remap
+
     # -- checkpointing -----------------------------------------------------
     def rebuild_from_graph(self) -> None:
         """Recompute all derived label state (cardinalities, cores,

@@ -9,6 +9,13 @@ what changed — the streaming analogue of one batch
 :meth:`TRACLUS.fit <repro.core.traclus.TRACLUS.fit>` call, at the cost
 of only the touched neighborhood.
 
+Two scale features complete the picture: :meth:`bulk_load` seeds a
+session from a whole corpus through the lock-step batched phase-1
+engine (identical end state to sequential appends, at corpus speed),
+and slot-store compaction (``StreamConfig.compact_dead_fraction``)
+reclaims dead slots via a monotone id remap so unbounded sessions stop
+growing with total ingested history.
+
 Cluster ids in consecutive updates are comparable only through the
 label maps (renumbering can shift ids when clusters form, merge, or
 fall to the Step-3 filter); ``StreamUpdate.changed`` reports exactly
@@ -28,14 +35,24 @@ from repro.representative.sweep import RepresentativeConfig
 from repro.stream.ingest import TrajectoryStream
 from repro.stream.online_dbscan import OnlineDBSCAN
 
+#: Compaction never fires below this slot count — renumbering a tiny
+#: store would cost more churn than the dead slots it reclaims.
+_COMPACT_MIN_SLOTS = 128
+
 
 @dataclass(frozen=True)
 class StreamUpdate:
-    """What one append did to the clustering.
+    """What one append (or bulk load) did to the clustering.
 
     ``changed`` maps slot -> (old label, new label); ``None`` stands
     for "not in the window" on either side.  ``labels`` is the full
     current slot -> label map (-1 noise).
+
+    When slot-store compaction ran after this update
+    (``StreamConfig.compact_dead_fraction``), ``remapped`` maps every
+    live slot's pre-compaction id to its new id; the other fields keep
+    the pre-compaction ids the caller has been seeing.  ``None`` means
+    no compaction happened and all reported ids remain valid.
     """
 
     inserted: Tuple[int, ...]
@@ -43,6 +60,7 @@ class StreamUpdate:
     labels: Dict[int, int]
     changed: Dict[int, Tuple[Optional[int], Optional[int]]]
     n_clusters: int
+    remapped: Optional[Dict[int, int]] = None
 
 
 class StreamingTRACLUS:
@@ -78,6 +96,33 @@ class StreamingTRACLUS:
         ``weight`` fixes the trajectory weight at its first append
         (``None`` = default 1.0, or keep the opening weight later)."""
         delta = self.stream.append(traj_id, points, times=times, weight=weight)
+        inserted, evicted = self._apply_delta(delta)
+        evicted.extend(self._apply_window())
+        return self._build_update(inserted, evicted)
+
+    def bulk_load(self, items) -> StreamUpdate:
+        """Seed the session with many *new* trajectories at once.
+
+        *items* are :class:`~repro.model.trajectory.Trajectory` objects
+        or ``(traj_id, points[, times[, weight]])`` tuples (see
+        :meth:`TrajectoryStream.bulk_append
+        <repro.stream.ingest.TrajectoryStream.bulk_append>`).  Phase 1
+        runs through the lock-step batched engine in one vectorized
+        scan, then every emitted segment is inserted in the same order
+        per-trajectory appends would have used, so the final labels,
+        slot assignments, and resumable per-trajectory scan states are
+        identical to sequential ingestion — at corpus speed.  The
+        eviction window is applied once at the end (the final alive set
+        it produces equals applying it after every append).
+        """
+        delta = self.stream.bulk_append(items)
+        inserted, evicted = self._apply_delta(delta)
+        evicted.extend(self._apply_window())
+        return self._build_update(inserted, evicted)
+
+    def _apply_delta(self, delta) -> Tuple[List[int], List[int]]:
+        """Retract-then-insert one :class:`StreamDelta` into the
+        clusterer; returns the touched ``(inserted, evicted)`` slots."""
         evicted: List[int] = []
         for key in delta.retracted:
             slot = self._key_to_slot.pop(key, None)
@@ -100,8 +145,7 @@ class StreamingTRACLUS:
             if record.stamp > self._max_stamp:
                 self._max_stamp = record.stamp
             inserted.append(slot)
-        evicted.extend(self._apply_window())
-        return self._build_update(inserted, evicted)
+        return inserted, evicted
 
     def _evict_slot(self, slot: int) -> None:
         key = self._slot_to_key.pop(slot)
@@ -151,7 +195,46 @@ class StreamingTRACLUS:
             labels=current,
             changed=changed,
             n_clusters=max(n_clusters, 0),
+            remapped=self._maybe_compact(),
         )
+
+    # -- compaction --------------------------------------------------------
+    def _maybe_compact(self) -> Optional[Dict[int, int]]:
+        """Reclaim dead slots once their fraction of the slot space
+        exceeds ``config.compact_dead_fraction``.
+
+        The remap is monotone over live slots, so relative slot order —
+        and with it the distance kernel's id tie-break, every computed
+        distance, and every label — is preserved bitwise; only the ids
+        change.  Internal key/label maps are remapped here; the
+        returned old -> new map is surfaced on the update so callers
+        can follow.
+        """
+        fraction = self.config.compact_dead_fraction
+        store = self.clusterer.store
+        if fraction is None or len(store) < _COMPACT_MIN_SLOTS:
+            return None
+        dead = len(store) - store.n_alive
+        if dead <= fraction * len(store):
+            return None
+        remap = self.clusterer.compact_slots()
+        live = {
+            old: int(new)
+            for old, new in enumerate(remap.tolist())
+            if new >= 0
+        }
+        self._key_to_slot = {
+            key: live[slot] for key, slot in self._key_to_slot.items()
+        }
+        self._slot_to_key = {
+            slot: key for key, slot in self._key_to_slot.items()
+        }
+        self._last_labels = {
+            live[slot]: label for slot, label in self._last_labels.items()
+        }
+        # All dead slots are gone: the oldest live slot is found from 0.
+        self._evict_cursor = 0
+        return live
 
     # -- queries -----------------------------------------------------------
     def labels(self) -> Tuple[np.ndarray, np.ndarray]:

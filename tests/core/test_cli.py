@@ -61,6 +61,25 @@ class TestParser:
         assert excinfo.value.code == 2
         assert "--eps" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("command", ["cluster", "params"])
+    @pytest.mark.parametrize("method", ["auto", "python", "batched"])
+    def test_every_partition_method_is_accepted(self, command, method):
+        args = build_parser().parse_args(
+            [command, "in.csv", "--partition-method", method]
+        )
+        assert args.partition_method == method
+
+    @pytest.mark.parametrize("command", ["cluster", "params"])
+    def test_partition_method_typo_fails_at_argparse_time(
+        self, command, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                [command, "in.csv", "--partition-method", "vectorised"]
+            )
+        assert excinfo.value.code == 2
+        assert "--partition-method" in capsys.readouterr().err
+
 
 class TestClusterCommand:
     def test_cluster_with_explicit_params(self, tracks_csv, tmp_path, capsys):
@@ -87,6 +106,20 @@ class TestClusterCommand:
             "cluster", tracks_csv, "--eps", "10", "--min-lns", "4",
             "--undirected",
         ]) == 0
+
+    def test_cluster_partition_engines_agree(self, tracks_csv, tmp_path):
+        """Same JSON result whichever phase-1 engine the user forces —
+        the engines are bitwise-equivalent end to end."""
+        payloads = []
+        for method in ("python", "batched"):
+            json_out = str(tmp_path / f"result_{method}.json")
+            assert main([
+                "cluster", tracks_csv, "--eps", "10", "--min-lns", "4",
+                "--partition-method", method, "--json", json_out,
+            ]) == 0
+            with open(json_out) as handle:
+                payloads.append(json.load(handle))
+        assert payloads[0] == payloads[1]
 
 
 class TestParamsCommand:
@@ -177,6 +210,38 @@ class TestStreamCommand:
             "--batch-points", "3",
         ]) == 0
         assert "final:" in capsys.readouterr().out
+
+    def test_stream_bulk_load_matches_pure_streaming(
+        self, tracks_csv, capsys
+    ):
+        """--bulk-load seeds through the batched engine but must end at
+        the same final state as point-by-point streaming."""
+        assert main([
+            "stream", tracks_csv, "--eps", "8", "--min-lns", "4",
+            "--max-deltas", "0",
+        ]) == 0
+        streamed_final = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("final:")
+        ]
+        assert main([
+            "stream", tracks_csv, "--eps", "8", "--min-lns", "4",
+            "--bulk-load", "--max-deltas", "0",
+        ]) == 0
+        output = capsys.readouterr().out
+        bulk_final = [
+            line for line in output.splitlines()
+            if line.startswith("final:")
+        ]
+        assert "bulk-loaded" in output
+        assert bulk_final == streamed_final
+
+    def test_stream_compaction_flag(self, tracks_csv):
+        assert main([
+            "stream", tracks_csv, "--eps", "8", "--min-lns", "4",
+            "--window", "40", "--compact-dead-fraction", "0.5",
+            "--max-deltas", "0",
+        ]) == 0
 
     def test_stream_labels_match_batch_cluster(self, tracks_csv):
         """Unwindowed streaming of a whole CSV ends at the same labels

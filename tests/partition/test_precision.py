@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.datasets.hurricane import generate_hurricane_tracks
 from repro.exceptions import PartitionError
 from repro.partition.approximate import approximate_partition
+from repro.partition.batched import batched_partition_arrays
 from repro.partition.exact import exact_partition
 from repro.partition.precision import partitioning_precision
 
@@ -64,3 +66,50 @@ class TestAgainstRealPartitionings:
             approximate_partition(points), exact_partition(points)
         )
         assert 0.0 <= score <= 1.0
+
+
+class TestPrecisionRegression:
+    """Pin the exact-vs-approximate precision on a fixed synthetic
+    dataset.
+
+    Both the Figure-8 scan and the exact DP route every cost through
+    the shared MDL kernel, so these values are deterministic; any
+    change to the cost model or either scanner's decisions moves them.
+    The inclusive mean sits in the paper's ~80 % ballpark
+    (Section 3.3 / Figure 9 discussion).
+    """
+
+    def _tracks(self):
+        return generate_hurricane_tracks(n_storms=10, seed=1950)
+
+    def test_mean_precision_pinned(self):
+        inclusive, strict = [], []
+        for track in self._tracks():
+            approx = approximate_partition(track.points)
+            exact = exact_partition(track.points)
+            inclusive.append(partitioning_precision(approx, exact))
+            strict.append(
+                partitioning_precision(
+                    approx, exact, include_endpoints=False
+                )
+            )
+        assert float(np.mean(inclusive)) == pytest.approx(
+            0.845308170090779, abs=1e-12
+        )
+        assert float(np.mean(strict)) == pytest.approx(
+            0.7934415584415585, abs=1e-12
+        )
+
+    def test_batched_engine_scores_identically(self):
+        """Precision is a function of the characteristic points, and
+        the batched engine's are bitwise-equal — so its precision is
+        not approximately but *exactly* the python engine's."""
+        tracks = self._tracks()
+        batched = batched_partition_arrays([t.points for t in tracks])
+        for track, batched_cps in zip(tracks, batched):
+            exact = exact_partition(track.points)
+            assert partitioning_precision(
+                batched_cps, exact
+            ) == partitioning_precision(
+                approximate_partition(track.points), exact
+            )

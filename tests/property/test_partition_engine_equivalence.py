@@ -1,0 +1,187 @@
+"""Property tests: the batched phase-1 engine equals the python scan.
+
+The batched engine promises characteristic points *exactly* equal —
+bitwise, including suppression and line-07 tie behavior — to running
+Figure 8 one trajectory at a time.  These tests drive both engines
+over adversarial corpora (duplicate points, collinear runs, quantised
+coordinates that manufacture cost ties, positive suppression) and
+assert list equality point for point, plus scan-state equality against
+the incremental partitioner the streaming bulk-load path restores
+from.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.partition.approximate import (
+    approximate_partition,
+    partition_all,
+)
+from repro.partition.batched import (
+    batched_partition_all,
+    batched_partition_arrays,
+    lockstep_scan,
+)
+from repro.partition.incremental import IncrementalPartitioner
+from repro.model.ragged import RaggedPoints
+from repro.model.trajectory import Trajectory
+
+
+@st.composite
+def one_trajectory(draw, min_points=2, max_points=30, dim=2):
+    n = draw(st.integers(min_value=min_points, max_value=max_points))
+    points = draw(
+        arrays(
+            dtype=np.float64,
+            shape=(n, dim),
+            elements=st.floats(
+                min_value=-300.0, max_value=300.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+        )
+    )
+    # Quantising makes equal coordinates — duplicate points, exact cost
+    # ties — far more likely than raw floats would.
+    if draw(st.booleans()):
+        points = np.round(points / 8.0) * 8.0
+    # Duplicate runs: resample points with replacement, sorted.
+    if draw(st.booleans()):
+        idx = np.sort(
+            draw(
+                arrays(
+                    dtype=np.int64, shape=(n,),
+                    elements=st.integers(0, n - 1),
+                )
+            )
+        )
+        points = points[idx]
+    # Collinear stretch from a random position on.
+    if draw(st.booleans()):
+        k = draw(st.integers(0, n - 1))
+        points[k:, 1] = 0.25 * points[k:, 0]
+    return points
+
+
+@st.composite
+def corpus(draw, max_trajectories=6):
+    dim = draw(st.sampled_from([2, 3]))
+    n = draw(st.integers(min_value=1, max_value=max_trajectories))
+    return [draw(one_trajectory(dim=dim)) for _ in range(n)]
+
+
+class TestEngineEquivalence:
+    @given(corpus())
+    @settings(max_examples=120, deadline=None)
+    def test_characteristic_points_bitwise_equal(self, point_arrays):
+        expected = [approximate_partition(a) for a in point_arrays]
+        assert batched_partition_arrays(point_arrays) == expected
+
+    @given(corpus(), st.floats(min_value=0.0, max_value=50.0))
+    @settings(max_examples=80, deadline=None)
+    def test_equal_under_suppression(self, point_arrays, suppression):
+        expected = [
+            approximate_partition(a, suppression=suppression)
+            for a in point_arrays
+        ]
+        got = batched_partition_arrays(
+            point_arrays, suppression=suppression
+        )
+        assert got == expected
+
+    @given(corpus(max_trajectories=4))
+    @settings(max_examples=60, deadline=None)
+    def test_scan_state_matches_incremental(self, point_arrays):
+        """The lock-step scanner's resumable state is exactly what the
+        incremental partitioner reaches after appending everything —
+        the invariant the streaming bulk-load path restores from."""
+        ragged = RaggedPoints.from_arrays(point_arrays)
+        committed, starts, lengths = lockstep_scan(ragged)
+        for row, points in enumerate(point_arrays):
+            incremental = IncrementalPartitioner()
+            incremental.append(points)
+            assert committed[row] == incremental.committed
+            assert (int(starts[row]), int(lengths[row])) == (
+                incremental.scan_state()
+            )
+
+    @given(corpus(max_trajectories=4))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_all_engine_dispatch(self, point_arrays):
+        trajectories = [
+            Trajectory(points, traj_id=i)
+            for i, points in enumerate(point_arrays)
+        ]
+        seg_python, cps_python = partition_all(
+            trajectories, method="python"
+        )
+        seg_batched, cps_batched = partition_all(
+            trajectories, method="batched"
+        )
+        assert cps_batched == cps_python
+        assert np.array_equal(seg_batched.starts, seg_python.starts)
+        assert np.array_equal(seg_batched.ends, seg_python.ends)
+        assert np.array_equal(seg_batched.traj_ids, seg_python.traj_ids)
+        assert np.array_equal(seg_batched.weights, seg_python.weights)
+
+
+class TestHandPickedAdversaries:
+    def test_all_identical_points(self):
+        points = np.ones((9, 2)) * 3.5
+        assert batched_partition_arrays([points]) == [
+            approximate_partition(points)
+        ]
+
+    def test_perfect_collinear_run(self):
+        # Spacing 4 so the enclosed segments cost bits (unit segments
+        # are free under the delta=1 clamp, which makes partitioning
+        # *every* point optimal — a fun cost-model corner both engines
+        # must agree on; see test below).
+        points = np.column_stack(
+            [np.arange(12, dtype=np.float64) * 4.0, np.zeros(12)]
+        )
+        expected = approximate_partition(points)
+        assert batched_partition_arrays([points]) == [expected]
+        # A straight line with costly segments never pays for extra
+        # characteristic points.
+        assert expected == [0, 11]
+
+    def test_unit_collinear_run_commits_everywhere(self):
+        # Unit segments encode in 0 bits, any longer hypothesis in > 0:
+        # line 07 fires at every step, in both engines.
+        points = np.column_stack(
+            [np.arange(12, dtype=np.float64), np.zeros(12)]
+        )
+        expected = approximate_partition(points)
+        assert batched_partition_arrays([points]) == [expected]
+        assert expected == list(range(12))
+
+    def test_mixed_lengths_interleave(self):
+        """Rows of very different lengths keep distinct active
+        lifetimes in the lock-step loop."""
+        rng = np.random.default_rng(5)
+        point_arrays = [
+            np.cumsum(rng.normal(0, 2.0, (n, 2)), axis=0)
+            for n in (2, 3, 150, 7, 41, 2, 90)
+        ]
+        assert batched_partition_arrays(point_arrays) == [
+            approximate_partition(a) for a in point_arrays
+        ]
+
+    def test_batched_partition_all_matches_trajectory_weights(self):
+        rng = np.random.default_rng(6)
+        trajectories = [
+            Trajectory(
+                np.cumsum(rng.normal(0, 2.0, (20, 2)), axis=0),
+                traj_id=i,
+                weight=float(i + 1),
+            )
+            for i in range(5)
+        ]
+        segments, cps = batched_partition_all(trajectories)
+        expected_segments, expected_cps = partition_all(
+            trajectories, method="python"
+        )
+        assert cps == expected_cps
+        assert np.array_equal(segments.weights, expected_segments.weights)

@@ -1,0 +1,195 @@
+"""Slot-store compaction: dead-slot reclamation under a monotone remap.
+
+The invariant being defended: live slots keep their *relative order*
+through a compaction, so the distance kernel's equal-length id
+tie-break — and therefore every distance, core flag, component, and
+label — is bitwise unchanged; only the ids are renamed.  A session
+with compaction enabled must stay label-identical (position by
+position over the ascending live slots) to the same session without
+it, and to a batch refit, forever.
+"""
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.cluster.dbscan import LineSegmentDBSCAN
+from repro.core.config import StreamConfig
+from repro.datasets.synthetic import generate_corridor_set
+from repro.exceptions import ClusteringError
+from repro.stream.checkpoint import load_checkpoint, save_checkpoint
+from repro.stream.dynamic_graph import StreamSegmentStore
+from repro.stream.pipeline import StreamingTRACLUS
+
+EPS, MIN_LNS = 8.0, 4.0
+
+
+class TestStoreCompaction:
+    def _store_with_holes(self):
+        store = StreamSegmentStore(dim=2)
+        for k in range(10):
+            store.append(
+                np.array([float(k), 0.0]), np.array([float(k), 1.0]),
+                traj_id=k, weight=1.0 + k, stamp=float(k),
+            )
+        for dead in (0, 3, 4, 8):
+            store.kill(dead)
+        return store
+
+    def test_monotone_remap(self):
+        store = self._store_with_holes()
+        remap = store.compact_slots()
+        assert remap.tolist() == [-1, 0, 1, -1, -1, 2, 3, 4, -1, 5]
+        live = remap[remap >= 0]
+        assert np.all(np.diff(live) > 0)  # monotone over live slots
+
+    def test_columns_and_counters_compacted(self):
+        store = self._store_with_holes()
+        store.compact_slots()
+        assert len(store) == 6 and store.n_alive == 6
+        assert store.traj_ids.tolist() == [1, 2, 5, 6, 7, 9]
+        assert store.weights.tolist() == [2.0, 3.0, 6.0, 7.0, 8.0, 10.0]
+        assert store.stamps.tolist() == [1.0, 2.0, 5.0, 6.0, 7.0, 9.0]
+        assert store.alive_mask.all()
+
+    def test_backing_capacity_shrinks(self):
+        store = StreamSegmentStore(dim=2)
+        for k in range(500):
+            store.append(np.zeros(2), np.ones(2), traj_id=k)
+        for k in range(490):
+            store.kill(k)
+        assert store._capacity >= 512
+        store.compact_slots()
+        assert store.n_alive == 10
+        assert store._capacity == 64  # back to the initial capacity
+
+    def test_store_usable_after_compaction(self):
+        store = self._store_with_holes()
+        store.compact_slots()
+        slot = store.append(np.zeros(2), np.ones(2), traj_id=99)
+        assert slot == 6
+        store.kill(2)
+        assert store.n_alive == 6
+
+
+class TestPipelineCompaction:
+    def _run(self, compact_fraction, chunk=6):
+        config = StreamConfig(
+            eps=EPS, min_lns=MIN_LNS, max_segments=120,
+            compact_dead_fraction=compact_fraction,
+        )
+        pipeline = StreamingTRACLUS(config)
+        label_history = []
+        compactions = 0
+        for track in generate_corridor_set(n_trajectories=20, seed=5):
+            points = track.points
+            for at in range(0, len(points), chunk):
+                update = pipeline.append(track.traj_id, points[at:at + chunk])
+                if update.remapped is not None:
+                    compactions += 1
+                _, labels = pipeline.labels()
+                label_history.append(labels.copy())
+        return pipeline, label_history, compactions
+
+    def test_labels_bitwise_equal_with_and_without(self):
+        with_compaction, history_c, compactions = self._run(0.4)
+        without, history_n, zero = self._run(None)
+        assert compactions > 0 and zero == 0
+        for got, expected in zip(history_c, history_n):
+            assert np.array_equal(got, expected)
+        # The whole point: the compacted store stopped growing with
+        # total ingested history.
+        assert len(with_compaction.clusterer.store) < len(
+            without.clusterer.store
+        )
+
+    def test_labels_equal_batch_refit_after_compaction(self):
+        pipeline, _, compactions = self._run(0.4)
+        assert compactions > 0
+        survivors, _ = pipeline.clusterer.store.compact()
+        _, expected = LineSegmentDBSCAN(eps=EPS, min_lns=MIN_LNS).fit(
+            survivors
+        )
+        _, labels = pipeline.labels()
+        assert np.array_equal(labels, expected)
+
+    def test_internal_maps_consistent_after_compaction(self):
+        pipeline, _, compactions = self._run(0.4)
+        assert compactions > 0
+        store = pipeline.clusterer.store
+        live = set(store.alive_slots().tolist())
+        assert set(pipeline._slot_to_key) == live
+        assert set(pipeline._last_labels) == live
+        for key, slot in pipeline._key_to_slot.items():
+            assert pipeline._slot_to_key[slot] == key
+
+    def test_update_reports_remap(self):
+        config = StreamConfig(
+            eps=EPS, min_lns=MIN_LNS, max_segments=120,
+            compact_dead_fraction=0.4,
+        )
+        pipeline = StreamingTRACLUS(config)
+        remapped = None
+        for track in generate_corridor_set(n_trajectories=20, seed=5):
+            for at in range(0, len(track.points), 6):
+                update = pipeline.append(
+                    track.traj_id, track.points[at:at + 6]
+                )
+                if update.remapped is not None:
+                    remapped = update.remapped
+                    pre_compaction_labels = update.labels
+                    break
+            if remapped is not None:
+                break
+        assert remapped is not None
+        # The update's labels use pre-compaction ids; the remap carries
+        # them onto the live store.
+        slots, labels = pipeline.labels()
+        translated = {
+            remapped[slot]: label
+            for slot, label in pre_compaction_labels.items()
+        }
+        assert translated == dict(zip(slots.tolist(), labels.tolist()))
+
+    def test_checkpoint_roundtrip_after_compaction(self):
+        pipeline, _, compactions = self._run(0.4)
+        assert compactions > 0
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "compacted.npz")
+            save_checkpoint(pipeline, path)
+            restored = load_checkpoint(path)
+        slots, labels = pipeline.labels()
+        restored_slots, restored_labels = restored.labels()
+        assert np.array_equal(slots, restored_slots)
+        assert np.array_equal(labels, restored_labels)
+        # And the restored session keeps evolving identically.
+        extra = np.cumsum(np.ones((8, 2)) * 1.5, axis=0)
+        original_update = pipeline.append(999, extra)
+        restored_update = restored.append(999, extra)
+        assert original_update.labels == restored_update.labels
+
+    def test_small_stores_never_compact(self):
+        config = StreamConfig(
+            eps=EPS, min_lns=MIN_LNS, max_segments=10,
+            compact_dead_fraction=0.1,
+        )
+        pipeline = StreamingTRACLUS(config)
+        rng = np.random.default_rng(3)
+        for k in range(5):
+            update = pipeline.append(
+                k, np.cumsum(rng.normal(0, 2, (12, 2)), axis=0)
+            )
+            assert update.remapped is None  # under the 128-slot floor
+
+    def test_config_validation(self):
+        with pytest.raises(ClusteringError):
+            StreamConfig(eps=1.0, min_lns=1.0, compact_dead_fraction=0.0)
+        with pytest.raises(ClusteringError):
+            StreamConfig(eps=1.0, min_lns=1.0, compact_dead_fraction=1.0)
+        with pytest.raises(ClusteringError):
+            StreamConfig(eps=1.0, min_lns=1.0, compact_dead_fraction=-0.5)
+        assert StreamConfig(
+            eps=1.0, min_lns=1.0, compact_dead_fraction=0.5
+        ).compact_dead_fraction == 0.5
