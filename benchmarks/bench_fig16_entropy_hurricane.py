@@ -4,19 +4,24 @@ Paper: the entropy curve over ε = 1..60 has an interior minimum at
 ε = 31 with avg|N_eps| = 4.39; the visually-optimal ε = 30 sits next to
 it.  Reproduced shape: a U-ish curve whose minimum is strictly interior
 (both tiny and huge ε approach the maximal, uniform entropy).
+
+The curve is served by the amortised sweep engine: one ε_max graph
+holds every pairwise distance once, and the 60 thresholds are read off
+the stored edges — identical ints (hence bitwise-identical entropies)
+to the streaming multi-ε counting route of ``repro.params.entropy``.
 """
 
 import numpy as np
 
 from conftest import print_table
-from repro.params.entropy import entropy_curve
+from repro.sweep import SweepEngine
 
 EPS_GRID = np.arange(1.0, 61.0)
 
 
 def test_fig16_entropy_curve(benchmark, hurricane_segments):
     entropies, avg_sizes = benchmark.pedantic(
-        lambda: entropy_curve(hurricane_segments, EPS_GRID),
+        lambda: SweepEngine(hurricane_segments, EPS_GRID).entropy_curve(),
         rounds=1, iterations=1,
     )
     best = int(np.argmin(entropies))

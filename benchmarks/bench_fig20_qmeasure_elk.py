@@ -7,28 +7,36 @@ this dataset than on the hurricanes.
 
 Reproduced shape: QMeasure decreases toward our data's estimated
 optimum region within each MinLns row.
+
+Like Figure 17, the whole grid rides the amortised sweep engine — one
+graph build per ε range, incremental-ε labeling per grid point.
 """
 
 import numpy as np
 
 from conftest import print_table
-from repro.cluster.dbscan import cluster_segments
-from repro.params.heuristic import recommend_parameters
+from repro.model.cluster import clusters_from_labels
 from repro.quality.qmeasure import quality_measure
+from repro.sweep import SweepEngine
 
 
 def run_grid(segments):
-    estimate = recommend_parameters(segments, eps_values=np.arange(2.0, 40.0))
+    estimate = SweepEngine(
+        segments, np.arange(2.0, 40.0)
+    ).recommend_parameters()
     eps_star = estimate.eps
     eps_values = [eps_star - 2, eps_star - 1, eps_star,
                   eps_star + 1, eps_star + 2]
     min_lns_values = [
         int(round(estimate.avg_neighborhood_size)) + k for k in (1, 2, 3)
     ]
+    engine = SweepEngine(segments, eps_values)
+    grid_labels = engine.labels_grid(min_lns_values)
     grid = {}
-    for min_lns in min_lns_values:
-        for eps in eps_values:
-            clusters, labels = cluster_segments(segments, eps=eps, min_lns=min_lns)
+    for j, min_lns in enumerate(min_lns_values):
+        for i, eps in enumerate(eps_values):
+            labels = grid_labels[i, j].copy()
+            clusters = clusters_from_labels(labels, segments)
             grid[(eps, min_lns)] = quality_measure(
                 clusters, segments, labels
             ).qmeasure

@@ -10,7 +10,8 @@ Run under pytest (``pytest benchmarks/bench_partition.py``) for the
 asserted comparison, or standalone for the full trajectory-count /
 trajectory-length grid::
 
-    PYTHONPATH=src python benchmarks/bench_partition.py [--smoke]
+    PYTHONPATH=src python benchmarks/bench_partition.py [--smoke] \
+        [--json out.json]
 """
 
 import time
@@ -77,14 +78,29 @@ def test_batched_partition_speedup(benchmark):
     )
 
 
+#: The speedup bar exported to the CI regression gate (``--json``): it
+#: is measured at the *largest* grid point of the run.  The full-scale
+#: floor matches the asserted pytest bar at 1,000 x 100 (measured
+#: ~70-100x); the smoke floor is looser because the reduced 250 x 100
+#: point runs on a noisy shared runner.
+SPEEDUP_FLOOR_FULL = 5.0
+SPEEDUP_FLOOR_SMOKE = 3.0
+
+
 def main(argv=None):
     import argparse
+    import json
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke", action="store_true",
         help="reduced grid, prints the comparison without asserting "
              "the speedup factor (equivalence is always asserted)",
+    )
+    parser.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="write the measured speedup bar (at the largest grid "
+             "point) as JSON for benchmarks/check_speedup_bars.py",
     )
     args = parser.parse_args(argv)
     if args.smoke:
@@ -95,8 +111,10 @@ def main(argv=None):
             (100, 30), (100, 300), (1000, 30), (2000, 100),
         ]
     rows = []
+    timings = {}
     for n_trajectories, n_points in grid:
         python_time, batched_time = compare_engines(n_trajectories, n_points)
+        timings[(n_trajectories, n_points)] = (python_time, batched_time)
         rows.append(
             (
                 n_trajectories,
@@ -112,6 +130,30 @@ def main(argv=None):
         rows,
         ("trajectories", "points", "python", "batched", "speedup"),
     )
+    if args.json_out:
+        # The bar point: the largest corpus of the run — the scale the
+        # batched engine exists for.
+        bar_point = max(grid, key=lambda g: g[0] * g[1])
+        python_time, batched_time = timings[bar_point]
+        payload = {
+            "benchmark": "partition",
+            "mode": "smoke" if args.smoke else "full",
+            "bars": [
+                {
+                    "name": (
+                        f"batched_vs_python_{bar_point[0]}x{bar_point[1]}"
+                    ),
+                    "speedup": python_time / batched_time,
+                    "floor": (
+                        SPEEDUP_FLOOR_SMOKE if args.smoke
+                        else SPEEDUP_FLOOR_FULL
+                    ),
+                }
+            ],
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_out}")
     return 0
 
 

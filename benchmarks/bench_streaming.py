@@ -10,7 +10,8 @@ DBSCAN refit — while producing *identical* labels.
 Run under pytest (``pytest benchmarks/bench_streaming.py``) for the
 asserted comparison, or standalone for a quick non-asserting look::
 
-    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke
+    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke \
+        [--json out.json]
 """
 
 import time
@@ -146,13 +147,27 @@ def test_streaming_update_speedup(benchmark):
     )
 
 
+#: Speedup bars exported to the CI regression gate (``--json``).  The
+#: full floor matches the asserted pytest bar at the ~10k-segment
+#: window (measured ~100-200x); the smoke floor is looser because the
+#: 1.5k window leaves less to amortise and CI runners are noisy.
+SPEEDUP_FLOOR_FULL = 5.0
+SPEEDUP_FLOOR_SMOKE = 3.0
+
+
 def main(argv=None):
     import argparse
+    import json
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke", action="store_true",
         help="reduced scale, prints the comparison without asserting",
+    )
+    parser.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="write the measured speedup bar as JSON for "
+             "benchmarks/check_speedup_bars.py",
     )
     args = parser.parse_args(argv)
     min_segments = 1500 if args.smoke else 10000
@@ -171,6 +186,24 @@ def main(argv=None):
         ],
         ("path", "live segments", "time"),
     )
+    if args.json_out:
+        payload = {
+            "benchmark": "streaming",
+            "mode": "smoke" if args.smoke else "full",
+            "bars": [
+                {
+                    "name": f"incremental_vs_batch_{n_alive}segs",
+                    "speedup": batch / incremental,
+                    "floor": (
+                        SPEEDUP_FLOOR_SMOKE if args.smoke
+                        else SPEEDUP_FLOOR_FULL
+                    ),
+                }
+            ],
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_out}")
     return 0
 
 

@@ -1,0 +1,190 @@
+"""Amortised parameter sweep vs naive per-point refits.
+
+The acceptance bar of the sweep-engine PR: on a 20 x 5 (ε, MinLns)
+grid over a corpus of roughly 5,000 segments, ``TRACLUS.sweep`` (one
+phase-1 pass, one ε_max graph, incremental-ε labeling per grid point)
+must be at least 5x faster than running a fresh ``TRACLUS.fit`` at
+every grid point — while producing labels *bitwise identical* to the
+per-point fits at every cell.
+
+Run under pytest (``pytest benchmarks/bench_sweep.py``) for the
+asserted comparison, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py [--smoke] [--json out.json]
+"""
+
+import time
+
+import numpy as np
+
+from conftest import print_table
+from repro.core.config import SweepConfig, TraclusConfig
+from repro.core.traclus import TRACLUS
+from repro.datasets.synthetic import generate_corridor_set
+from repro.model.trajectory import Trajectory
+from repro.partition.approximate import partition_all
+
+#: The asserted speedup floor — also exported to the CI regression gate
+#: via ``--json`` (see benchmarks/check_speedup_bars.py).
+SPEEDUP_FLOOR_FULL = 5.0
+#: CI smoke runs a reduced grid on a reduced corpus on a noisy shared
+#: runner; the measured smoke speedup is ~5-10x the floor.
+SPEEDUP_FLOOR_SMOKE = 2.0
+
+
+def tiled_corridor_trajectories(n_trajectories, seed):
+    """Corridor bundles tiled over a growing domain (constant local
+    density — the workload shape of bench_scaling/bench_streaming)."""
+    rng = np.random.default_rng(seed)
+    tiles = max(1, n_trajectories // 20)
+    trajectories = []
+    next_id = 0
+    for tile in range(tiles):
+        offset = rng.uniform(0, 300.0 * tiles, 2)
+        for trajectory in generate_corridor_set(
+            n_trajectories=min(20, n_trajectories - 20 * tile) or 20,
+            corridor_start=offset + [40.0, 50.0],
+            corridor_end=offset + [80.0, 50.0],
+            seed=seed + tile,
+            points_per_leg=10,
+        ):
+            trajectories.append(
+                Trajectory(trajectory.points, traj_id=next_id)
+            )
+            next_id += 1
+    return trajectories
+
+
+def corpus_with_min_segments(min_segments, seed=23):
+    """Grow the tiled-corridor corpus until phase 1 yields at least
+    *min_segments* segments."""
+    n_traj = 40
+    trajectories = tiled_corridor_trajectories(n_traj, seed=seed)
+    segments, _ = partition_all(trajectories)
+    while len(segments) < min_segments:
+        n_traj *= 2
+        trajectories = tiled_corridor_trajectories(n_traj, seed=seed)
+        segments, _ = partition_all(trajectories)
+    return trajectories, len(segments)
+
+
+def run_sweep_comparison(min_segments=5000, n_eps=20, n_min_lns=5):
+    """Time the amortised sweep against per-point refits on one grid;
+    asserts bitwise-identical labels at every cell.
+
+    Returns ``(n_segments, grid_cells, sweep_seconds, naive_seconds)``.
+    """
+    trajectories, n_segments = corpus_with_min_segments(min_segments)
+    eps_values = [float(e) for e in np.linspace(2.0, 10.0, n_eps)]
+    min_lns_values = [float(m) for m in range(3, 3 + n_min_lns)]
+    config = TraclusConfig(compute_representatives=False)
+
+    start = time.perf_counter()
+    result = TRACLUS(config).sweep(
+        trajectories,
+        SweepConfig(eps_values=eps_values, min_lns_values=min_lns_values),
+    )
+    sweep_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    naive = {}
+    for eps in eps_values:
+        for min_lns in min_lns_values:
+            fit = TRACLUS(
+                TraclusConfig(
+                    eps=eps, min_lns=min_lns, compute_representatives=False
+                )
+            ).fit(trajectories)
+            naive[(eps, min_lns)] = fit.labels
+    naive_time = time.perf_counter() - start
+
+    for i, eps in enumerate(eps_values):
+        for j, min_lns in enumerate(min_lns_values):
+            assert np.array_equal(
+                result.labels[i, j], naive[(eps, min_lns)]
+            ), f"labels diverge at (eps={eps}, min_lns={min_lns})"
+    return n_segments, len(eps_values) * len(min_lns_values), sweep_time, naive_time
+
+
+def test_sweep_speedup(benchmark):
+    """Acceptance: >= 5x over per-point ``TRACLUS.fit`` on a 20 x 5
+    grid at ~5k segments, labels bitwise identical at every cell."""
+    n_segments, cells, sweep_time, naive_time = benchmark.pedantic(
+        run_sweep_comparison, rounds=1, iterations=1
+    )
+    print_table(
+        f"Sweep vs per-point refit ({cells} grid cells, "
+        f"{n_segments} segments, labels bitwise-verified equal)",
+        [
+            ("naive (fit per grid point)", f"{naive_time * 1000:.0f} ms"),
+            ("amortised sweep", f"{sweep_time * 1000:.0f} ms"),
+            ("speedup", f"{naive_time / sweep_time:.1f}x"),
+        ],
+        ("path", "time"),
+    )
+    assert n_segments >= 5000
+    assert naive_time >= SPEEDUP_FLOOR_FULL * sweep_time, (
+        f"sweep ({sweep_time * 1000:.0f} ms) not "
+        f"{SPEEDUP_FLOOR_FULL:.0f}x faster than per-point refits "
+        f"({naive_time * 1000:.0f} ms)"
+    )
+
+
+def main(argv=None):
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced grid and corpus, prints the comparison without "
+             "asserting the speedup factor (label equality is always "
+             "asserted)",
+    )
+    parser.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="write the measured speedup bars as JSON (consumed by "
+             "benchmarks/check_speedup_bars.py in CI)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        scale = dict(min_segments=1200, n_eps=8, n_min_lns=3)
+        floor = SPEEDUP_FLOOR_SMOKE
+    else:
+        scale = dict(min_segments=5000, n_eps=20, n_min_lns=5)
+        floor = SPEEDUP_FLOOR_FULL
+    n_segments, cells, sweep_time, naive_time = run_sweep_comparison(**scale)
+    speedup = naive_time / sweep_time
+    print_table(
+        f"Sweep vs per-point refit ({'smoke' if args.smoke else 'full'} "
+        f"scale: {cells} cells, {n_segments} segments, labels "
+        f"bitwise-verified equal)",
+        [
+            ("naive (fit per grid point)", f"{naive_time * 1000:.0f} ms"),
+            ("amortised sweep", f"{sweep_time * 1000:.0f} ms"),
+            ("speedup", f"{speedup:.1f}x"),
+        ],
+        ("path", "time"),
+    )
+    if args.json_out:
+        payload = {
+            "benchmark": "sweep",
+            "mode": "smoke" if args.smoke else "full",
+            "bars": [
+                {
+                    "name": (
+                        f"sweep_vs_refit_{cells}cells_{n_segments}segs"
+                    ),
+                    "speedup": speedup,
+                    "floor": floor,
+                }
+            ],
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""CI benchmark-regression gate.
+
+Each performance benchmark (``bench_partition.py``,
+``bench_streaming.py``, ``bench_sweep.py``) writes its measured
+speedup bars to JSON via ``--json``::
+
+    {"benchmark": "sweep", "mode": "smoke",
+     "bars": [{"name": "...", "speedup": 10.0, "floor": 2.0}]}
+
+This script reads any number of those files and fails (exit 1) if any
+bar's measured speedup has regressed below its floor — the floors are
+committed next to the asserted pytest bars, so a regression that would
+fail the full-scale benchmark fails the smoke gate first.
+
+Usage::
+
+    python benchmarks/check_speedup_bars.py out1.json out2.json ...
+"""
+
+import json
+import sys
+
+
+def check(paths):
+    failures = []
+    rows = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        for bar in payload.get("bars", []):
+            ok = bar["speedup"] >= bar["floor"]
+            rows.append(
+                (
+                    payload.get("benchmark", path),
+                    payload.get("mode", "?"),
+                    bar["name"],
+                    f"{bar['speedup']:.1f}x",
+                    f"{bar['floor']:.1f}x",
+                    "ok" if ok else "REGRESSED",
+                )
+            )
+            if not ok:
+                failures.append(
+                    f"{payload.get('benchmark', path)}:{bar['name']} "
+                    f"measured {bar['speedup']:.2f}x < floor "
+                    f"{bar['floor']:.2f}x"
+                )
+    headers = ("benchmark", "mode", "bar", "measured", "floor", "status")
+    widths = [
+        max(len(headers[c]), *(len(str(r[c])) for r in rows)) if rows
+        else len(headers[c])
+        for c in range(len(headers))
+    ]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    return failures
+
+
+def main(argv=None):
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: check_speedup_bars.py BENCH_JSON [BENCH_JSON ...]")
+        return 2
+    failures = check(paths)
+    if failures:
+        print("\nbenchmark-regression gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nall speedup bars at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

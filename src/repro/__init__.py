@@ -26,7 +26,7 @@ Quickstart
 True
 """
 
-from repro.core.config import StreamConfig, TraclusConfig
+from repro.core.config import StreamConfig, SweepConfig, TraclusConfig
 from repro.core.traclus import TRACLUS, traclus
 from repro.cluster.dbscan import LineSegmentDBSCAN, cluster_segments
 from repro.cluster.optics import LineSegmentOPTICS
@@ -52,6 +52,7 @@ from repro.representative.sweep import (
     generate_representative,
 )
 from repro.stream import StreamingTRACLUS
+from repro.sweep import SweepEngine, SweepResult, run_sweep
 
 __version__ = "1.1.0"
 
@@ -60,7 +61,11 @@ __all__ = [
     "traclus",
     "TraclusConfig",
     "StreamConfig",
+    "SweepConfig",
     "StreamingTRACLUS",
+    "SweepEngine",
+    "SweepResult",
+    "run_sweep",
     "LineSegmentDBSCAN",
     "cluster_segments",
     "LineSegmentOPTICS",

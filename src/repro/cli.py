@@ -1,9 +1,11 @@
 """Command-line interface.
 
-Five subcommands, composable through CSV/JSON files:
+Six subcommands, composable through CSV/JSON files:
 
 * ``cluster``  — run TRACLUS on a trajectory CSV, write JSON/SVG results;
 * ``params``   — run the Section 4.4 heuristic and print the estimates;
+* ``sweep``    — run an amortised (ε, MinLns) grid sweep (one phase-1
+  pass, one ε-graph) and emit per-cell metrics as CSV/JSON;
 * ``generate`` — write one of the built-in synthetic datasets to CSV;
 * ``render``   — render a trajectory CSV (optionally with a result JSON)
   to SVG;
@@ -18,6 +20,8 @@ Examples
     python -m repro params tracks.csv
     python -m repro cluster tracks.csv --eps 6 --min-lns 8 \
         --json result.json --svg result.svg
+    python -m repro sweep tracks.csv --eps 20:40:2 --min-lns 5,6,7 \
+        --csv sweep.csv
     python -m repro render tracks.csv -o tracks.svg
     python -m repro stream tracks.csv --eps 6 --min-lns 8 --window 5000
 """
@@ -32,7 +36,12 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.neighborhood import NEIGHBORHOOD_METHODS
-from repro.core.config import StreamConfig, TraclusConfig
+from repro.core.config import (
+    SWEEP_EXECUTORS,
+    StreamConfig,
+    SweepConfig,
+    TraclusConfig,
+)
 from repro.partition.approximate import PARTITION_METHODS
 from repro.core.traclus import TRACLUS
 from repro.datasets.hurricane import generate_hurricane_tracks
@@ -104,6 +113,43 @@ def build_parser() -> argparse.ArgumentParser:
     params.add_argument("--partition-method", default="auto",
                         choices=PARTITION_METHODS,
                         help="phase-1 partitioning engine")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="amortised (eps, MinLns) grid sweep: one phase-1 pass, one "
+             "eps-graph, every grid point derived incrementally",
+    )
+    sweep.add_argument("input", help="trajectory CSV")
+    sweep.add_argument("--eps", required=True, metavar="GRID",
+                       help="eps grid: comma list ('25,27,30') or "
+                            "inclusive range 'lo:hi:step' ('20:40:2')")
+    sweep.add_argument("--min-lns", required=True, metavar="GRID",
+                       help="MinLns grid, same syntax as --eps")
+    sweep.add_argument("--suppression", type=float, default=0.0,
+                       help="partitioning suppression constant (Sec 4.1.3)")
+    sweep.add_argument("--undirected", action="store_true",
+                       help="use the undirected angle distance")
+    sweep.add_argument("--use-weights", action="store_true",
+                       help="weighted eps-neighborhood cardinality")
+    sweep.add_argument("--cardinality-threshold", type=float, default=None,
+                       help="fixed Step-3 trajectory-cardinality threshold "
+                            "(default: each grid point's MinLns)")
+    sweep.add_argument("--partition-method", default="auto",
+                       choices=PARTITION_METHODS,
+                       help="phase-1 partitioning engine")
+    sweep.add_argument("--executor", default="serial",
+                       choices=SWEEP_EXECUTORS,
+                       help="'process' shards MinLns columns over a "
+                            "process pool")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: CPU count)")
+    sweep.add_argument("--csv", dest="csv_out", default=None,
+                       help="write per-grid-cell metrics CSV here")
+    sweep.add_argument("--json", dest="json_out", default=None,
+                       help="write the sweep summary JSON here")
+    sweep.add_argument("--labels", action="store_true",
+                       help="include per-segment label arrays in the JSON "
+                            "output (one row per grid cell)")
 
     generate = sub.add_parser("generate", help="write a synthetic dataset CSV")
     generate.add_argument(
@@ -229,6 +275,110 @@ def _cmd_params(args: argparse.Namespace) -> int:
         f"recommended MinLns:  {estimate.min_lns_low:.1f} .. "
         f"{estimate.min_lns_high:.1f}"
     )
+    return 0
+
+
+def _parse_grid(spec: str, option: str) -> List[float]:
+    """Parse a parameter-grid spec: ``'a,b,c'`` or inclusive
+    ``'lo:hi:step'`` (step defaults to 1)."""
+    try:
+        if ":" in spec:
+            parts = [float(p) for p in spec.split(":")]
+            if len(parts) == 2:
+                lo, hi, step = parts[0], parts[1], 1.0
+            elif len(parts) == 3:
+                lo, hi, step = parts
+            else:
+                raise ValueError("expected lo:hi[:step]")
+            if step <= 0:
+                raise ValueError("step must be positive")
+            if hi < lo:
+                raise ValueError("hi must be >= lo")
+            # Half-step slack keeps hi inside despite float accumulation.
+            return [float(v) for v in np.arange(lo, hi + step / 2.0, step)]
+        values = [float(p) for p in spec.split(",") if p.strip() != ""]
+        if not values:
+            raise ValueError("empty grid")
+        return values
+    except ValueError as error:
+        raise SystemExit(
+            f"{option}: invalid grid spec {spec!r} ({error}); expected "
+            f"'a,b,c' or 'lo:hi:step'"
+        ) from None
+
+
+_SWEEP_CSV_COLUMNS = (
+    "eps", "min_lns", "n_clusters", "n_clustered", "n_noise",
+    "noise_ratio", "mean_cluster_size", "entropy", "avg_neighborhood_size",
+)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    trajectories = read_trajectories_csv(args.input)
+    config = TraclusConfig(
+        directed=not args.undirected,
+        suppression=args.suppression,
+        partition_method=args.partition_method,
+        use_weights=args.use_weights,
+        cardinality_threshold=args.cardinality_threshold,
+        compute_representatives=False,
+    )
+    sweep_config = SweepConfig(
+        eps_values=_parse_grid(args.eps, "--eps"),
+        min_lns_values=_parse_grid(args.min_lns, "--min-lns"),
+        executor=args.executor,
+        n_workers=args.workers,
+    )
+    result = TRACLUS(config).sweep(trajectories, sweep_config)
+    rows = result.summary_rows()
+    n_eps, n_min_lns = sweep_config.grid_shape
+    print(
+        f"swept {n_eps} x {n_min_lns} grid points over "
+        f"{len(result.segments)} segments "
+        f"({result.n_graph_edges} graph edges at eps_max="
+        f"{max(sweep_config.eps_values):g})"
+    )
+    header = "  ".join(f"{c:>9}" for c in ("eps", "min_lns", "clusters",
+                                           "noise", "mean_size"))
+    print(header)
+    for row in rows:
+        print(
+            f"{row['eps']:>9.3g}  {row['min_lns']:>9.3g}  "
+            f"{row['n_clusters']:>9d}  {row['n_noise']:>9d}  "
+            f"{row['mean_cluster_size']:>9.1f}"
+        )
+    if args.csv_out:
+        import csv
+
+        with open(args.csv_out, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=_SWEEP_CSV_COLUMNS)
+            writer.writeheader()
+            writer.writerows(
+                {column: row[column] for column in _SWEEP_CSV_COLUMNS}
+                for row in rows
+            )
+        print(f"wrote {args.csv_out}")
+    if args.json_out:
+        payload = {
+            "eps_values": list(result.eps_values),
+            "min_lns_values": list(result.min_lns_values),
+            "n_segments": len(result.segments),
+            "n_graph_edges": result.n_graph_edges,
+            "cells": rows,
+        }
+        if args.labels:
+            for row, (i, j) in zip(
+                payload["cells"],
+                (
+                    (i, j)
+                    for i in range(n_eps)
+                    for j in range(n_min_lns)
+                ),
+            ):
+                row["labels"] = result.labels[i, j].tolist()
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_out}")
     return 0
 
 
@@ -399,6 +549,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "cluster": _cmd_cluster,
     "params": _cmd_params,
+    "sweep": _cmd_sweep,
     "generate": _cmd_generate,
     "render": _cmd_render,
     "stream": _cmd_stream,

@@ -59,6 +59,7 @@ from repro.cluster.neighbor_graph import (
     PrecomputedNeighborhood,
     candidate_radius,
 )
+from repro.core.config import NEIGHBORHOOD_AUTO_BATCH_SEGMENTS
 from repro.distance.weighted import SegmentDistance
 from repro.exceptions import ClusteringError
 from repro.index.grid import SegmentGrid
@@ -226,8 +227,10 @@ class RTreeNeighborhood:
 
 #: Below this set size ``"auto"`` keeps the zero-setup brute engine;
 #: above it the batched graph build amortises immediately (every
-#: consumer queries all n rows at least once).
-AUTO_BATCH_THRESHOLD = 200
+#: consumer queries all n rows at least once).  The number itself lives
+#: in :mod:`repro.core.config` next to every other auto-selection
+#: threshold; this is a re-export for engine-level consumers.
+AUTO_BATCH_THRESHOLD = NEIGHBORHOOD_AUTO_BATCH_SEGMENTS
 
 #: Engine names accepted by :func:`make_neighborhood_engine` (and by
 #: every ``neighborhood_method`` knob that forwards to it).

@@ -5,17 +5,40 @@ Collects every knob the paper exposes — the two clustering parameters
 distance weights of Appendix B, the partitioning suppression of
 Section 4.1.3, the cardinality threshold of Figure 12 Step 3, and the
 smoothing γ of Figure 15 — into one validated, immutable object.
+
+This module is also the single home of the **engine auto-selection
+thresholds** (below).  The engine factories
+(:func:`repro.cluster.neighborhood.make_neighborhood_engine`,
+:func:`repro.partition.approximate.resolve_partition_method`) import
+them from here, so the numbers the docstrings and ROADMAP quote cannot
+drift from the numbers the dispatchers compare against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
-from repro.cluster.neighborhood import NEIGHBORHOOD_METHODS
 from repro.distance.weighted import SegmentDistance
 from repro.exceptions import ClusteringError
-from repro.partition.approximate import PARTITION_METHODS
+
+#: ``neighborhood_method="auto"`` picks the batched CSR neighbor graph
+#: (:mod:`repro.cluster.neighbor_graph`) from this many segments up
+#: (when both ``w_perp`` and ``w_par`` are positive); below it, the
+#: zero-setup brute engine wins — tiny sets don't amortise a build.
+NEIGHBORHOOD_AUTO_BATCH_SEGMENTS = 200
+
+#: ``partition_method="auto"`` picks the lock-step batched Figure-8
+#: scanner (:mod:`repro.partition.batched`) from this many trajectories
+#: up.  Driving a *single* trajectory through the batched path
+#: degenerates to the python scan plus ragged-gather overhead (~1.5x
+#: slower), so solo trajectories stay on the python engine.
+PARTITION_AUTO_BATCH_TRAJECTORIES = 2
+
+#: Executor names accepted by :class:`SweepConfig`: ``"serial"`` runs
+#: every grid column in-process; ``"process"`` shards MinLns columns
+#: over a :class:`concurrent.futures.ProcessPoolExecutor`.
+SWEEP_EXECUTORS = ("serial", "process")
 
 
 @dataclass(frozen=True)
@@ -102,6 +125,12 @@ class TraclusConfig:
                 "cardinality_threshold must be non-negative, got "
                 f"{self.cardinality_threshold}"
             )
+        # Imported lazily: the engine modules import this module's
+        # auto-selection thresholds at load time, so a top-level import
+        # here would be circular.
+        from repro.cluster.neighborhood import NEIGHBORHOOD_METHODS
+        from repro.partition.approximate import PARTITION_METHODS
+
         if self.neighborhood_method not in NEIGHBORHOOD_METHODS:
             raise ClusteringError(
                 f"unknown neighborhood method {self.neighborhood_method!r}; "
@@ -123,6 +152,74 @@ class TraclusConfig:
             w_theta=self.w_theta,
             directed=self.directed,
         )
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Parameters of an amortised (ε, MinLns) grid sweep
+    (:meth:`repro.core.traclus.TRACLUS.sweep`).
+
+    The sweep runs phase 1 once, builds one ε-graph at ``max(eps_values)``
+    and derives every grid point from it, so the only knobs here are the
+    grid itself and the executor; everything else (distance weights,
+    suppression, partition engine, ``use_weights``, the Step-3
+    ``cardinality_threshold``) comes from the :class:`TraclusConfig`
+    of the ``TRACLUS`` instance running the sweep.
+
+    Attributes
+    ----------
+    eps_values:
+        Candidate ε values (any order, duplicates allowed); results are
+        reported in this order.
+    min_lns_values:
+        Candidate MinLns values (any order).
+    executor:
+        ``"serial"`` (default) or ``"process"`` — the latter shards
+        MinLns columns over a process pool (each column's incremental-ε
+        state is independent of the others).
+    n_workers:
+        Process-pool size; ``None`` lets the pool default to the
+        machine's CPU count.  Ignored by the serial executor.
+    """
+
+    eps_values: Sequence[float]
+    min_lns_values: Sequence[float]
+    executor: str = "serial"
+    n_workers: Optional[int] = None
+
+    def __post_init__(self):
+        eps_values = tuple(float(e) for e in self.eps_values)
+        min_lns_values = tuple(float(m) for m in self.min_lns_values)
+        object.__setattr__(self, "eps_values", eps_values)
+        object.__setattr__(self, "min_lns_values", min_lns_values)
+        if not eps_values:
+            raise ClusteringError("eps_values must be non-empty")
+        if not min_lns_values:
+            raise ClusteringError("min_lns_values must be non-empty")
+        for eps in eps_values:
+            if not eps >= 0:
+                raise ClusteringError(
+                    f"eps values must be non-negative, got {eps}"
+                )
+        for min_lns in min_lns_values:
+            if not min_lns > 0:
+                raise ClusteringError(
+                    f"min_lns values must be positive, got {min_lns}"
+                )
+        if self.executor not in SWEEP_EXECUTORS:
+            raise ClusteringError(
+                f"unknown sweep executor {self.executor!r}; expected one "
+                f"of {SWEEP_EXECUTORS}"
+            )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ClusteringError(
+                f"n_workers must be positive, got {self.n_workers}"
+            )
+
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        """``(n_eps, n_min_lns)``."""
+        return (len(self.eps_values), len(self.min_lns_values))
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.cluster.dbscan import LineSegmentDBSCAN
-from repro.core.config import TraclusConfig
+from repro.core.config import SweepConfig, TraclusConfig
 from repro.exceptions import TrajectoryError
 from repro.model.result import ClusteringResult
 from repro.model.trajectory import Trajectory
@@ -108,6 +108,26 @@ class TRACLUS:
             characteristic_points=characteristic_points,
             parameters=parameters,
         )
+
+    def sweep(self, trajectories: Sequence[Trajectory], sweep: SweepConfig):
+        """Amortised (ε, MinLns) grid sweep over *trajectories*.
+
+        Phase 1 runs once, one ε-graph is built at ``max(eps_values)``,
+        and every grid point of *sweep* is derived incrementally from
+        it — labels at each point bitwise identical to :meth:`fit` at
+        those parameters (see :mod:`repro.sweep.engine`).  This
+        instance's config supplies the point-independent knobs
+        (distance weights, suppression, phase-1 engine, ``use_weights``,
+        ``cardinality_threshold``); its ``eps``/``min_lns`` are ignored
+        in favour of the grid.
+
+        Returns a :class:`~repro.sweep.engine.SweepResult`.
+        """
+        # Imported here: repro.sweep builds on the cluster/partition
+        # layers this module also wires together.
+        from repro.sweep.engine import run_sweep
+
+        return run_sweep(trajectories, self.config, sweep)
 
 
 def traclus(

@@ -93,11 +93,37 @@ def neighborhood_size_curve(
     return counts
 
 
+def entropy_from_counts(
+    counts: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """``(entropies, avg_sizes)`` from a precomputed ``(n_eps, n)``
+    neighborhood-count matrix (Formula 10 applied row-wise).
+
+    The counts are integers, so *any* exact counting route — the
+    blocked pair stream, per-segment brute rows, or the sweep engine's
+    stored-distance binning (:meth:`repro.sweep.engine.SweepEngine
+    .neighborhood_counts`) — feeds this identically, and the float
+    arithmetic downstream is bitwise shared.
+    """
+    counts = np.asarray(counts)
+    if counts.ndim != 2:
+        raise ParameterSearchError(
+            f"need an (n_eps, n_segments) count matrix, got shape "
+            f"{counts.shape}"
+        )
+    entropies = np.array(
+        [neighborhood_entropy(counts[k]) for k in range(counts.shape[0])]
+    )
+    avg_sizes = counts.mean(axis=1)
+    return entropies, avg_sizes
+
+
 def entropy_curve(
     segments: SegmentSet,
     eps_values: Union[Sequence[float], np.ndarray],
     distance: Optional[SegmentDistance] = None,
     method: str = "auto",
+    counts: Optional[np.ndarray] = None,
 ) -> "tuple[np.ndarray, np.ndarray]":
     """Entropy and mean neighborhood size for each candidate ε.
 
@@ -106,11 +132,16 @@ def entropy_curve(
     ``avg|N_eps(L)|`` at ``eps_values[k]``, the quantity MinLns is
     derived from (Section 4.4: "This operation induces no additional
     cost since it can be done while computing H(X)").  ``method`` is
-    forwarded to :func:`neighborhood_size_curve`.
+    forwarded to :func:`neighborhood_size_curve`; a precomputed
+    ``counts`` matrix (aligned with *eps_values*, e.g. from a
+    :class:`~repro.sweep.engine.SweepEngine` whose graph already holds
+    every distance) skips the counting pass entirely.
     """
-    counts = neighborhood_size_curve(segments, eps_values, distance, method)
-    entropies = np.array(
-        [neighborhood_entropy(counts[k]) for k in range(counts.shape[0])]
-    )
-    avg_sizes = counts.mean(axis=1)
-    return entropies, avg_sizes
+    if counts is None:
+        counts = neighborhood_size_curve(segments, eps_values, distance, method)
+    elif counts.shape[0] != len(eps_values):
+        raise ParameterSearchError(
+            f"counts has {counts.shape[0]} rows but eps_values has "
+            f"{len(eps_values)} entries"
+        )
+    return entropy_from_counts(counts)

@@ -59,6 +59,7 @@ def recommend_parameters(
     method: str = "grid",
     rng: Optional[np.random.Generator] = None,
     neighborhood_method: str = "auto",
+    counts: Optional[np.ndarray] = None,
 ) -> ParameterEstimate:
     """Run the Section 4.4 heuristic on a partitioned segment set.
 
@@ -79,6 +80,11 @@ def recommend_parameters(
         batched candidate-pair join of
         :mod:`repro.cluster.neighbor_graph`; ``"brute"`` loops one
         distance row per segment.  Identical counts either way.
+    counts:
+        Precomputed ``(n_eps, n_segments)`` neighborhood counts aligned
+        with *eps_values* (grid method only) — a
+        :class:`~repro.sweep.engine.SweepEngine` serves these from its
+        shared ε_max graph, so a parameter sweep never counts twice.
     """
     if len(segments) == 0:
         raise ParameterSearchError("cannot recommend parameters for zero segments")
@@ -91,10 +97,15 @@ def recommend_parameters(
     )
     if grid.size == 0:
         raise ParameterSearchError("eps_values must be non-empty")
+    if counts is not None and method != "grid":
+        raise ParameterSearchError(
+            "precomputed counts only apply to the grid method"
+        )
 
     if method == "grid":
         entropies, avg_sizes = entropy_curve(
-            segments, grid, distance, method=neighborhood_method
+            segments, grid, distance, method=neighborhood_method,
+            counts=counts,
         )
         best = int(np.argmin(entropies))
         eps = float(grid[best])

@@ -27,6 +27,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.core.config import PARTITION_AUTO_BATCH_TRAJECTORIES
 from repro.exceptions import PartitionError
 from repro.model.segmentset import SegmentSet
 from repro.model.trajectory import Trajectory
@@ -100,8 +101,11 @@ PARTITION_METHODS = ("auto", "python", "batched")
 #: The lock-step scan wins as soon as there is more than one trajectory
 #: to advance per global step; driving a *single* trajectory through it
 #: degenerates to the python scan plus ragged-gather overhead (~1.5x
-#: slower), so solo trajectories stay on the python engine.
-AUTO_BATCH_MIN_TRAJECTORIES = 2
+#: slower), so solo trajectories stay on the python engine.  The number
+#: itself lives in :mod:`repro.core.config` next to every other
+#: auto-selection threshold; this is a re-export for engine-level
+#: consumers.
+AUTO_BATCH_MIN_TRAJECTORIES = PARTITION_AUTO_BATCH_TRAJECTORIES
 
 
 def resolve_partition_method(

@@ -22,13 +22,16 @@ The batch algorithm's output is a *deterministic function of the
 * Step 3 removes clusters below the trajectory-cardinality threshold
   and the survivors are renumbered densely in formation order.
 
-:class:`OnlineDBSCAN` therefore maintains, per update: exact
-cardinalities, core promotion/demotion, the core components (merge via
-union-by-size; splits by reclustering bounded to the affected
-component), and per-segment core-neighbor sets for border assignment.
-:meth:`labels` evaluates the rules above — and because slot order
-equals compacted positional order, the result is *identical* (not just
-equivalent up to relabeling) to ``LineSegmentDBSCAN.fit`` on the
+The state those rules need — core flags, core-neighbor sets, core
+components with formation order, and the border/Step-3 derivation — is
+the shared :class:`~repro.cluster.labeling.CoreGraphLabeler` (the sweep
+engine of :mod:`repro.sweep.engine` advances the same machinery along
+the ε axis instead of the time axis).  :class:`OnlineDBSCAN` maintains,
+per update: exact cardinalities, core promotion/demotion, merges via
+union-by-size and splits by reclustering bounded to the affected
+component.  :meth:`labels` evaluates the rules above — and because slot
+order equals compacted positional order, the result is *identical* (not
+just equivalent up to relabeling) to ``LineSegmentDBSCAN.fit`` on the
 surviving segments.  Representative trajectories (Figure 15) are
 refreshed lazily: clusters whose membership is unchanged reuse the
 cached sweep result.
@@ -36,13 +39,14 @@ cached sweep result.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cluster.labeling import CoreGraphLabeler, apply_cardinality_filter
 from repro.distance.weighted import SegmentDistance
 from repro.exceptions import ClusteringError
-from repro.model.cluster import NOISE, Cluster
+from repro.model.cluster import Cluster
 from repro.representative.sweep import (
     RepresentativeConfig,
     generate_representative,
@@ -85,18 +89,7 @@ class OnlineDBSCAN:
         # |N_eps| including self: int count, or the batch-identical
         # weighted sum (recomputed on touch; see _cardinality).
         self._card: Dict[int, float] = {}
-        self._core: Set[int] = set()
-        # Core ε-neighbors of every live slot (cores adjacent to a core
-        # are, by the component invariant, always in the same component).
-        self._core_neighbors: Dict[int, Set[int]] = {}
-        # Core components: opaque token per core.  Tokens come from a
-        # monotone counter, never from slot ids — a demoted slot can be
-        # promoted again later, and a slot-id token it minted earlier
-        # may still name a surviving component.
-        self._comp_of: Dict[int, int] = {}
-        self._comp_members: Dict[int, Set[int]] = {}
-        self._comp_min: Dict[int, int] = {}
-        self._next_comp = 0
+        self._labeler = CoreGraphLabeler()
         self._rep_cache: Dict[bytes, np.ndarray] = {}
 
     # -- cardinality -------------------------------------------------------
@@ -124,83 +117,7 @@ class OnlineDBSCAN:
         return self._card[slot]
 
     def is_core(self, slot: int) -> bool:
-        return slot in self._core
-
-    # -- component machinery -----------------------------------------------
-    def _new_component(self, members: Set[int]) -> int:
-        token = self._next_comp
-        self._next_comp += 1
-        for member in members:
-            self._comp_of[member] = token
-        self._comp_members[token] = members
-        self._comp_min[token] = min(members)
-        return token
-
-    def _union(self, a: int, b: int) -> None:
-        ra, rb = self._comp_of[a], self._comp_of[b]
-        if ra == rb:
-            return
-        if len(self._comp_members[ra]) < len(self._comp_members[rb]):
-            ra, rb = rb, ra
-        small = self._comp_members.pop(rb)
-        for member in small:
-            self._comp_of[member] = ra
-        self._comp_members[ra].update(small)
-        self._comp_min[ra] = min(
-            self._comp_min[ra], self._comp_min.pop(rb)
-        )
-
-    def _promote(self, slots: List[int]) -> None:
-        """Make *slots* core (flags and singleton components first, then
-        unions — order-independent even when two promotions are
-        adjacent)."""
-        for u in slots:
-            self._core.add(u)
-            self._new_component({u})
-            for w in self.graph.adjacent(u):
-                self._core_neighbors[w].add(u)
-        for u in slots:
-            for w in list(self._core_neighbors[u]):
-                self._union(u, w)
-
-    def _remove_from_component(self, x: int) -> int:
-        root = self._comp_of.pop(x)
-        self._comp_members[root].discard(x)
-        return root
-
-    def _repair_components(
-        self, removals_by_root: Dict[int, List[Tuple[int, int]]]
-    ) -> None:
-        """Re-establish connectivity of each affected component after
-        core removals.  ``removals_by_root[root]`` lists ``(slot,
-        core_degree_at_removal)`` pairs; a lone degree<=1 removal cannot
-        disconnect the rest, so the BFS recluster (bounded to the
-        component) runs only when a split is possible."""
-        for root, removals in removals_by_root.items():
-            members = self._comp_members[root]
-            if not members:
-                del self._comp_members[root]
-                del self._comp_min[root]
-                continue
-            if len(removals) == 1 and removals[0][1] <= 1:
-                if removals[0][0] == self._comp_min[root]:
-                    self._comp_min[root] = min(members)
-                continue
-            del self._comp_members[root]
-            del self._comp_min[root]
-            remaining = set(members)
-            while remaining:
-                seed = remaining.pop()
-                component = {seed}
-                stack = [seed]
-                while stack:
-                    u = stack.pop()
-                    for w in self._core_neighbors[u]:
-                        if w in remaining:
-                            remaining.discard(w)
-                            component.add(w)
-                            stack.append(w)
-                self._new_component(component)
+        return self._labeler.is_core(slot)
 
     # -- updates -----------------------------------------------------------
     def insert(
@@ -213,9 +130,7 @@ class OnlineDBSCAN:
     ) -> int:
         """Add one segment; returns its slot id."""
         slot, neighbors = self.graph.insert(start, end, traj_id, weight, stamp)
-        self._core_neighbors[slot] = {
-            int(v) for v in neighbors if int(v) in self._core
-        }
+        self._labeler.track(slot, (int(v) for v in neighbors))
         if self.use_weights:
             self._card[slot] = self._cardinality(slot)
             for v in neighbors:
@@ -227,19 +142,20 @@ class OnlineDBSCAN:
         promoted = [
             u
             for u in [slot, *(int(v) for v in neighbors)]
-            if u not in self._core and self._card[u] >= self.min_lns
+            if not self._labeler.is_core(u) and self._card[u] >= self.min_lns
         ]
         if promoted:
-            self._promote(promoted)
+            self._labeler.promote(promoted, self.graph.adjacent)
         return slot
 
     def evict(self, slot: int) -> None:
         """Remove one live segment (graph, cardinalities, labels)."""
-        was_core = slot in self._core
-        core_degree = len(self._core_neighbors.get(slot, ()))
+        labeler = self._labeler
+        was_core = labeler.is_core(slot)
+        core_degree = len(labeler.core_neighbors.get(slot, ()))
         neighbors = self.graph.evict(slot)
         del self._card[slot]
-        del self._core_neighbors[slot]
+        labeler.untrack(slot)
         if self.use_weights:
             for v in neighbors:
                 self._card[int(v)] = self._cardinality(int(v))
@@ -248,22 +164,18 @@ class OnlineDBSCAN:
                 self._card[int(v)] -= 1.0
         removals_by_root: Dict[int, List[Tuple[int, int]]] = {}
         if was_core:
-            self._core.discard(slot)
-            for v in neighbors:
-                self._core_neighbors[int(v)].discard(slot)
-            root = self._remove_from_component(slot)
-            removals_by_root.setdefault(root, []).append((slot, core_degree))
+            labeler.demote(
+                slot,
+                (int(v) for v in neighbors),
+                removals_by_root,
+                degree=core_degree,
+            )
         for v in neighbors:
             v = int(v)
-            if v in self._core and self._card[v] < self.min_lns:
-                degree = len(self._core_neighbors[v])
-                self._core.discard(v)
-                for w in self.graph.adjacent(v):
-                    self._core_neighbors[w].discard(v)
-                root = self._remove_from_component(v)
-                removals_by_root.setdefault(root, []).append((v, degree))
+            if labeler.is_core(v) and self._card[v] < self.min_lns:
+                labeler.demote(v, self.graph.adjacent(v), removals_by_root)
         if removals_by_root:
-            self._repair_components(removals_by_root)
+            labeler.repair(removals_by_root)
 
     # -- labels ------------------------------------------------------------
     def labels(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -272,61 +184,15 @@ class OnlineDBSCAN:
         filter, -1 noise) — exactly what ``LineSegmentDBSCAN.fit`` on
         the compacted survivors returns."""
         slots = self.store.alive_slots()
-        labels = np.full(slots.size, NOISE, dtype=np.int64)
         if slots.size == 0:
-            return slots, labels
-        roots_in_formation_order = sorted(
-            self._comp_members, key=self._comp_min.__getitem__
+            return slots, np.empty(0, dtype=np.int64)
+        labels, n_clusters = self._labeler.labels_for(slots.tolist())
+        return slots, apply_cardinality_filter(
+            labels,
+            self.store.traj_ids[slots],
+            n_clusters,
+            self.cardinality_threshold,
         )
-        rank = {root: k for k, root in enumerate(roots_in_formation_order)}
-        core = self._core
-        comp_of = self._comp_of
-        comp_min = self._comp_min
-        core_neighbors = self._core_neighbors
-        for position, slot in enumerate(slots.tolist()):
-            if slot in core:
-                labels[position] = rank[comp_of[slot]]
-                continue
-            adjacent_cores = core_neighbors[slot]
-            if not adjacent_cores:
-                continue
-            # Figure 12 border rule (module docstring): the last seed
-            # whose neighborhood contains the segment wins (line 07
-            # overwrites unconditionally); with no adjacent seed, the
-            # earliest-formed cluster's expansion claimed it first.
-            first_claim = len(rank)
-            last_seed = -1
-            for neighbor in adjacent_cores:
-                root = comp_of[neighbor]
-                neighbor_rank = rank[root]
-                if neighbor_rank < first_claim:
-                    first_claim = neighbor_rank
-                if comp_min[root] == neighbor and neighbor_rank > last_seed:
-                    last_seed = neighbor_rank
-            labels[position] = last_seed if last_seed >= 0 else first_claim
-        return slots, self._filter_cardinality(slots, labels, len(rank))
-
-    def _filter_cardinality(
-        self, slots: np.ndarray, labels: np.ndarray, n_clusters: int
-    ) -> np.ndarray:
-        """Figure 12 Step 3: drop clusters with ``|PTR(C)| <
-        threshold``, renumber survivors densely in formation order."""
-        if n_clusters == 0:
-            return labels
-        clustered = labels >= 0
-        pairs = np.unique(
-            np.stack(
-                [labels[clustered], self.store.traj_ids[slots[clustered]]]
-            ),
-            axis=1,
-        )
-        ptr = np.bincount(pairs[0], minlength=n_clusters)
-        keep = ptr >= self.cardinality_threshold
-        dense = np.cumsum(keep) - 1
-        labels[clustered] = np.where(
-            keep[labels[clustered]], dense[labels[clustered]], NOISE
-        )
-        return labels
 
     # -- representatives ---------------------------------------------------
     def clusters(self) -> Tuple[List[Cluster], np.ndarray, np.ndarray]:
@@ -369,33 +235,18 @@ class OnlineDBSCAN:
         slot held in the derived label state; returns the old -> new
         slot map (-1 = dead).
 
-        The remap is monotone, so component formation order
-        (``_comp_min`` minima), the border seed rule, and the Step-3
-        filter all see the same relative order — :meth:`labels` returns
-        the identical label sequence over the renumbered slots.  The
-        representative cache keys on slot signatures and is dropped
-        (memberships are unchanged, so sweeps re-run only on the next
-        :meth:`representatives` call).
+        The remap is monotone, so component formation order, the border
+        seed rule, and the Step-3 filter all see the same relative
+        order — :meth:`labels` returns the identical label sequence
+        over the renumbered slots.  The representative cache keys on
+        slot signatures and is dropped (memberships are unchanged, so
+        sweeps re-run only on the next :meth:`representatives` call).
         """
         remap = self.graph.compact_slots()
         self._card = {
             int(remap[slot]): card for slot, card in self._card.items()
         }
-        self._core = {int(remap[slot]) for slot in self._core}
-        self._core_neighbors = {
-            int(remap[slot]): {int(remap[mate]) for mate in mates}
-            for slot, mates in self._core_neighbors.items()
-        }
-        self._comp_of = {
-            int(remap[slot]): token for slot, token in self._comp_of.items()
-        }
-        self._comp_members = {
-            token: {int(remap[slot]) for slot in members}
-            for token, members in self._comp_members.items()
-        }
-        self._comp_min = {
-            token: int(remap[slot]) for token, slot in self._comp_min.items()
-        }
+        self._labeler.remap_ids(remap)
         self._rep_cache.clear()
         return remap
 
@@ -406,37 +257,19 @@ class OnlineDBSCAN:
         partition it produces is the one incremental maintenance would
         have reached (root tokens are arbitrary, labels are not)."""
         self._card.clear()
-        self._core.clear()
-        self._core_neighbors.clear()
-        self._comp_of.clear()
-        self._comp_members.clear()
-        self._comp_min.clear()
         alive = self.store.alive_slots().tolist()
         for slot in alive:
             self._card[slot] = self._cardinality(slot)
-            if self._card[slot] >= self.min_lns:
-                self._core.add(slot)
-        for slot in alive:
-            self._core_neighbors[slot] = {
-                v for v in self.graph.adjacent(slot) if v in self._core
-            }
-        unvisited = set(self._core)
-        while unvisited:
-            seed = unvisited.pop()
-            component = {seed}
-            stack = [seed]
-            while stack:
-                u = stack.pop()
-                for w in self._core_neighbors[u]:
-                    if w in unvisited:
-                        unvisited.discard(w)
-                        component.add(w)
-                        stack.append(w)
-            self._new_component(component)
+        self._labeler.rebuild(
+            alive,
+            self.graph.adjacent,
+            (slot for slot in alive if self._card[slot] >= self.min_lns),
+        )
 
     def __repr__(self) -> str:
         return (
             f"OnlineDBSCAN(eps={self.eps}, min_lns={self.min_lns}, "
-            f"n_alive={self.store.n_alive}, n_cores={len(self._core)}, "
-            f"n_components={len(self._comp_members)})"
+            f"n_alive={self.store.n_alive}, "
+            f"n_cores={self._labeler.n_cores}, "
+            f"n_components={self._labeler.n_components})"
         )

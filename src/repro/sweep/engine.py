@@ -1,0 +1,543 @@
+"""Amortised (ε, MinLns) parameter sweeps — Section 5.4 in one pass.
+
+Every evaluation figure of the paper (16-22) is a sweep over the two
+clustering parameters, and the naive way to produce one — a fresh
+:meth:`TRACLUS.fit` per grid point — re-runs phase 1 and re-evaluates
+every pairwise distance at *every* point.  Neither depends on the grid
+point:
+
+* the characteristic points of Figure 8 are parameter-free, so phase 1
+  is shared by the **whole grid**;
+* the ε-graph at any ε is a sub-graph of the ε-graph at ``max(eps)``,
+  so the distance kernel runs **once**, at the largest radius.
+
+What *does* vary per grid point is cheap.  The builder sorts the
+ε_max-graph's edges by distance; walking a MinLns column with ε
+ascending, each step admits the next run of edges and feeds them to the
+same :class:`~repro.cluster.labeling.CoreGraphLabeler` machinery the
+streaming pipeline uses — cardinalities tick up, cores are promoted
+(never demoted: ε only grows), components merge via union-by-size
+(never split).  Labels then fall out of the shared Figure-12 derivation
+(border rule + Step-3 filter), so every grid point is **bitwise
+identical** to an independent ``TRACLUS.fit`` at those parameters — the
+property tests in ``tests/property/test_sweep_equivalence.py`` assert
+exactly that, edge-distance ties and MinLns boundaries included.
+
+Weighted cardinalities (Section 4.2) cannot be maintained
+incrementally without float drift — the batch computes ``np.sum`` over
+each ascending neighbor row, and bitwise equality demands the same
+summation tree — so the weighted path recomputes the core set from the
+stored CSR rows per ε and rebuilds components with the labeler's
+O(V + E) pass.  Still no distance kernel work.
+
+MinLns columns are independent of each other, which is what the
+optional process-pool executor shards (``SweepConfig.executor =
+"process"``): each worker receives the sorted edge arrays once and
+walks its own columns.
+
+When is the naive per-point refit still preferable?  A single grid
+point (nothing to amortise — ``TRACLUS.fit`` avoids building sweep
+state), or an ε_max so large that the ε_max-graph's ``O(E)`` edge list
+approaches n² and blows memory where a per-point ``"grid"``/``"rtree"``
+engine would not (see the ROADMAP engine-selection note).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.labeling import CoreGraphLabeler, apply_cardinality_filter
+from repro.cluster.neighbor_graph import DEFAULT_PAIR_BLOCK, NeighborGraph
+from repro.core.config import SWEEP_EXECUTORS, SweepConfig, TraclusConfig
+from repro.distance.weighted import SegmentDistance
+from repro.exceptions import ClusteringError, TrajectoryError
+from repro.model.cluster import Cluster, clusters_from_labels
+from repro.model.segmentset import SegmentSet
+from repro.model.trajectory import Trajectory
+from repro.params.heuristic import ParameterEstimate, recommend_parameters
+from repro.partition.approximate import partition_all
+
+
+# ---------------------------------------------------------------------------
+# Column walkers (module-level so the process-pool executor can ship them)
+# ---------------------------------------------------------------------------
+
+def _column_labels_counts(
+    n: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    cuts: np.ndarray,
+    min_lns: float,
+    traj_ids: np.ndarray,
+    threshold: Optional[float],
+) -> np.ndarray:
+    """Labels at every sorted-unique ε for one MinLns, count
+    cardinalities.
+
+    ``cuts[k]`` is the number of sorted edges admitted at the k-th ε
+    (``searchsorted(..., side="right")``, so a distance exactly equal to
+    ε is admitted — the same ``dist <= eps`` predicate every engine
+    uses).  Between consecutive ε values the state is updated
+    incrementally: degree ticks, promotions, unions — never a fresh
+    DBSCAN.
+    """
+    labeler = CoreGraphLabeler()
+    adj: List[List[int]] = [[] for _ in range(n)]
+    deg = [0] * n
+    for uid in range(n):
+        labeler.core_neighbors[uid] = set()
+    # With no edges every cardinality is 1 (the segment itself); a
+    # MinLns at or below that makes everything core immediately.
+    if n and 1.0 >= min_lns:
+        labeler.promote(list(range(n)), adj.__getitem__)
+    ids = list(range(n))
+    step3 = min_lns if threshold is None else threshold
+    out = np.empty((cuts.size, n), dtype=np.int64)
+    at = 0
+    for k, cut in enumerate(cuts.tolist()):
+        if cut == at and k > 0:
+            out[k] = out[k - 1]  # no edge crossed this ε step
+            continue
+        if cut > at:
+            block_u = edge_u[at:cut].tolist()
+            block_v = edge_v[at:cut].tolist()
+            core = labeler.core
+            core_neighbors = labeler.core_neighbors
+            core_edges: List[Tuple[int, int]] = []
+            for u, v in zip(block_u, block_v):
+                adj[u].append(v)
+                adj[v].append(u)
+                deg[u] += 1
+                deg[v] += 1
+                u_core = u in core
+                v_core = v in core
+                if u_core:
+                    core_neighbors[v].add(u)
+                if v_core:
+                    core_neighbors[u].add(v)
+                if u_core and v_core:
+                    core_edges.append((u, v))
+            promote = []
+            seen = set()
+            for x in block_u + block_v:
+                if x not in seen:
+                    seen.add(x)
+                    if x not in core and float(deg[x] + 1) >= min_lns:
+                        promote.append(x)
+            if promote:
+                labeler.promote(promote, adj.__getitem__)
+            for u, v in core_edges:
+                labeler.union(u, v)
+            at = cut
+        labels, n_clusters = labeler.labels_for(ids)
+        out[k] = apply_cardinality_filter(labels, traj_ids, n_clusters, step3)
+    return out
+
+
+def _column_labels_weighted(
+    n: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    cuts: np.ndarray,
+    unique_eps: np.ndarray,
+    min_lns: float,
+    traj_ids: np.ndarray,
+    weights: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    threshold: Optional[float],
+) -> np.ndarray:
+    """Labels at every sorted-unique ε for one MinLns, weighted
+    cardinalities (Section 4.2).
+
+    The adjacency still grows incrementally along ε, but the core set is
+    recomputed per ε from the stored CSR rows: the batch's weighted
+    cardinality is ``np.sum`` over the ascending neighbor row, and only
+    the identical summation tree is bitwise-faithful to it.
+    """
+    labeler = CoreGraphLabeler()
+    adj: List[List[int]] = [[] for _ in range(n)]
+    ids = list(range(n))
+    step3 = min_lns if threshold is None else threshold
+    out = np.empty((cuts.size, n), dtype=np.int64)
+    at = 0
+    for k, cut in enumerate(cuts.tolist()):
+        if cut == at and k > 0:
+            out[k] = out[k - 1]
+            continue
+        for u, v in zip(edge_u[at:cut].tolist(), edge_v[at:cut].tolist()):
+            adj[u].append(v)
+            adj[v].append(u)
+        at = cut
+        eps = unique_eps[k]
+        cores = []
+        for i in range(n):
+            row = slice(indptr[i], indptr[i + 1])
+            neighbors = indices[row][data[row] <= eps]
+            if float(np.sum(weights[neighbors])) >= min_lns:
+                cores.append(i)
+        labeler.rebuild(ids, adj.__getitem__, cores)
+        labels, n_clusters = labeler.labels_for(ids)
+        out[k] = apply_cardinality_filter(labels, traj_ids, n_clusters, step3)
+    return out
+
+
+# -- process-pool shards -----------------------------------------------------
+
+_WORKER_PAYLOAD: Optional[dict] = None
+
+
+def _sweep_worker_init(payload: dict) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
+def _sweep_worker_column(j: int) -> Tuple[int, np.ndarray]:
+    p = _WORKER_PAYLOAD
+    return j, _run_column(p, float(p["min_lns_values"][j]))
+
+
+def _run_column(payload: dict, min_lns: float) -> np.ndarray:
+    if payload["use_weights"]:
+        return _column_labels_weighted(
+            payload["n"], payload["edge_u"], payload["edge_v"],
+            payload["cuts"], payload["unique_eps"], min_lns,
+            payload["traj_ids"], payload["weights"], payload["indptr"],
+            payload["indices"], payload["data"], payload["threshold"],
+        )
+    return _column_labels_counts(
+        payload["n"], payload["edge_u"], payload["edge_v"],
+        payload["cuts"], min_lns, payload["traj_ids"],
+        payload["threshold"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+class SweepEngine:
+    """Shared sweep state over one segment set: the ε_max neighbor
+    graph, its distance-sorted edge list, and the multi-ε neighborhood
+    counts — everything a grid of (ε, MinLns) points can be derived
+    from without touching the distance kernel again.
+    """
+
+    def __init__(
+        self,
+        segments: SegmentSet,
+        eps_values: Sequence[float],
+        distance: Optional[SegmentDistance] = None,
+        pair_block: int = DEFAULT_PAIR_BLOCK,
+    ):
+        eps_array = np.asarray(list(eps_values), dtype=np.float64)
+        if eps_array.ndim != 1 or eps_array.size == 0:
+            raise ClusteringError("eps_values must be a non-empty sequence")
+        if not np.all(eps_array >= 0):
+            raise ClusteringError("eps values must be non-negative")
+        self.segments = segments
+        self.distance = distance if distance is not None else SegmentDistance()
+        self.eps_values = eps_array
+        # Sorted-unique ε axis; `_unravel` maps it back to user order.
+        self._unique_eps, self._unravel = np.unique(
+            eps_array, return_inverse=True
+        )
+        self.eps_max = float(self._unique_eps[-1])
+        self.graph = NeighborGraph.build(
+            segments, self.eps_max, self.distance, pair_block=pair_block
+        )
+        n = len(segments)
+        rows = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(self.graph.indptr)
+        )
+        upper = self.graph.indices > rows  # one record per unordered pair
+        order = np.argsort(self.graph.data[upper], kind="stable")
+        self._edge_u = rows[upper][order]
+        self._edge_v = self.graph.indices[upper][order]
+        self._edge_dist = self.graph.data[upper][order]
+        # cuts[k]: edges admitted at the k-th sorted-unique ε.  "right"
+        # keeps a distance exactly equal to ε inside — the same
+        # ``dist <= eps`` predicate every neighborhood engine applies.
+        self._cuts = np.searchsorted(
+            self._edge_dist, self._unique_eps, side="right"
+        )
+        self._rows_all = rows
+        self._counts_cache: Optional[np.ndarray] = None
+
+    # -- basic shape ---------------------------------------------------------
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def n_edges(self) -> int:
+        """Unordered ε_max-graph edges (diagonal excluded)."""
+        return int(self._edge_dist.size)
+
+    # -- multi-ε neighborhood counts (Formula 10 inputs) ---------------------
+    def neighborhood_counts(self) -> np.ndarray:
+        """``|N_eps(L_i)|`` for every ε in ``eps_values`` (user order)
+        and every segment — identical ints to
+        :func:`repro.cluster.neighbor_graph.neighborhood_size_counts`,
+        read off the stored distances instead of a fresh kernel pass.
+        """
+        if self._counts_cache is None:
+            k = self._unique_eps.size
+            n = self.n_segments
+            bins = np.searchsorted(
+                self._unique_eps, self.graph.data, side="left"
+            )
+            binned = np.bincount(
+                bins * n + self._rows_all, minlength=k * n
+            ).reshape(k, n)
+            self._counts_cache = np.cumsum(binned, axis=0)
+        return self._counts_cache[self._unravel]
+
+    def entropy_curve(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(entropies, avg_sizes)`` over ``eps_values`` (user order) —
+        the Figures 16/19 curves, bitwise equal to
+        :func:`repro.params.entropy.entropy_curve` on the same grid."""
+        from repro.params.entropy import entropy_from_counts
+
+        return entropy_from_counts(self.neighborhood_counts())
+
+    def recommend_parameters(self) -> ParameterEstimate:
+        """The Section 4.4 heuristic evaluated on the sweep's ε grid,
+        with the neighborhood counts served from the shared graph."""
+        return recommend_parameters(
+            self.segments,
+            eps_values=self.eps_values,
+            distance=self.distance,
+            method="grid",
+            counts=self.neighborhood_counts(),
+        )
+
+    # -- label grids ---------------------------------------------------------
+    def labels_for_min_lns(
+        self,
+        min_lns: float,
+        cardinality_threshold: Optional[float] = None,
+        use_weights: bool = False,
+    ) -> np.ndarray:
+        """One MinLns column: ``(n_eps, n_segments)`` labels in user ε
+        order, each row bitwise identical to
+        ``LineSegmentDBSCAN(eps, min_lns).fit(segments)``."""
+        if min_lns <= 0:
+            raise ClusteringError(f"min_lns must be positive, got {min_lns}")
+        payload = self._payload(cardinality_threshold, use_weights)
+        return _run_column(payload, float(min_lns))[self._unravel]
+
+    def labels_grid(
+        self,
+        min_lns_values: Sequence[float],
+        cardinality_threshold: Optional[float] = None,
+        use_weights: bool = False,
+        executor: str = "serial",
+        n_workers: Optional[int] = None,
+    ) -> np.ndarray:
+        """The full grid: ``(n_eps, n_min_lns, n_segments)`` labels in
+        user order.  ``executor="process"`` shards MinLns columns over a
+        process pool (columns are mutually independent)."""
+        min_lns_list = [float(m) for m in min_lns_values]
+        if not min_lns_list:
+            raise ClusteringError("min_lns_values must be non-empty")
+        for min_lns in min_lns_list:
+            if min_lns <= 0:
+                raise ClusteringError(
+                    f"min_lns values must be positive, got {min_lns}"
+                )
+        payload = self._payload(cardinality_threshold, use_weights)
+        payload["min_lns_values"] = min_lns_list
+        columns: Dict[int, np.ndarray] = {}
+        if executor == "process" and len(min_lns_list) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_sweep_worker_init,
+                initargs=(payload,),
+            ) as pool:
+                for j, column in pool.map(
+                    _sweep_worker_column, range(len(min_lns_list))
+                ):
+                    columns[j] = column
+        elif executor not in SWEEP_EXECUTORS:
+            raise ClusteringError(
+                f"unknown sweep executor {executor!r}; expected one of "
+                f"{SWEEP_EXECUTORS}"
+            )
+        else:
+            for j, min_lns in enumerate(min_lns_list):
+                columns[j] = _run_column(payload, min_lns)
+        out = np.empty(
+            (self.eps_values.size, len(min_lns_list), self.n_segments),
+            dtype=np.int64,
+        )
+        for j in range(len(min_lns_list)):
+            out[:, j, :] = columns[j][self._unravel]
+        return out
+
+    def _payload(
+        self, cardinality_threshold: Optional[float], use_weights: bool
+    ) -> dict:
+        payload = {
+            "n": self.n_segments,
+            "edge_u": self._edge_u,
+            "edge_v": self._edge_v,
+            "cuts": self._cuts,
+            "unique_eps": self._unique_eps,
+            "traj_ids": self.segments.traj_ids,
+            "threshold": cardinality_threshold,
+            "use_weights": bool(use_weights),
+        }
+        if use_weights:
+            payload.update(
+                weights=self.segments.weights,
+                indptr=self.graph.indptr,
+                indices=self.graph.indices,
+                data=self.graph.data,
+            )
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepEngine(n_segments={self.n_segments}, "
+            f"n_edges={self.n_edges}, eps_max={self.eps_max}, "
+            f"n_eps={self.eps_values.size})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Result container + facade
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SweepResult:
+    """Everything a parameter study reads off a sweep.
+
+    ``labels[i, j]`` is the per-segment label array at
+    ``(eps_values[i], min_lns_values[j])`` — bitwise identical to an
+    independent ``TRACLUS.fit`` at those parameters.  The entropy curve
+    and neighborhood counts depend only on ε and ride along for free.
+    """
+
+    eps_values: Tuple[float, ...]
+    min_lns_values: Tuple[float, ...]
+    segments: SegmentSet
+    characteristic_points: List[List[int]]
+    labels: np.ndarray  # (n_eps, n_min_lns, n_segments) int64
+    neighborhood_counts: np.ndarray  # (n_eps, n_segments) int64
+    entropies: np.ndarray  # (n_eps,) float64
+    avg_neighborhood_sizes: np.ndarray  # (n_eps,) float64
+    n_graph_edges: int
+    parameters: Dict[str, float] = field(default_factory=dict)
+
+    # -- lookup --------------------------------------------------------------
+    def _index(self, eps: float, min_lns: float) -> Tuple[int, int]:
+        try:
+            i = self.eps_values.index(float(eps))
+            j = self.min_lns_values.index(float(min_lns))
+        except ValueError:
+            raise ClusteringError(
+                f"({eps}, {min_lns}) is not a grid point of this sweep"
+            ) from None
+        return i, j
+
+    def labels_at(self, eps: float, min_lns: float) -> np.ndarray:
+        """Per-segment labels at one grid point (by parameter value)."""
+        i, j = self._index(eps, min_lns)
+        return self.labels[i, j]
+
+    def clusters_at(self, eps: float, min_lns: float) -> List[Cluster]:
+        """:class:`Cluster` objects at one grid point (no
+        representatives — sweeps are label studies; run ``TRACLUS.fit``
+        at the chosen point for the full Figure-15 output)."""
+        return clusters_from_labels(self.labels_at(eps, min_lns), self.segments)
+
+    # -- summaries -----------------------------------------------------------
+    def point_summary(self, i: int, j: int) -> Dict[str, float]:
+        """Scalar metrics of grid cell ``(i, j)`` (positional)."""
+        labels = self.labels[i, j]
+        clustered = int(np.sum(labels >= 0))
+        n_clusters = int(labels.max()) + 1 if labels.size else 0
+        n_clusters = max(n_clusters, 0)
+        n = labels.size
+        return {
+            "eps": float(self.eps_values[i]),
+            "min_lns": float(self.min_lns_values[j]),
+            "n_clusters": n_clusters,
+            "n_clustered": clustered,
+            "n_noise": n - clustered,
+            "noise_ratio": (n - clustered) / n if n else 0.0,
+            "mean_cluster_size": clustered / n_clusters if n_clusters else 0.0,
+            "entropy": float(self.entropies[i]),
+            "avg_neighborhood_size": float(self.avg_neighborhood_sizes[i]),
+        }
+
+    def summary_rows(self) -> List[Dict[str, float]]:
+        """One summary dict per grid cell, ε-major in user order."""
+        return [
+            self.point_summary(i, j)
+            for i in range(len(self.eps_values))
+            for j in range(len(self.min_lns_values))
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepResult(grid={len(self.eps_values)}x"
+            f"{len(self.min_lns_values)}, "
+            f"n_segments={len(self.segments)})"
+        )
+
+
+def run_sweep(
+    trajectories: Sequence[Trajectory],
+    config: TraclusConfig,
+    sweep: SweepConfig,
+) -> SweepResult:
+    """Partition once, build one ε_max graph, derive the whole grid.
+
+    ``config`` supplies everything point-independent (distance weights,
+    suppression, phase-1 engine, ``use_weights``, the Step-3
+    ``cardinality_threshold``); its ``eps``/``min_lns``/
+    ``neighborhood_method``/representative knobs are ignored — the grid
+    comes from *sweep*, the ε engine is the shared graph itself, and
+    sweeps stop at labels.
+    """
+    trajectories = list(trajectories)
+    if not trajectories:
+        raise TrajectoryError("a sweep needs at least one trajectory")
+    dims = {t.dim for t in trajectories}
+    if len(dims) != 1:
+        raise TrajectoryError(
+            f"all trajectories must share one dimensionality, got {sorted(dims)}"
+        )
+    segments, characteristic_points = partition_all(
+        trajectories,
+        suppression=config.suppression,
+        method=config.partition_method,
+    )
+    engine = SweepEngine(segments, sweep.eps_values, config.distance())
+    labels = engine.labels_grid(
+        sweep.min_lns_values,
+        cardinality_threshold=config.cardinality_threshold,
+        use_weights=config.use_weights,
+        executor=sweep.executor,
+        n_workers=sweep.n_workers,
+    )
+    entropies, avg_sizes = engine.entropy_curve()
+    return SweepResult(
+        eps_values=tuple(float(e) for e in sweep.eps_values),
+        min_lns_values=tuple(float(m) for m in sweep.min_lns_values),
+        segments=segments,
+        characteristic_points=characteristic_points,
+        labels=labels,
+        neighborhood_counts=engine.neighborhood_counts(),
+        entropies=entropies,
+        avg_neighborhood_sizes=avg_sizes,
+        n_graph_edges=engine.n_edges,
+    )

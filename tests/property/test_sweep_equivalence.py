@@ -1,0 +1,147 @@
+"""Hypothesis property tests: sweep-engine labels == fresh fits, always.
+
+The claim pinned here is the sweep engine's contract: for *any* segment
+set and *any* (ε, MinLns) grid point, the labels the incremental-ε
+walker derives from the shared ε_max graph equal a fresh batch
+:class:`~repro.cluster.dbscan.LineSegmentDBSCAN` fit at those
+parameters — not up to relabeling but *identically*.
+
+The strategies deliberately live on the decision boundaries:
+
+* lattice coordinates make many pair distances collide exactly, and one
+  grid ε is drawn from the *realised* edge distances, so admission at
+  ``dist == eps`` ties is exercised on every example that has edges;
+* one MinLns is drawn from the realised ε-cardinalities, so promotion
+  at ``|N_eps| == MinLns`` (``>=`` in Figure 12 line 06) is exercised;
+* duplicated segments, zero-length segments, ε = 0, and MinLns <= 1
+  (isolated segments become core) all fall out of the generators.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.dbscan import LineSegmentDBSCAN
+from repro.model.segment import Segment
+from repro.model.segmentset import SegmentSet
+from repro.sweep import SweepEngine
+
+# Half-unit lattice coordinates land pair distances exactly on grid ε
+# values — the regime where an asymmetric admission predicate between
+# the sweep walker and the batch engines would flip a membership.
+coarse_coordinate = st.integers(min_value=-12, max_value=12).map(
+    lambda v: v / 2.0
+)
+
+
+@st.composite
+def segment_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=18))
+    segments = []
+    pool = []
+    for i in range(n):
+        if pool and draw(st.booleans()) and draw(st.booleans()):
+            start, end = draw(st.sampled_from(pool))  # exact duplicate
+        else:
+            vals = [draw(coarse_coordinate) for _ in range(4)]
+            start, end = vals[0:2], vals[2:4]
+            if draw(st.booleans()) and draw(st.booleans()):
+                end = start  # zero-length segment
+        pool.append((start, end))
+        segments.append(
+            Segment(
+                np.asarray(start, dtype=np.float64),
+                np.asarray(end, dtype=np.float64),
+                traj_id=draw(st.integers(min_value=0, max_value=4)),
+                seg_id=i,
+            )
+        )
+    return SegmentSet.from_segments(segments)
+
+
+eps_grids = st.lists(
+    st.one_of(
+        st.just(0.0),
+        st.integers(min_value=0, max_value=20).map(lambda v: v / 2.0),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+min_lns_grids = st.lists(
+    st.one_of(
+        st.just(1.0),
+        st.integers(min_value=1, max_value=12).map(lambda v: v / 2.0),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    segments=segment_sets(),
+    eps_values=eps_grids,
+    min_lns_values=min_lns_grids,
+    edge_pick=st.integers(min_value=0, max_value=10**6),
+    card_pick=st.integers(min_value=0, max_value=10**6),
+    threshold=st.one_of(st.none(), st.integers(0, 4).map(float)),
+)
+def test_sweep_labels_equal_fresh_fit_at_every_grid_point(
+    segments, eps_values, min_lns_values, edge_pick, card_pick, threshold
+):
+    probe = SweepEngine(segments, [max(eps_values)])
+    # Grow the grid with a realised edge distance (ε exactly at a tie)
+    # and a realised cardinality (MinLns exactly at the >= boundary).
+    if probe.n_edges:
+        eps_values = eps_values + [
+            float(probe._edge_dist[edge_pick % probe.n_edges])
+        ]
+    counts = SweepEngine(segments, [max(eps_values)]).neighborhood_counts()
+    min_lns_values = min_lns_values + [
+        float(counts[0][card_pick % counts.shape[1]])
+    ]
+    min_lns_values = [m for m in min_lns_values if m > 0] or [1.0]
+
+    engine = SweepEngine(segments, eps_values)
+    grid = engine.labels_grid(
+        min_lns_values, cardinality_threshold=threshold
+    )
+    for i, eps in enumerate(eps_values):
+        for j, min_lns in enumerate(min_lns_values):
+            _, expected = LineSegmentDBSCAN(
+                eps=eps, min_lns=min_lns, cardinality_threshold=threshold
+            ).fit(segments)
+            assert np.array_equal(grid[i, j], expected), (
+                f"labels diverge at eps={eps!r}, min_lns={min_lns!r}, "
+                f"threshold={threshold!r}"
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    segments=segment_sets(),
+    eps_values=eps_grids,
+    min_lns_values=min_lns_grids,
+)
+def test_weighted_sweep_labels_equal_fresh_fit(
+    segments, eps_values, min_lns_values
+):
+    # Re-weight deterministically from segment ids: weighted
+    # cardinalities are float sums, the regime where only an identical
+    # summation tree stays on the right side of MinLns.
+    weighted = SegmentSet(
+        segments.starts,
+        segments.ends,
+        segments.traj_ids,
+        np.where(np.arange(len(segments)) % 3 == 0, 0.5, 1.5)
+        if len(segments)
+        else segments.weights,
+    )
+    engine = SweepEngine(weighted, eps_values)
+    grid = engine.labels_grid(min_lns_values, use_weights=True)
+    for i, eps in enumerate(eps_values):
+        for j, min_lns in enumerate(min_lns_values):
+            _, expected = LineSegmentDBSCAN(
+                eps=eps, min_lns=min_lns, use_weights=True
+            ).fit(weighted)
+            assert np.array_equal(grid[i, j], expected)

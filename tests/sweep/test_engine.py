@@ -1,0 +1,290 @@
+"""Unit tests for the amortised sweep engine.
+
+The load-bearing claim: every grid point's labels are *bitwise
+identical* to an independent batch fit at those parameters — not merely
+the same clustering up to relabeling.  The hypothesis suite in
+``tests/property/test_sweep_equivalence.py`` fuzzes the same claim over
+random inputs; here the cases are deterministic and the API surface
+(result container, executors, error paths) is covered too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.dbscan import LineSegmentDBSCAN, cluster_segments
+from repro.core.config import SweepConfig, TraclusConfig
+from repro.core.traclus import TRACLUS
+from repro.datasets.synthetic import generate_corridor_set
+from repro.exceptions import ClusteringError, TrajectoryError
+from repro.model.trajectory import Trajectory
+from repro.params.entropy import entropy_curve
+from repro.params.heuristic import recommend_parameters
+from repro.partition.approximate import partition_all
+from repro.sweep import SweepEngine
+
+
+EPS_VALUES = [3.0, 5.0, 8.0, 12.0]
+MIN_LNS_VALUES = [1.0, 3.0, 4.5, 6.0]
+
+
+@pytest.fixture(scope="module")
+def corridor_segments():
+    trajectories = generate_corridor_set(n_trajectories=14, seed=9)
+    segments, _ = partition_all(trajectories)
+    return segments
+
+
+class TestLabelsBitwiseIdentity:
+    def test_every_grid_point_equals_fresh_dbscan(self, corridor_segments):
+        engine = SweepEngine(corridor_segments, EPS_VALUES)
+        grid = engine.labels_grid(MIN_LNS_VALUES)
+        for i, eps in enumerate(EPS_VALUES):
+            for j, min_lns in enumerate(MIN_LNS_VALUES):
+                _, expected = cluster_segments(
+                    corridor_segments, eps=eps, min_lns=min_lns
+                )
+                assert np.array_equal(grid[i, j], expected), (
+                    f"labels diverge at eps={eps}, min_lns={min_lns}"
+                )
+
+    def test_unsorted_and_duplicate_eps_values(self, corridor_segments):
+        eps_values = [8.0, 3.0, 8.0, 5.0]
+        engine = SweepEngine(corridor_segments, eps_values)
+        grid = engine.labels_grid([3.0])
+        assert np.array_equal(grid[0, 0], grid[2, 0])
+        for i, eps in enumerate(eps_values):
+            _, expected = cluster_segments(
+                corridor_segments, eps=eps, min_lns=3.0
+            )
+            assert np.array_equal(grid[i, 0], expected)
+
+    def test_eps_zero_grid_point(self, corridor_segments):
+        engine = SweepEngine(corridor_segments, [0.0, 4.0])
+        grid = engine.labels_grid([2.0])
+        for i, eps in enumerate([0.0, 4.0]):
+            _, expected = cluster_segments(
+                corridor_segments, eps=eps, min_lns=2.0
+            )
+            assert np.array_equal(grid[i, 0], expected)
+
+    def test_min_lns_at_or_below_one_makes_singletons_core(
+        self, corridor_segments
+    ):
+        # Cardinality with no neighbors is 1 (the segment itself); a
+        # MinLns of exactly 1 must promote isolated segments.
+        engine = SweepEngine(corridor_segments, [0.0])
+        grid = engine.labels_grid([1.0])
+        _, expected = cluster_segments(
+            corridor_segments, eps=0.0, min_lns=1.0
+        )
+        assert np.array_equal(grid[0, 0], expected)
+
+    def test_eps_exactly_at_edge_distance_tie(self, corridor_segments):
+        # Pick a realised pairwise distance as a grid ε: the admission
+        # predicate must treat dist == eps as inside, like every engine.
+        probe = SweepEngine(corridor_segments, [10.0])
+        distances = probe._edge_dist
+        assert distances.size > 0
+        tie = float(distances[distances.size // 2])
+        engine = SweepEngine(corridor_segments, [tie])
+        grid = engine.labels_grid([3.0])
+        _, expected = cluster_segments(
+            corridor_segments, eps=tie, min_lns=3.0
+        )
+        assert np.array_equal(grid[0, 0], expected)
+
+    def test_min_lns_exactly_at_cardinality_boundary(
+        self, corridor_segments
+    ):
+        # MinLns equal to a segment's realised |N_eps|: >= must promote.
+        eps = 6.0
+        engine = SweepEngine(corridor_segments, [eps])
+        counts = engine.neighborhood_counts()[0]
+        boundary = float(np.max(counts))
+        grid = engine.labels_grid([boundary, boundary + 0.5])
+        for j, min_lns in enumerate([boundary, boundary + 0.5]):
+            _, expected = cluster_segments(
+                corridor_segments, eps=eps, min_lns=min_lns
+            )
+            assert np.array_equal(grid[0, j], expected)
+
+    def test_fixed_cardinality_threshold(self, corridor_segments):
+        engine = SweepEngine(corridor_segments, [5.0, 8.0])
+        grid = engine.labels_grid([3.0, 5.0], cardinality_threshold=4.0)
+        for i, eps in enumerate([5.0, 8.0]):
+            for j, min_lns in enumerate([3.0, 5.0]):
+                _, expected = cluster_segments(
+                    corridor_segments, eps=eps, min_lns=min_lns,
+                    cardinality_threshold=4.0,
+                )
+                assert np.array_equal(grid[i, j], expected)
+
+    def test_weighted_cardinalities(self):
+        base = generate_corridor_set(n_trajectories=10, seed=21)
+        trajectories = [
+            Trajectory(t.points, traj_id=t.traj_id, weight=1.0 + 0.5 * (i % 3))
+            for i, t in enumerate(base)
+        ]
+        segments, _ = partition_all(trajectories)
+        engine = SweepEngine(segments, [4.0, 7.0])
+        grid = engine.labels_grid([2.0, 4.0], use_weights=True)
+        for i, eps in enumerate([4.0, 7.0]):
+            for j, min_lns in enumerate([2.0, 4.0]):
+                _, expected = LineSegmentDBSCAN(
+                    eps=eps, min_lns=min_lns, use_weights=True
+                ).fit(segments)
+                assert np.array_equal(grid[i, j], expected)
+
+    def test_single_column_facade(self, corridor_segments):
+        engine = SweepEngine(corridor_segments, EPS_VALUES)
+        column = engine.labels_for_min_lns(3.0)
+        grid = engine.labels_grid([3.0])
+        assert np.array_equal(column, grid[:, 0, :])
+
+
+class TestExecutors:
+    def test_process_executor_matches_serial(self, corridor_segments):
+        engine = SweepEngine(corridor_segments, [4.0, 8.0])
+        serial = engine.labels_grid([2.0, 3.0, 4.0])
+        forked = engine.labels_grid(
+            [2.0, 3.0, 4.0], executor="process", n_workers=2
+        )
+        assert np.array_equal(serial, forked)
+
+    def test_unknown_executor_rejected(self, corridor_segments):
+        engine = SweepEngine(corridor_segments, [4.0])
+        with pytest.raises(ClusteringError, match="executor"):
+            engine.labels_grid([2.0, 3.0], executor="threads")
+
+
+class TestEntropyAndHeuristic:
+    def test_counts_match_streaming_route(self, corridor_segments):
+        from repro.cluster.neighbor_graph import neighborhood_size_counts
+
+        eps_values = np.array([2.0, 5.0, 9.0])
+        engine = SweepEngine(corridor_segments, eps_values)
+        expected = neighborhood_size_counts(corridor_segments, eps_values)
+        assert np.array_equal(engine.neighborhood_counts(), expected)
+
+    def test_entropy_curve_bitwise_equal(self, corridor_segments):
+        eps_values = np.arange(1.0, 12.0)
+        engine = SweepEngine(corridor_segments, eps_values)
+        entropies, avg_sizes = engine.entropy_curve()
+        expected_entropy, expected_avg = entropy_curve(
+            corridor_segments, eps_values
+        )
+        assert np.array_equal(entropies, expected_entropy)
+        assert np.array_equal(avg_sizes, expected_avg)
+
+    def test_recommend_parameters_matches_heuristic(self, corridor_segments):
+        eps_values = np.arange(1.0, 12.0)
+        engine = SweepEngine(corridor_segments, eps_values)
+        from_engine = engine.recommend_parameters()
+        direct = recommend_parameters(corridor_segments, eps_values=eps_values)
+        assert from_engine == direct
+
+
+class TestFacadeAndResult:
+    def test_traclus_sweep_equals_per_point_fits(self):
+        trajectories = generate_corridor_set(n_trajectories=12, seed=4)
+        config = TraclusConfig(
+            suppression=1.0, compute_representatives=False
+        )
+        sweep_config = SweepConfig(
+            eps_values=[4.0, 7.0], min_lns_values=[3.0, 5.0]
+        )
+        result = TRACLUS(config).sweep(trajectories, sweep_config)
+        assert result.labels.shape[:2] == (2, 2)
+        for i, eps in enumerate(sweep_config.eps_values):
+            for j, min_lns in enumerate(sweep_config.min_lns_values):
+                fit = TRACLUS(
+                    TraclusConfig(
+                        eps=eps, min_lns=min_lns, suppression=1.0,
+                        compute_representatives=False,
+                    )
+                ).fit(trajectories)
+                assert np.array_equal(result.labels[i, j], fit.labels)
+                assert np.array_equal(
+                    result.labels_at(eps, min_lns), fit.labels
+                )
+
+    def test_clusters_at_matches_fit_clusters(self):
+        trajectories = generate_corridor_set(n_trajectories=12, seed=4)
+        result = TRACLUS(
+            TraclusConfig(compute_representatives=False)
+        ).sweep(
+            trajectories,
+            SweepConfig(eps_values=[7.0], min_lns_values=[3.0]),
+        )
+        fit = TRACLUS(
+            TraclusConfig(eps=7.0, min_lns=3.0, compute_representatives=False)
+        ).fit(trajectories)
+        clusters = result.clusters_at(7.0, 3.0)
+        assert len(clusters) == len(fit.clusters)
+        for got, expected in zip(clusters, fit.clusters):
+            assert np.array_equal(got.member_indices, expected.member_indices)
+
+    def test_labels_at_unknown_point_rejected(self):
+        trajectories = generate_corridor_set(n_trajectories=8, seed=4)
+        result = TRACLUS(
+            TraclusConfig(compute_representatives=False)
+        ).sweep(
+            trajectories,
+            SweepConfig(eps_values=[7.0], min_lns_values=[3.0]),
+        )
+        with pytest.raises(ClusteringError, match="not a grid point"):
+            result.labels_at(7.5, 3.0)
+
+    def test_point_summary_consistent_with_labels(self):
+        trajectories = generate_corridor_set(n_trajectories=12, seed=4)
+        result = TRACLUS(
+            TraclusConfig(compute_representatives=False)
+        ).sweep(
+            trajectories,
+            SweepConfig(eps_values=[4.0, 7.0], min_lns_values=[3.0]),
+        )
+        rows = result.summary_rows()
+        assert len(rows) == 2
+        for row, (i, j) in zip(rows, [(0, 0), (1, 0)]):
+            labels = result.labels[i, j]
+            assert row["n_clusters"] == max(int(labels.max()) + 1, 0)
+            assert row["n_noise"] == int(np.sum(labels < 0))
+            assert row["n_clustered"] + row["n_noise"] == labels.size
+
+    def test_empty_trajectories_rejected(self):
+        with pytest.raises(TrajectoryError):
+            TRACLUS().sweep(
+                [], SweepConfig(eps_values=[1.0], min_lns_values=[2.0])
+            )
+
+    def test_mixed_dimensionality_rejected(self):
+        t2 = Trajectory(np.array([[0.0, 0.0], [1.0, 1.0]]), traj_id=0)
+        t3 = Trajectory(
+            np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]]), traj_id=1
+        )
+        with pytest.raises(TrajectoryError, match="dimensionality"):
+            TRACLUS().sweep(
+                [t2, t3], SweepConfig(eps_values=[1.0], min_lns_values=[2.0])
+            )
+
+
+class TestEngineValidation:
+    def test_empty_eps_values_rejected(self, corridor_segments):
+        with pytest.raises(ClusteringError, match="non-empty"):
+            SweepEngine(corridor_segments, [])
+
+    def test_negative_eps_rejected(self, corridor_segments):
+        with pytest.raises(ClusteringError, match="non-negative"):
+            SweepEngine(corridor_segments, [3.0, -1.0])
+
+    def test_non_positive_min_lns_rejected(self, corridor_segments):
+        engine = SweepEngine(corridor_segments, [3.0])
+        with pytest.raises(ClusteringError, match="positive"):
+            engine.labels_grid([0.0])
+        with pytest.raises(ClusteringError, match="positive"):
+            engine.labels_for_min_lns(-2.0)
+
+    def test_empty_min_lns_values_rejected(self, corridor_segments):
+        engine = SweepEngine(corridor_segments, [3.0])
+        with pytest.raises(ClusteringError, match="non-empty"):
+            engine.labels_grid([])
