@@ -5,23 +5,26 @@ Paper: the entropy curve over ε = 1..60 has an interior minimum at
 it.  Reproduced shape: a U-ish curve whose minimum is strictly interior
 (both tiny and huge ε approach the maximal, uniform entropy).
 
-The curve is served by the amortised sweep engine: one ε_max graph
-holds every pairwise distance once, and the 60 thresholds are read off
-the stored edges — identical ints (hence bitwise-identical entropies)
-to the streaming multi-ε counting route of ``repro.params.entropy``.
+The curve is served by a Workspace entropy-counts artifact: one ε_max
+graph holds every pairwise distance once, and the 60 thresholds are
+read off the stored edges — identical ints (hence bitwise-identical
+entropies) to the streaming multi-ε counting route of
+``repro.params.entropy``.
 """
 
 import numpy as np
 
 from conftest import print_table
-from repro.sweep import SweepEngine
+from repro.api.workspace import Workspace
 
 EPS_GRID = np.arange(1.0, 61.0)
 
 
 def test_fig16_entropy_curve(benchmark, hurricane_segments):
     entropies, avg_sizes = benchmark.pedantic(
-        lambda: SweepEngine(hurricane_segments, EPS_GRID).entropy_curve(),
+        lambda: Workspace.from_segments(
+            hurricane_segments
+        ).entropy_curve(EPS_GRID),
         rounds=1, iterations=1,
     )
     best = int(np.argmin(entropies))

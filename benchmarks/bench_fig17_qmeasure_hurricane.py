@@ -9,31 +9,37 @@ Reproduced shape: around the entropy-estimated ε* of *our* data, the
 QMeasure at ε* is lower than at the sweep edges for the central MinLns,
 and the full (ε, MinLns) grid is finite and positive.
 
-The grid rides the amortised sweep engine twice: once over the ε
-search range for the Section 4.4 estimate (counts served from the
-shared graph), then over the 5 x 3 QMeasure grid — one graph build,
-every grid point an incremental-ε labeling instead of a fresh DBSCAN,
-labels bitwise identical to per-point ``cluster_segments`` calls.
+The whole figure rides **one Workspace**: the Section 4.4 estimate and
+the 5 x 3 QMeasure grid share a single ε-graph build (the estimate's
+ε_max graph serves every smaller radius by edge-distance filtering) —
+this is the fix for the ROADMAP's "two builds today when the ranges
+differ" follow-up, and the ``--smoke`` path *asserts* the build count.
+Labels at every cell stay bitwise identical to per-point
+``cluster_segments`` calls.
 """
 
 import numpy as np
 
 from conftest import print_table
+from repro.api.workspace import Workspace
+from repro.core.config import TraclusConfig
 from repro.model.cluster import clusters_from_labels
 from repro.quality.qmeasure import quality_measure
-from repro.sweep import SweepEngine
+
+#: The Section 4.4 search range (paper: 1..60; ε* sits well interior).
+ESTIMATE_GRID = np.arange(2.0, 40.0)
 
 
 def run_grid(segments):
-    estimate = SweepEngine(
-        segments, np.arange(2.0, 40.0)
-    ).recommend_parameters()
+    workspace = Workspace.from_segments(
+        segments, TraclusConfig(compute_representatives=False)
+    )
+    estimate = workspace.recommend_parameters(ESTIMATE_GRID)
     eps_star = estimate.eps
     eps_values = [eps_star - 2, eps_star - 1, eps_star,
                   eps_star + 1, eps_star + 2]
     min_lns_values = [5, 6, 7]
-    engine = SweepEngine(segments, eps_values)
-    grid_labels = engine.labels_grid(min_lns_values)
+    grid_labels = workspace.labels_grid(eps_values, min_lns_values)
     grid = {}
     for j, min_lns in enumerate(min_lns_values):
         for i, eps in enumerate(eps_values):
@@ -42,6 +48,14 @@ def run_grid(segments):
             grid[(eps, min_lns)] = quality_measure(
                 clusters, segments, labels
             ).qmeasure
+    # One ε-graph build serves the estimate *and* the QMeasure grid —
+    # unless ε* sits so close to the search edge that the grid needs
+    # radii the estimate never evaluated (then one extension build).
+    expected_builds = 1 if max(eps_values) <= float(ESTIMATE_GRID[-1]) else 2
+    assert workspace.graph_builds() == expected_builds, (
+        f"expected {expected_builds} graph build(s), measured "
+        f"{workspace.graph_builds()}"
+    )
     return eps_star, eps_values, min_lns_values, grid
 
 
@@ -69,3 +83,39 @@ def test_fig17_qmeasure_grid(benchmark, hurricane_segments):
     central = [grid[(eps, 6)] for eps in eps_values]
     assert grid[(eps_star, 6)] <= max(central)
     assert grid[(eps_star, 6)] < max(values)
+
+
+def main(argv=None):
+    import argparse
+
+    from repro.datasets.hurricane import generate_hurricane_tracks
+    from repro.partition.approximate import partition_all
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced storm count; asserts the single-graph-build "
+             "invariant of the shared Workspace",
+    )
+    args = parser.parse_args(argv)
+    n_storms = 120 if args.smoke else 200
+    segments, _ = partition_all(
+        generate_hurricane_tracks(n_storms=n_storms, seed=1950)
+    )
+    eps_star, eps_values, min_lns_values, grid = run_grid(segments)
+    rows = [
+        (f"MinLns={m}", f"eps={e:.0f}", f"{grid[(e, m)]:.0f}")
+        for m in min_lns_values for e in eps_values
+    ]
+    print_table(
+        f"Figure 17 ({'smoke' if args.smoke else 'full'}): QMeasure "
+        f"grid over one shared eps-graph build, eps*={eps_star:.0f}",
+        rows, ("MinLns", "eps", "QMeasure"),
+    )
+    print("single-graph-build assertion passed (estimate + grid share "
+          "one Workspace artifact)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

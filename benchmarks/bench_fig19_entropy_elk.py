@@ -5,21 +5,22 @@ Paper: minimum at ε = 25 with avg|N_eps| = 7.63; the visually-optimal
 minimum, extremes near the uniform maximum, avg|N_eps| at the minimum
 in the same order of magnitude.
 
-Served by the amortised sweep engine (one ε_max graph, thresholds read
-off stored distances) — see ``bench_fig16_entropy_hurricane``.
+Served by a Workspace entropy-counts artifact (one ε_max graph,
+thresholds read off stored distances) — see
+``bench_fig16_entropy_hurricane``.
 """
 
 import numpy as np
 
 from conftest import print_table
-from repro.sweep import SweepEngine
+from repro.api.workspace import Workspace
 
 EPS_GRID = np.arange(1.0, 61.0)
 
 
 def test_fig19_entropy_curve(benchmark, elk_segments):
     entropies, avg_sizes = benchmark.pedantic(
-        lambda: SweepEngine(elk_segments, EPS_GRID).entropy_curve(),
+        lambda: Workspace.from_segments(elk_segments).entropy_curve(EPS_GRID),
         rounds=1, iterations=1,
     )
     best = int(np.argmin(entropies))

@@ -8,30 +8,34 @@ this dataset than on the hurricanes.
 Reproduced shape: QMeasure decreases toward our data's estimated
 optimum region within each MinLns row.
 
-Like Figure 17, the whole grid rides the amortised sweep engine — one
-graph build per ε range, incremental-ε labeling per grid point.
+Like Figure 17, the estimate and the grid share **one Workspace** —
+a single ε-graph build serves both (asserted in the ``--smoke`` path),
+closing the ROADMAP's "two builds today" follow-up.
 """
 
 import numpy as np
 
 from conftest import print_table
+from repro.api.workspace import Workspace
+from repro.core.config import TraclusConfig
 from repro.model.cluster import clusters_from_labels
 from repro.quality.qmeasure import quality_measure
-from repro.sweep import SweepEngine
+
+ESTIMATE_GRID = np.arange(2.0, 40.0)
 
 
 def run_grid(segments):
-    estimate = SweepEngine(
-        segments, np.arange(2.0, 40.0)
-    ).recommend_parameters()
+    workspace = Workspace.from_segments(
+        segments, TraclusConfig(compute_representatives=False)
+    )
+    estimate = workspace.recommend_parameters(ESTIMATE_GRID)
     eps_star = estimate.eps
     eps_values = [eps_star - 2, eps_star - 1, eps_star,
                   eps_star + 1, eps_star + 2]
     min_lns_values = [
         int(round(estimate.avg_neighborhood_size)) + k for k in (1, 2, 3)
     ]
-    engine = SweepEngine(segments, eps_values)
-    grid_labels = engine.labels_grid(min_lns_values)
+    grid_labels = workspace.labels_grid(eps_values, min_lns_values)
     grid = {}
     for j, min_lns in enumerate(min_lns_values):
         for i, eps in enumerate(eps_values):
@@ -40,6 +44,11 @@ def run_grid(segments):
             grid[(eps, min_lns)] = quality_measure(
                 clusters, segments, labels
             ).qmeasure
+    expected_builds = 1 if max(eps_values) <= float(ESTIMATE_GRID[-1]) else 2
+    assert workspace.graph_builds() == expected_builds, (
+        f"expected {expected_builds} graph build(s), measured "
+        f"{workspace.graph_builds()}"
+    )
     return estimate, eps_values, min_lns_values, grid
 
 
@@ -64,3 +73,43 @@ def test_fig20_qmeasure_grid(benchmark, elk_segments):
     # worse than at the low end (the downhill-toward-optimum shape).
     for m in min_lns_values:
         assert grid[(eps_values[-1], m)] <= grid[(eps_values[0], m)]
+
+
+def main(argv=None):
+    import argparse
+
+    from repro.datasets.starkey import _ELK_CORRIDORS, generate_starkey
+    from repro.partition.approximate import partition_all
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced herd; asserts the single-graph-build invariant "
+             "of the shared Workspace",
+    )
+    args = parser.parse_args(argv)
+    tracks = generate_starkey(
+        n_animals=12 if args.smoke else 20,
+        points_per_animal=160 if args.smoke else 260,
+        corridors=_ELK_CORRIDORS[:6], corridors_per_animal=4,
+        traversals_per_corridor=3, corridor_jitter=1.5,
+        seed=1993, label="elk1993-reduced",
+    )
+    segments, _ = partition_all(tracks, suppression=2.0)
+    estimate, eps_values, min_lns_values, grid = run_grid(segments)
+    rows = [
+        (f"MinLns={m}", f"eps={e:.0f}", f"{grid[(e, m)]:.0f}")
+        for m in min_lns_values for e in eps_values
+    ]
+    print_table(
+        f"Figure 20 ({'smoke' if args.smoke else 'full'}): QMeasure "
+        f"grid over one shared eps-graph build, eps*={estimate.eps:.0f}",
+        rows, ("MinLns", "eps", "QMeasure"),
+    )
+    print("single-graph-build assertion passed (estimate + grid share "
+          "one Workspace artifact)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,16 +13,17 @@ Reproduced shape: sweeping eps below/at/above our data's optimum, the
 mean cluster size increases monotonically and the cluster count does
 not increase; sweeping MinLns the other way mirrors it.
 
-Both sweeps ride the amortised sweep engine: the ε search pays for the
-graph once (counts served from stored distances) and each parameter
-point is an incremental-ε labeling, bitwise identical to a per-point
-``cluster_segments`` refit.
+Both sweeps ride one shared Workspace: the ε search pays for the graph
+once (counts served from stored distances) and each parameter point is
+an incremental-ε labeling off the same graph artifact, bitwise
+identical to a per-point ``cluster_segments`` refit.
 """
 
 import numpy as np
 
 from conftest import print_table
-from repro.sweep import SweepEngine
+from repro.api.workspace import Workspace
+from repro.core.config import TraclusConfig
 
 
 def _cell_stats(labels):
@@ -33,25 +34,26 @@ def _cell_stats(labels):
 
 
 def run(segments):
-    estimate = SweepEngine(
-        segments, np.arange(2.0, 40.0)
-    ).recommend_parameters()
+    workspace = Workspace.from_segments(
+        segments, TraclusConfig(compute_representatives=False)
+    )
+    estimate = workspace.recommend_parameters(np.arange(2.0, 40.0))
     eps_star = estimate.eps
     min_lns = int(round(estimate.avg_neighborhood_size + 2.0))
-    engine = SweepEngine(segments, [eps_star - 2, eps_star, eps_star + 3])
+    eps_sweep = [eps_star - 2, eps_star, eps_star + 3]
 
     eps_rows = []
-    eps_labels = engine.labels_grid([min_lns])
-    for i, eps in enumerate((eps_star - 2, eps_star, eps_star + 3)):
+    eps_labels = workspace.labels_grid(eps_sweep, [min_lns])
+    for i, eps in enumerate(eps_sweep):
         n_clusters, mean_size, _ = _cell_stats(eps_labels[i, 0])
         eps_rows.append((eps, n_clusters, mean_size))
 
     # Hold the trajectory-cardinality threshold at the central value
     # so the sweep isolates the density parameter itself.  Labels only
-    # needed at eps_star — the engine's middle ε row.
+    # needed at eps_star — the grid's middle ε row.
     min_lns_values = [max(2, min_lns + delta) for delta in (-2, 0, +3)]
-    minlns_labels = engine.labels_grid(
-        min_lns_values, cardinality_threshold=min_lns
+    minlns_labels = workspace.labels_grid(
+        eps_sweep, min_lns_values, cardinality_threshold=min_lns
     )
     minlns_rows = []
     for j, delta in enumerate((-2, 0, +3)):

@@ -1,0 +1,174 @@
+"""Workspace artifact reuse: cold build vs warm re-run.
+
+The acceptance bar of the Workspace PR: a figure-style analysis — the
+Section 4.4 ε search, a QMeasure-style (ε, MinLns) label grid, and
+per-cell quality — against a persistent ``--workspace`` directory must
+re-run at least **3x faster warm** (second process over the same
+directory) than cold, because every expensive artifact (phase-1
+partition, the ε_max graph, the label grid, entropy counts, quality
+scalars) is served from the npz cache instead of recomputed.  The warm
+run must also perform **zero ε-graph builds** (asserted through the
+workspace's build counters), and its labels must be bitwise identical
+to the cold run's.
+
+Run under pytest (``pytest benchmarks/bench_workspace.py``) for the
+asserted comparison, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_workspace.py [--smoke] [--json out.json]
+"""
+
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from conftest import print_table
+from repro.api.workspace import Workspace
+from repro.core.config import TraclusConfig
+from bench_sweep import corpus_with_min_segments
+
+#: Committed floors, exported to the CI regression gate via ``--json``
+#: and cross-checked against benchmarks/check_speedup_bars.py's
+#: registry.  Warm runs measure far above this (everything is an npz
+#: read); 3x keeps headroom for cold-cache filesystems on CI runners.
+SPEEDUP_FLOOR_FULL = 3.0
+SPEEDUP_FLOOR_SMOKE = 3.0
+
+
+def run_figure_grid(trajectories, cache_dir, n_eps=5, n_min_lns=3):
+    """One figure-style pass: estimate, label grid around ε*, quality
+    at every cell.  Returns ``(workspace, estimate, labels)``."""
+    workspace = Workspace(
+        trajectories,
+        TraclusConfig(compute_representatives=False),
+        cache_dir=cache_dir,
+    )
+    estimate = workspace.recommend_parameters(np.arange(1.0, 13.0))
+    eps_star = estimate.eps
+    eps_values = [
+        max(0.5, eps_star + delta) for delta in np.linspace(-2.0, 2.0, n_eps)
+    ]
+    min_lns_values = [float(m) for m in range(3, 3 + n_min_lns)]
+    labels = workspace.labels_grid(eps_values, min_lns_values)
+    for eps in eps_values:
+        for min_lns in min_lns_values:
+            workspace.quality(eps, min_lns)
+    return workspace, estimate, labels
+
+
+def run_cold_warm(min_segments=5000, n_eps=5, n_min_lns=3):
+    """Time the cold pass against a warm re-run over the same
+    directory; asserts zero warm graph builds and bitwise-equal labels.
+
+    Returns ``(n_segments, cold_seconds, warm_seconds)``.
+    """
+    trajectories, n_segments = corpus_with_min_segments(min_segments)
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-workspace-")
+    try:
+        start = time.perf_counter()
+        cold_ws, _, cold_labels = run_figure_grid(
+            trajectories, cache_dir, n_eps, n_min_lns
+        )
+        cold_time = time.perf_counter() - start
+        assert cold_ws.graph_builds() >= 1
+
+        start = time.perf_counter()
+        warm_ws, _, warm_labels = run_figure_grid(
+            trajectories, cache_dir, n_eps, n_min_lns
+        )
+        warm_time = time.perf_counter() - start
+        assert warm_ws.graph_builds() == 0, (
+            f"warm re-run rebuilt the eps-graph "
+            f"{warm_ws.graph_builds()} time(s)"
+        )
+        assert sum(warm_ws.stats.builds.values()) == 0, (
+            f"warm re-run recomputed artifacts: {warm_ws.stats.builds}"
+        )
+        assert np.array_equal(cold_labels, warm_labels)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return n_segments, cold_time, warm_time
+
+
+def test_workspace_warm_speedup(benchmark):
+    """Acceptance: warm artifact reuse >= 3x over a cold build on a
+    figure-style grid at ~5k segments; zero warm graph builds."""
+    n_segments, cold_time, warm_time = benchmark.pedantic(
+        run_cold_warm, rounds=1, iterations=1
+    )
+    print_table(
+        f"Workspace cold vs warm ({n_segments} segments, labels "
+        f"bitwise-verified equal, 0 warm graph builds)",
+        [
+            ("cold (build all artifacts)", f"{cold_time * 1000:.0f} ms"),
+            ("warm (npz cache)", f"{warm_time * 1000:.0f} ms"),
+            ("speedup", f"{cold_time / warm_time:.1f}x"),
+        ],
+        ("path", "time"),
+    )
+    assert n_segments >= 5000
+    assert cold_time >= SPEEDUP_FLOOR_FULL * warm_time, (
+        f"warm run ({warm_time * 1000:.0f} ms) not "
+        f"{SPEEDUP_FLOOR_FULL:.0f}x faster than cold "
+        f"({cold_time * 1000:.0f} ms)"
+    )
+
+
+def main(argv=None):
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced corpus and grid (the CI bench-smoke job)",
+    )
+    parser.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="write the measured speedup bars as JSON (consumed by "
+             "benchmarks/check_speedup_bars.py in CI)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        scale = dict(min_segments=1200, n_eps=4, n_min_lns=2)
+        floor = SPEEDUP_FLOOR_SMOKE
+    else:
+        scale = dict(min_segments=5000, n_eps=5, n_min_lns=3)
+        floor = SPEEDUP_FLOOR_FULL
+    n_segments, cold_time, warm_time = run_cold_warm(**scale)
+    speedup = cold_time / warm_time
+    print_table(
+        f"Workspace cold vs warm ({'smoke' if args.smoke else 'full'} "
+        f"scale: {n_segments} segments, labels bitwise-verified equal, "
+        f"0 warm graph builds)",
+        [
+            ("cold (build all artifacts)", f"{cold_time * 1000:.0f} ms"),
+            ("warm (npz cache)", f"{warm_time * 1000:.0f} ms"),
+            ("speedup", f"{speedup:.1f}x"),
+        ],
+        ("path", "time"),
+    )
+    assert speedup >= floor, (
+        f"warm reuse only {speedup:.2f}x over cold (floor {floor:.1f}x)"
+    )
+    if args.json_out:
+        payload = {
+            "benchmark": "workspace",
+            "mode": "smoke" if args.smoke else "full",
+            "bars": [
+                {
+                    "name": f"workspace_warm_vs_cold_{n_segments}segs",
+                    "speedup": speedup,
+                    "floor": floor,
+                }
+            ],
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

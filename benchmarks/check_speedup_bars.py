@@ -12,6 +12,12 @@ bar's measured speedup has regressed below its floor — the floors are
 committed next to the asserted pytest bars, so a regression that would
 fail the full-scale benchmark fails the smoke gate first.
 
+Beyond the per-bar floor embedded in each JSON payload, the registry
+below pins the **minimum allowed floor per benchmark** in this file, so
+a bench script cannot silently weaken its own gate: if a payload
+arrives with a floor below the registered one, the gate fails even when
+the measured speedup clears the (weakened) embedded floor.
+
 Usage::
 
     python benchmarks/check_speedup_bars.py out1.json out2.json ...
@@ -20,6 +26,16 @@ Usage::
 import json
 import sys
 
+#: benchmark name -> minimum floor any of its bars may declare (the
+#: committed smoke floors; the full-scale floors are asserted by the
+#: pytest bars in the bench modules themselves).
+REGISTERED_FLOORS = {
+    "partition": 3.0,
+    "streaming": 3.0,
+    "sweep": 2.0,
+    "workspace": 3.0,
+}
+
 
 def check(paths):
     failures = []
@@ -27,7 +43,23 @@ def check(paths):
     for path in paths:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
+        benchmark = payload.get("benchmark", path)
+        registered = REGISTERED_FLOORS.get(benchmark)
+        if registered is None:
+            # An unregistered payload would otherwise dodge the
+            # anti-weakening check entirely — the exact hole the
+            # registry exists to close.
+            failures.append(
+                f"{benchmark}: not in REGISTERED_FLOORS; add its "
+                f"committed minimum floor to check_speedup_bars.py"
+            )
         for bar in payload.get("bars", []):
+            if registered is not None and bar["floor"] < registered:
+                failures.append(
+                    f"{benchmark}:{bar['name']} declares floor "
+                    f"{bar['floor']:.2f}x below the registered minimum "
+                    f"{registered:.2f}x"
+                )
             ok = bar["speedup"] >= bar["floor"]
             rows.append(
                 (

@@ -28,6 +28,7 @@ True
 
 from repro.core.config import StreamConfig, SweepConfig, TraclusConfig
 from repro.core.traclus import TRACLUS, traclus
+from repro.api.workspace import PartitionArtifact, Workspace
 from repro.cluster.dbscan import LineSegmentDBSCAN, cluster_segments
 from repro.cluster.optics import LineSegmentOPTICS
 from repro.distance.weighted import SegmentDistance
@@ -59,6 +60,8 @@ __version__ = "1.1.0"
 __all__ = [
     "TRACLUS",
     "traclus",
+    "Workspace",
+    "PartitionArtifact",
     "TraclusConfig",
     "StreamConfig",
     "SweepConfig",

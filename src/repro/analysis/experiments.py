@@ -13,15 +13,35 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.cluster.dbscan import cluster_segments
+from repro.core.config import TraclusConfig
 from repro.distance.weighted import SegmentDistance
 from repro.exceptions import ParameterSearchError
+from repro.model.cluster import clusters_from_labels
 from repro.model.segmentset import SegmentSet
 from repro.model.trajectory import Trajectory
-from repro.params.entropy import entropy_curve
 from repro.partition.approximate import partition_all
 from repro.quality.qmeasure import quality_measure
 
 TrajectoriesOrSegments = Union[Sequence[Trajectory], SegmentSet]
+
+
+def _segment_workspace(
+    segments: SegmentSet, distance: Optional[SegmentDistance]
+):
+    """A segment-bound Workspace carrying *distance*'s weights — the
+    experiment harnesses ride the shared artifact graph (one ε_max
+    build per grid) instead of per-cell engine calls."""
+    from repro.api.workspace import Workspace
+
+    distance = distance if distance is not None else SegmentDistance()
+    config = TraclusConfig(
+        w_perp=distance.w_perp,
+        w_par=distance.w_par,
+        w_theta=distance.w_theta,
+        directed=distance.directed,
+        compute_representatives=False,
+    )
+    return Workspace.from_segments(segments, config)
 
 
 def _as_segments(
@@ -77,11 +97,16 @@ def entropy_curve_experiment(
     distance: Optional[SegmentDistance] = None,
     suppression: float = 0.0,
 ) -> EntropyCurveResult:
-    """Compute the full entropy-vs-ε curve (Formula 10) in one pass."""
+    """Compute the full entropy-vs-ε curve (Formula 10) in one pass
+    (served from a shared Workspace graph — bitwise equal to the
+    deprecated direct :func:`repro.params.entropy.entropy_curve`
+    rebuild)."""
     segments = _as_segments(data, suppression)
     if len(segments) == 0:
         raise ParameterSearchError("no segments to analyse")
-    entropies, avg_sizes = entropy_curve(segments, eps_values, distance)
+    entropies, avg_sizes = _segment_workspace(
+        segments, distance
+    ).entropy_curve(eps_values)
     return EntropyCurveResult(
         eps_values=tuple(float(e) for e in eps_values),
         entropies=tuple(float(h) for h in entropies),
@@ -122,18 +147,22 @@ def qmeasure_grid(
     distance: Optional[SegmentDistance] = None,
     suppression: float = 0.0,
 ) -> QMeasureGridResult:
-    """Evaluate Formula (11) over the full parameter grid."""
+    """Evaluate Formula (11) over the full parameter grid.
+
+    The whole grid rides one Workspace labels artifact (a single
+    ε_max-graph build, incremental-ε labeling per cell — labels bitwise
+    identical to per-cell :func:`cluster_segments` refits)."""
     segments = _as_segments(data, suppression)
     distance = distance if distance is not None else SegmentDistance()
+    workspace = _segment_workspace(segments, distance)
+    grid_labels = workspace.labels_grid(eps_values, min_lns_values)
     grid: Dict[Tuple[float, float], float] = {}
-    for min_lns in min_lns_values:
-        for eps in eps_values:
-            clusters, labels = cluster_segments(
-                segments, eps=float(eps), min_lns=float(min_lns),
-                distance=distance,
-            )
+    for j, min_lns in enumerate(min_lns_values):
+        for i, eps in enumerate(eps_values):
+            labels = grid_labels[i, j].copy()
             grid[(float(eps), float(min_lns))] = quality_measure(
-                clusters, segments, labels, distance
+                clusters_from_labels(labels, segments), segments, labels,
+                distance,
             ).qmeasure
     return QMeasureGridResult(
         eps_values=tuple(float(e) for e in eps_values),

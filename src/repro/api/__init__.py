@@ -1,0 +1,25 @@
+"""Artifact-graph analysis API (the Workspace facade).
+
+Compute each TRACLUS stage once, let every consumer read from the
+cache: see :mod:`repro.api.workspace` for the artifact table and
+:mod:`repro.api.fingerprint` for the keying rules.
+"""
+
+from repro.api.cache import ARTIFACT_KINDS, ArtifactStore, CacheStats
+from repro.api.fingerprint import (
+    artifact_key,
+    corpus_fingerprint,
+    segments_fingerprint,
+)
+from repro.api.workspace import PartitionArtifact, Workspace
+
+__all__ = [
+    "Workspace",
+    "PartitionArtifact",
+    "ArtifactStore",
+    "CacheStats",
+    "ARTIFACT_KINDS",
+    "artifact_key",
+    "corpus_fingerprint",
+    "segments_fingerprint",
+]

@@ -1,0 +1,147 @@
+"""The two-level artifact cache behind a :class:`~repro.api.Workspace`.
+
+Level 1 is a plain in-process dict of rich objects (``NeighborGraph``,
+``SegmentSet``, label arrays) keyed by ``(kind, key)``.  Level 2 — only
+when the workspace was opened with a directory — is one npz file per
+artifact (:mod:`repro.io.artifacts`), named ``<kind>-<key>.npz``, so a
+later CLI invocation or benchmark process starts warm.
+
+The store never interprets payloads; (de)materialising rich objects is
+the workspace's job.  It does count traffic (:class:`CacheStats`) —
+tests and the cold/warm benchmark assert engine short-circuits through
+those counters.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.io.artifacts import (
+    load_artifact,
+    load_artifact_meta,
+    save_artifact,
+)
+
+#: Artifact kinds in the order the ``repro workspace`` inspector lists
+#: them (upstream stages first).
+ARTIFACT_KINDS = (
+    "partition",
+    "graph",
+    "counts",
+    "labels",
+    "quality",
+    "representatives",
+)
+
+
+@dataclass
+class CacheStats:
+    """Traffic counters of one workspace session (not persisted)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    #: Expensive engine invocations, by stage — the cold/warm benchmark
+    #: asserts ``graph_builds == 0`` on a warm grid re-run.
+    builds: Dict[str, int] = field(default_factory=dict)
+
+    def count_build(self, stage: str) -> None:
+        self.builds[stage] = self.builds.get(stage, 0) + 1
+
+    def build_count(self, stage: str) -> int:
+        return self.builds.get(stage, 0)
+
+
+class ArtifactStore:
+    """``(kind, key) -> (arrays, meta)`` with optional npz persistence."""
+
+    #: In-memory objects kept per kind.  Within one workspace each kind
+    #: has a single key per *configuration*, but per-grid kinds (labels,
+    #: counts, quality) accumulate one entry per distinct grid — the cap
+    #: bounds a sweep-many-grids session; evicted entries recompute (or
+    #: reload from disk) on the next request.
+    MAX_OBJECTS_PER_KIND = 8
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self.cache_dir = cache_dir
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+        self._memory: Dict[Tuple[str, str], object] = {}
+        self.stats = CacheStats()
+
+    # -- level 1: rich in-process objects ---------------------------------
+    def get_object(self, kind: str, key: str):
+        entry = self._memory.get((kind, key))
+        if entry is not None:
+            self.stats.memory_hits += 1
+        return entry
+
+    def put_object(self, kind: str, key: str, value) -> None:
+        same_kind = [k for k in self._memory if k[0] == kind and k[1] != key]
+        while len(same_kind) >= self.MAX_OBJECTS_PER_KIND:
+            del self._memory[same_kind.pop(0)]  # oldest first
+        self._memory[(kind, key)] = value
+
+    def drop_objects(self, kind: str) -> None:
+        """Forget every in-memory object of *kind* (disk is untouched)."""
+        for cache_key in [k for k in self._memory if k[0] == kind]:
+            del self._memory[cache_key]
+
+    # -- level 2: npz files ------------------------------------------------
+    def path(self, kind: str, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"{kind}-{key}.npz")
+
+    def load_arrays(
+        self, kind: str, key: str
+    ) -> Optional[Tuple[Dict[str, np.ndarray], dict]]:
+        path = self.path(kind, key)
+        if path is None or not os.path.exists(path):
+            self.stats.misses += 1
+            return None
+        arrays, meta = load_artifact(path)
+        self.stats.disk_hits += 1
+        return arrays, meta
+
+    def save_arrays(
+        self, kind: str, key: str, arrays: Dict[str, np.ndarray], meta: dict
+    ) -> None:
+        path = self.path(kind, key)
+        if path is None:
+            return
+        save_artifact(path, arrays, meta)
+
+    # -- inspection --------------------------------------------------------
+    def entries(self) -> List[dict]:
+        """Every persisted artifact: kind, key, file size, metadata.
+        Sorted by pipeline stage then name (the ``repro workspace``
+        inspector prints this)."""
+        if self.cache_dir is None:
+            return []
+        rows: List[dict] = []
+        for name in sorted(os.listdir(self.cache_dir)):
+            if not name.endswith(".npz"):
+                continue
+            kind, _, rest = name.partition("-")
+            path = os.path.join(self.cache_dir, name)
+            try:
+                meta = load_artifact_meta(path)
+            except (OSError, ValueError):  # pragma: no cover - corrupt file
+                meta = {"error": "unreadable"}
+            rows.append(
+                {
+                    "kind": kind,
+                    "key": rest[:-len(".npz")],
+                    "file": name,
+                    "bytes": os.path.getsize(path),
+                    "meta": meta,
+                }
+            )
+        order = {kind: rank for rank, kind in enumerate(ARTIFACT_KINDS)}
+        rows.sort(key=lambda row: (order.get(row["kind"], 99), row["file"]))
+        return rows

@@ -1,27 +1,36 @@
 """Command-line interface.
 
-Six subcommands, composable through CSV/JSON files:
+Seven subcommands, composable through CSV/JSON files:
 
-* ``cluster``  — run TRACLUS on a trajectory CSV, write JSON/SVG results;
-* ``params``   — run the Section 4.4 heuristic and print the estimates;
-* ``sweep``    — run an amortised (ε, MinLns) grid sweep (one phase-1
+* ``cluster``   — run TRACLUS on a trajectory CSV, write JSON/SVG results;
+* ``params``    — run the Section 4.4 heuristic and print the estimates;
+* ``sweep``     — run an amortised (ε, MinLns) grid sweep (one phase-1
   pass, one ε-graph) and emit per-cell metrics as CSV/JSON;
-* ``generate`` — write one of the built-in synthetic datasets to CSV;
-* ``render``   — render a trajectory CSV (optionally with a result JSON)
+* ``workspace`` — inspect a persistent artifact cache directory;
+* ``generate``  — write one of the built-in synthetic datasets to CSV;
+* ``render``    — render a trajectory CSV (optionally with a result JSON)
   to SVG;
-* ``stream``   — tail a trajectory CSV through the online pipeline and
+* ``stream``    — tail a trajectory CSV through the online pipeline and
   print label deltas as points arrive.
+
+``cluster``, ``params``, and ``sweep`` all accept ``--workspace DIR``:
+expensive artifacts (the phase-1 partition, the ε-neighborhood graph,
+labels, entropy counts) are then persisted as fingerprint-keyed npz
+files, so repeated invocations — estimate parameters first, cluster
+second, sweep a grid third — reuse each other's work instead of
+recomputing it.  Results are bitwise independent of the cache.
 
 Examples
 --------
 ::
 
     python -m repro generate hurricane --n 200 -o tracks.csv
-    python -m repro params tracks.csv
+    python -m repro params tracks.csv --workspace ws/
     python -m repro cluster tracks.csv --eps 6 --min-lns 8 \
-        --json result.json --svg result.svg
+        --workspace ws/ --json result.json --svg result.svg
     python -m repro sweep tracks.csv --eps 20:40:2 --min-lns 5,6,7 \
-        --csv sweep.csv
+        --workspace ws/ --csv sweep.csv
+    python -m repro workspace ws/
     python -m repro render tracks.csv -o tracks.svg
     python -m repro stream tracks.csv --eps 6 --min-lns 8 --window 5000
 """
@@ -35,6 +44,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.workspace import Workspace
 from repro.cluster.neighborhood import NEIGHBORHOOD_METHODS
 from repro.core.config import (
     SWEEP_EXECUTORS,
@@ -93,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="phase-1 partitioning engine (auto picks the "
                               "lock-step batched scanner for multi-"
                               "trajectory corpora)")
+    cluster.add_argument("--workspace", default=None, metavar="DIR",
+                         help="persistent artifact cache: reuse/store the "
+                              "partition, eps-graph, and labels as npz "
+                              "files under DIR")
     cluster.add_argument("--json", dest="json_out", default=None,
                          help="write the full result JSON here")
     cluster.add_argument("--svg", dest="svg_out", default=None,
@@ -113,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
     params.add_argument("--partition-method", default="auto",
                         choices=PARTITION_METHODS,
                         help="phase-1 partitioning engine")
+    params.add_argument("--workspace", default=None, metavar="DIR",
+                        help="persistent artifact cache (grid method "
+                             "only): the partition and neighborhood "
+                             "counts are stored for later cluster/sweep "
+                             "runs")
 
     sweep = sub.add_parser(
         "sweep",
@@ -150,6 +169,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--labels", action="store_true",
                        help="include per-segment label arrays in the JSON "
                             "output (one row per grid cell)")
+    sweep.add_argument("--workspace", default=None, metavar="DIR",
+                       help="persistent artifact cache: the phase-1 "
+                            "partition, the eps_max graph, and the label "
+                            "grid are stored/reused as npz files")
+
+    workspace = sub.add_parser(
+        "workspace",
+        help="inspect a persistent artifact cache directory "
+             "(what cluster/params/sweep --workspace wrote)",
+    )
+    workspace.add_argument("directory", help="the --workspace DIR to inspect")
+    workspace.add_argument("--json", dest="json_out", default=None,
+                           help="write the artifact index JSON here")
 
     generate = sub.add_parser("generate", help="write a synthetic dataset CSV")
     generate.add_argument(
@@ -229,7 +261,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         gamma=args.gamma,
         neighborhood_method=args.neighborhood_method,
     )
-    result = TRACLUS(config).fit(trajectories)
+    result = TRACLUS(config, workspace_dir=args.workspace).fit(trajectories)
     summary = result.summary()
     print(
         f"{int(summary['n_clusters'])} clusters over "
@@ -255,18 +287,43 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 def _cmd_params(args: argparse.Namespace) -> int:
     trajectories = read_trajectories_csv(args.input)
-    segments, _ = partition_all(
-        trajectories,
-        suppression=args.suppression,
-        method=args.partition_method,
-    )
     eps_values = (
         np.arange(1.0, args.eps_max + 1.0) if args.eps_max else None
     )
-    estimate = recommend_parameters(
-        segments, eps_values=eps_values, method=args.method,
-        neighborhood_method=args.neighborhood_method,
-    )
+    if args.method == "grid" and args.neighborhood_method in ("auto", "batch"):
+        # The artifact route: partition + counts are computed once and
+        # (with --workspace) persisted for later cluster/sweep runs.
+        workspace = Workspace(
+            trajectories,
+            TraclusConfig(
+                suppression=args.suppression,
+                partition_method=args.partition_method,
+                compute_representatives=False,
+            ),
+            cache_dir=args.workspace,
+        )
+        segments = workspace.segments()
+        estimate = workspace.recommend_parameters(eps_values)
+    else:
+        # Annealing probes uncacheable ε values, and the forced
+        # per-query engines exist to avoid graph materialisation —
+        # both stay on the direct path.
+        if args.workspace:
+            print(
+                f"note: --workspace {args.workspace} is ignored on the "
+                f"direct path (--method {args.method}, "
+                f"--neighborhood-method {args.neighborhood_method})",
+                file=sys.stderr,
+            )
+        segments, _ = partition_all(
+            trajectories,
+            suppression=args.suppression,
+            method=args.partition_method,
+        )
+        estimate = recommend_parameters(
+            segments, eps_values=eps_values, method=args.method,
+            neighborhood_method=args.neighborhood_method,
+        )
     print(f"segments:            {len(segments)}")
     print(f"entropy-optimal eps: {estimate.eps:.3g}")
     print(f"entropy at optimum:  {estimate.entropy:.4f} bits")
@@ -329,7 +386,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         executor=args.executor,
         n_workers=args.workers,
     )
-    result = TRACLUS(config).sweep(trajectories, sweep_config)
+    result = TRACLUS(config, workspace_dir=args.workspace).sweep(
+        trajectories, sweep_config
+    )
     rows = result.summary_rows()
     n_eps, n_min_lns = sweep_config.grid_shape
     print(
@@ -378,6 +437,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 row["labels"] = result.labels[i, j].tolist()
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def _cmd_workspace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.api.cache import ArtifactStore
+
+    if not os.path.isdir(args.directory):
+        raise SystemExit(f"{args.directory}: not a directory")
+    entries = ArtifactStore(args.directory).entries()
+    if not entries:
+        print(f"{args.directory}: no artifacts")
+        return 0
+    total = sum(entry["bytes"] for entry in entries)
+    print(
+        f"{args.directory}: {len(entries)} artifacts, "
+        f"{total / 1024:.1f} KiB"
+    )
+    header = f"{'kind':<16}{'size':>10}  {'key':<12}  details"
+    print(header)
+    print("-" * len(header))
+    for entry in entries:
+        meta = entry["meta"]
+        details = ", ".join(
+            f"{name}={meta[name]}"
+            for name in sorted(meta)
+            if name != "kind"
+        )
+        print(
+            f"{entry['kind']:<16}{entry['bytes']:>10}  "
+            f"{entry['key'][:12]:<12}  {details}"
+        )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(entries, handle, indent=2)
         print(f"wrote {args.json_out}")
     return 0
 
@@ -550,6 +646,7 @@ _COMMANDS = {
     "cluster": _cmd_cluster,
     "params": _cmd_params,
     "sweep": _cmd_sweep,
+    "workspace": _cmd_workspace,
     "generate": _cmd_generate,
     "render": _cmd_render,
     "stream": _cmd_stream,

@@ -10,10 +10,27 @@ Two phases plus summarisation:
    given).
 3. **Representation** — each surviving cluster receives a
    representative trajectory (Figure 15).
+
+Since the Workspace PR, :meth:`TRACLUS.fit` and :meth:`TRACLUS.sweep`
+are thin compatibility wrappers over the artifact-graph facade
+(:class:`repro.api.Workspace`): one session-scoped cache holds the
+partition, the ε-graph, and every derived artifact, so a fit followed
+by a sweep (or a parameter search followed by a fit) never recomputes a
+stage.  Results are bitwise identical to the pre-Workspace direct
+engine calls.  Passing ``workspace_dir`` (or reusing an explicit
+:class:`~repro.api.Workspace`) persists the artifacts across processes.
+
+The one exception: forcing a per-query ε-engine
+(``neighborhood_method="brute"|"grid"|"rtree"``) keeps the legacy
+direct path — those engines exist precisely for workloads where
+materialising the graph is the wrong trade (memory-capped, few
+queries), so routing them through the graph-holding workspace would
+defeat the knob.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 from repro.cluster.dbscan import LineSegmentDBSCAN
@@ -28,6 +45,10 @@ from repro.representative.sweep import (
     generate_all_representatives,
 )
 
+#: ε-engines whose *whole point* is not materialising the neighbor
+#: graph; ``fit`` keeps the legacy per-query path for them.
+_DIRECT_NEIGHBORHOOD_METHODS = ("brute", "grid", "rtree")
+
 
 class TRACLUS:
     """TRAjectory CLUStering (Figure 4).
@@ -37,8 +58,38 @@ class TRACLUS:
     ... # doctest: +SKIP
     """
 
-    def __init__(self, config: Optional[TraclusConfig] = None):
+    def __init__(
+        self,
+        config: Optional[TraclusConfig] = None,
+        workspace_dir: Optional[str] = None,
+    ):
         self.config = config if config is not None else TraclusConfig()
+        self.workspace_dir = workspace_dir
+        self._workspace_cache = None  # (corpus fp, config, Workspace)
+
+    def _workspace(self, trajectories: Sequence[Trajectory]):
+        """The artifact workspace for *trajectories*, memoized on this
+        instance: a fit followed by a sweep (or repeated fits) over the
+        same corpus shares one in-memory artifact store.  Rebuilt when
+        the corpus changes — the fingerprint check is cheap relative to
+        any artifact build."""
+        from repro.api.fingerprint import corpus_fingerprint
+        from repro.api.workspace import Workspace
+
+        fingerprint = corpus_fingerprint(trajectories)
+        if (
+            self._workspace_cache is not None
+            and self._workspace_cache[0] == fingerprint
+            # `config` is frozen but the attribute is reassignable;
+            # a swapped config must drop the memoized workspace.
+            and self._workspace_cache[1] is self.config
+        ):
+            return self._workspace_cache[2]
+        workspace = Workspace(
+            trajectories, self.config, cache_dir=self.workspace_dir
+        )
+        self._workspace_cache = (fingerprint, self.config, workspace)
+        return workspace
 
     def fit(self, trajectories: Sequence[Trajectory]) -> ClusteringResult:
         """Run the full pipeline on *trajectories*."""
@@ -50,6 +101,28 @@ class TRACLUS:
             raise TrajectoryError(
                 f"all trajectories must share one dimensionality, got {sorted(dims)}"
             )
+        if self.config.neighborhood_method in _DIRECT_NEIGHBORHOOD_METHODS:
+            if self.workspace_dir is not None:
+                warnings.warn(
+                    f"neighborhood_method="
+                    f"{self.config.neighborhood_method!r} forces the "
+                    f"direct per-query path, which neither reads nor "
+                    f"writes the workspace cache at "
+                    f"{self.workspace_dir!r}; drop the forced engine to "
+                    f"use (and fill) the cache",
+                    UserWarning,
+                    stacklevel=2,
+                )
+            return self._fit_direct(trajectories)
+        return self._workspace(trajectories).fit()
+
+    def _fit_direct(
+        self, trajectories: Sequence[Trajectory]
+    ) -> ClusteringResult:
+        """The legacy per-query-engine pipeline, kept for the forced
+        ``"brute"``/``"grid"``/``"rtree"`` ε-engines (memory-capped or
+        few-query workloads that must not materialise the ε-graph).
+        Labels are bitwise identical to the Workspace path."""
         config = self.config
         distance = config.distance()
 
@@ -121,13 +194,13 @@ class TRACLUS:
         ``cardinality_threshold``); its ``eps``/``min_lns`` are ignored
         in favour of the grid.
 
+        Runs through the artifact workspace, so with ``workspace_dir``
+        set a repeated sweep (or a sweep after a fit at ε below the
+        grid maximum) reuses the stored graph instead of rebuilding it.
+
         Returns a :class:`~repro.sweep.engine.SweepResult`.
         """
-        # Imported here: repro.sweep builds on the cluster/partition
-        # layers this module also wires together.
-        from repro.sweep.engine import run_sweep
-
-        return run_sweep(trajectories, self.config, sweep)
+        return self._workspace(list(trajectories)).sweep(sweep)
 
 
 def traclus(

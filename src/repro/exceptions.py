@@ -40,6 +40,11 @@ class DatasetError(ReproError):
     """Raised by dataset generators and parsers on invalid input."""
 
 
+class WorkspaceError(ReproError):
+    """Raised by the artifact-graph Workspace facade on invalid
+    bindings or artifact requests."""
+
+
 class IndexError_(ReproError):
     """Raised by the spatial index substrate (named with a trailing
     underscore to avoid shadowing the built-in :class:`IndexError`)."""

@@ -1,0 +1,98 @@
+"""Exact npz (de)serialization of Workspace artifacts.
+
+One artifact == one ``.npz`` file: a flat dict of NumPy arrays plus a
+JSON metadata record (stored as a uint8 byte array under
+``__meta__``).  ``numpy`` round-trips raw array bytes, so every dtype —
+int64 labels and counts, float64 distances and coordinates — is
+restored **bitwise**; the round-trip tests in
+``tests/api/test_cache.py`` pin exactly that.
+
+Writes go through a temp file + :func:`os.replace` so a crashed or
+interrupted run can never leave a half-written artifact behind: readers
+see either the previous version or the new one.
+
+Ragged lists (per-trajectory characteristic points, per-cluster
+representative polylines) are packed as ``(flat, offsets)`` pairs by
+:func:`pack_ragged` / :func:`unpack_ragged`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+#: Metadata key inside the npz payload (reserved; artifacts cannot use it).
+META_KEY = "__meta__"
+
+
+def pack_ragged(
+    rows: Sequence[Sequence[float]], dtype=np.int64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack a list of variable-length rows into ``(flat, offsets)``;
+    row *i* is ``flat[offsets[i]:offsets[i + 1]]``."""
+    lengths = np.array([len(row) for row in rows], dtype=np.int64)
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    if offsets[-1] == 0:
+        return np.empty(0, dtype=dtype), offsets
+    flat = np.concatenate([np.asarray(row, dtype=dtype) for row in rows if len(row)])
+    return flat, offsets
+
+
+def unpack_ragged(flat: np.ndarray, offsets: np.ndarray) -> List[np.ndarray]:
+    """Invert :func:`pack_ragged`."""
+    return [
+        flat[offsets[i]:offsets[i + 1]] for i in range(offsets.size - 1)
+    ]
+
+
+def save_artifact(
+    path: str, arrays: Dict[str, np.ndarray], meta: Optional[dict] = None
+) -> None:
+    """Write one artifact atomically (temp file + rename)."""
+    if META_KEY in arrays:
+        raise ReproError(f"array name {META_KEY!r} is reserved for metadata")
+    payload = dict(arrays)
+    payload[META_KEY] = np.frombuffer(
+        json.dumps(meta or {}, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - crash cleanup
+            os.unlink(tmp)
+
+
+def load_artifact(path: str) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Read one artifact back as ``(arrays, meta)``."""
+    with np.load(path) as archive:
+        arrays = {
+            name: archive[name] for name in archive.files if name != META_KEY
+        }
+        meta = (
+            json.loads(archive[META_KEY].tobytes().decode("utf-8"))
+            if META_KEY in archive.files
+            else {}
+        )
+    return arrays, meta
+
+
+def load_artifact_meta(path: str) -> dict:
+    """Read only the metadata record of an artifact.
+
+    ``np.load`` decompresses zip members lazily, so this touches just
+    the small ``__meta__`` byte array — the inspector can index a cache
+    directory full of multi-MB graphs without materialising any of
+    them."""
+    with np.load(path) as archive:
+        if META_KEY not in archive.files:
+            return {}
+        return json.loads(archive[META_KEY].tobytes().decode("utf-8"))

@@ -20,6 +20,7 @@ keeps the legacy per-segment row loop.  Both produce identical counts
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -134,10 +135,25 @@ def entropy_curve(
     cost since it can be done while computing H(X)").  ``method`` is
     forwarded to :func:`neighborhood_size_curve`; a precomputed
     ``counts`` matrix (aligned with *eps_values*, e.g. from a
+    :class:`~repro.api.Workspace` or
     :class:`~repro.sweep.engine.SweepEngine` whose graph already holds
     every distance) skips the counting pass entirely.
+
+    .. deprecated:: 1.2
+        Calling without ``counts=`` re-runs the full pairwise pass and
+        emits a :class:`DeprecationWarning`; the curve is identical —
+        float for float — when read from a Workspace's cached counts.
     """
     if counts is None:
+        warnings.warn(
+            "entropy_curve() without counts= re-evaluates every pairwise "
+            "distance; this scattered entry point is deprecated — read "
+            "the curve from a Workspace (repro.api.Workspace."
+            "entropy_curve / entropy_counts) so the shared ε-graph is "
+            "built once, or pass counts= explicitly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         counts = neighborhood_size_curve(segments, eps_values, distance, method)
     elif counts.shape[0] != len(eps_values):
         raise ParameterSearchError(

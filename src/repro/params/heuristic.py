@@ -23,7 +23,7 @@ from repro.distance.weighted import SegmentDistance
 from repro.exceptions import ParameterSearchError
 from repro.model.segmentset import SegmentSet
 from repro.params.annealing import anneal_epsilon
-from repro.params.entropy import entropy_curve
+from repro.params.entropy import entropy_curve, neighborhood_size_curve
 
 
 @dataclass(frozen=True)
@@ -44,12 +44,18 @@ class ParameterEstimate:
         return (self.min_lns_low + self.min_lns_high) / 2.0
 
 
-def _default_eps_grid(segments: SegmentSet) -> np.ndarray:
+def default_eps_grid(segments: SegmentSet) -> np.ndarray:
     """Integer ε grid 1..~2x the mean segment length (the paper sweeps
-    1..60 on data whose partitions average a few tens of units)."""
+    1..60 on data whose partitions average a few tens of units).  The
+    Workspace facade uses the same grid, so its cached counts serve the
+    default heuristic too."""
     mean_length = segments.mean_length()
     hi = max(int(np.ceil(2.0 * mean_length)), 10)
     return np.arange(1.0, hi + 1.0)
+
+
+#: Backwards-compatible private alias (pre-Workspace name).
+_default_eps_grid = default_eps_grid
 
 
 def recommend_parameters(
@@ -93,7 +99,7 @@ def recommend_parameters(
     grid = (
         np.asarray(eps_values, dtype=np.float64)
         if eps_values is not None
-        else _default_eps_grid(segments)
+        else default_eps_grid(segments)
     )
     if grid.size == 0:
         raise ParameterSearchError("eps_values must be non-empty")
@@ -103,6 +109,14 @@ def recommend_parameters(
         )
 
     if method == "grid":
+        if counts is None:
+            # Count here (the raw streaming engine) rather than let
+            # entropy_curve's deprecated no-counts path re-derive them:
+            # identical ints, no DeprecationWarning for callers that
+            # legitimately bypass the Workspace.
+            counts = neighborhood_size_curve(
+                segments, grid, distance, method=neighborhood_method
+            )
         entropies, avg_sizes = entropy_curve(
             segments, grid, distance, method=neighborhood_method,
             counts=counts,

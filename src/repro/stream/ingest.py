@@ -243,6 +243,9 @@ class TrajectoryStream:
                       Optional[Sequence[float]], Optional[float]],
             ]
         ],
+        scan: Optional[
+            Tuple[Sequence[Sequence[int]], np.ndarray, np.ndarray]
+        ] = None,
     ) -> StreamDelta:
         """Open many *new* trajectories at once through the batched
         phase-1 engine.
@@ -260,6 +263,13 @@ class TrajectoryStream:
         partitioners are restored — so later appends to a bulk-loaded
         trajectory continue exactly as if it had been fed point by
         point.
+
+        *scan* hands over a precomputed ``(committed, starts,
+        lengths)`` triple — exactly :func:`lockstep_scan`'s output for
+        these items at this suppression, e.g. a Workspace partition
+        artifact's scan states — in which case phase 1 is **skipped**
+        entirely and the stream seeds from the cached result (same
+        states bitwise, no scan work).
         """
         parsed: List[Tuple[int, np.ndarray, Optional[np.ndarray], float]] = []
         seen: set = set()
@@ -295,8 +305,45 @@ class TrajectoryStream:
         if not parsed:
             return StreamDelta((), ())
 
-        ragged = RaggedPoints.from_arrays([p for _, p, _, _ in parsed])
-        committed, starts, lengths = lockstep_scan(ragged, self.suppression)
+        if scan is not None:
+            committed, starts, lengths = scan
+            if (
+                len(committed) != len(parsed)
+                or len(starts) != len(parsed)
+                or len(lengths) != len(parsed)
+            ):
+                raise TrajectoryError(
+                    f"precomputed scan covers {len(committed)} trajectories "
+                    f"but {len(parsed)} items were given"
+                )
+            # Structural consistency per row: a scan handed over for the
+            # wrong corpus (shorter/longer trajectories) must fail here,
+            # not corrupt the session or crash deep in restore().
+            for row, (traj_id, points, _, _) in enumerate(parsed):
+                n = points.shape[0]
+                cps = committed[row]
+                start = int(starts[row])
+                length = int(lengths[row])
+                if (
+                    not cps
+                    or cps[0] != 0
+                    or any(b <= a for a, b in zip(cps, cps[1:]))
+                    or cps[-1] >= n
+                    or not 0 <= start < n
+                    or start != cps[-1]  # the scan resumes at the last cp
+                    or length < 1
+                    or start + length < n
+                ):
+                    raise TrajectoryError(
+                        f"trajectory {traj_id}: precomputed scan state is "
+                        f"inconsistent with the given points (was the "
+                        f"partition artifact built over this corpus?)"
+                    )
+        else:
+            ragged = RaggedPoints.from_arrays([p for _, p, _, _ in parsed])
+            committed, starts, lengths = lockstep_scan(
+                ragged, self.suppression
+            )
 
         inserted: List[SegmentRecord] = []
         for row, (traj_id, points, times, weight) in enumerate(parsed):

@@ -54,7 +54,7 @@ from repro.cluster.neighbor_graph import DEFAULT_PAIR_BLOCK, NeighborGraph
 from repro.core.config import SWEEP_EXECUTORS, SweepConfig, TraclusConfig
 from repro.distance.weighted import SegmentDistance
 from repro.exceptions import ClusteringError, TrajectoryError
-from repro.model.cluster import Cluster, clusters_from_labels
+from repro.model.cluster import NOISE, Cluster, clusters_from_labels
 from repro.model.segmentset import SegmentSet
 from repro.model.trajectory import Trajectory
 from repro.params.heuristic import ParameterEstimate, recommend_parameters
@@ -65,6 +65,42 @@ from repro.partition.approximate import partition_all
 # Column walkers (module-level so the process-pool executor can ship them)
 # ---------------------------------------------------------------------------
 
+def _edge_incidence(
+    n: int, edge_u: np.ndarray, edge_v: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Directed views of a distance-sorted unordered edge list.
+
+    Returns ``(dnode, dmate, inc_indptr, inc_mate, inc_pos)``:
+
+    * ``dnode``/``dmate`` interleave both directions of each edge in
+      admission order — entries ``2k`` and ``2k + 1`` belong to edge
+      ``k``, so the first ``2 * cut`` entries are exactly the directed
+      edges admitted at cut ``cut``;
+    * ``inc_indptr``/``inc_mate``/``inc_pos`` are an incidence CSR over
+      nodes: node *u*'s row lists its mates with the owning edge index
+      (``inc_pos``, ascending within the row), so the mates admitted at
+      any cut are a prefix of the row found by one ``searchsorted``.
+
+    Built once per engine and shared by every MinLns column — this is
+    what replaces the per-edge Python adjacency appends of the original
+    column walker.
+    """
+    n_edges = int(edge_u.size)
+    dnode = np.empty(2 * n_edges, dtype=np.int64)
+    dmate = np.empty(2 * n_edges, dtype=np.int64)
+    dnode[0::2] = edge_u
+    dnode[1::2] = edge_v
+    dmate[0::2] = edge_v
+    dmate[1::2] = edge_u
+    pos = np.repeat(np.arange(n_edges, dtype=np.int64), 2)
+    order = np.argsort(dnode, kind="stable")  # keeps pos ascending per node
+    inc_mate = dmate[order]
+    inc_pos = pos[order]
+    inc_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(dnode, minlength=n), out=inc_indptr[1:])
+    return dnode, dmate, inc_indptr, inc_mate, inc_pos
+
+
 def _column_labels_counts(
     n: int,
     edge_u: np.ndarray,
@@ -73,6 +109,7 @@ def _column_labels_counts(
     min_lns: float,
     traj_ids: np.ndarray,
     threshold: Optional[float],
+    incidence: Optional[Tuple[np.ndarray, ...]] = None,
 ) -> np.ndarray:
     """Labels at every sorted-unique ε for one MinLns, count
     cardinalities.
@@ -81,59 +118,141 @@ def _column_labels_counts(
     (``searchsorted(..., side="right")``, so a distance exactly equal to
     ε is admitted — the same ``dist <= eps`` predicate every engine
     uses).  Between consecutive ε values the state is updated
-    incrementally: degree ticks, promotions, unions — never a fresh
-    DBSCAN.
+    incrementally and in vectorized blocks: each ε step admits its
+    whole tie-block of edges at once — ``bincount`` degree updates, a
+    vectorized promotion test, union-find merges only for core-core
+    incidences — never a fresh DBSCAN and never a per-edge Python loop.
+
+    The final labels are a pure function of (core set, admitted
+    adjacency, core components, per-component minima), so this walker
+    is bitwise identical to the original per-edge
+    :class:`~repro.cluster.labeling.CoreGraphLabeler` walk (the
+    hypothesis suite in ``tests/property/test_sweep_equivalence.py``
+    pins both against independent ``TRACLUS.fit`` calls).
     """
-    labeler = CoreGraphLabeler()
-    adj: List[List[int]] = [[] for _ in range(n)]
-    deg = [0] * n
-    for uid in range(n):
-        labeler.core_neighbors[uid] = set()
+    if incidence is None:
+        incidence = _edge_incidence(n, edge_u, edge_v)
+    dnode, dmate, inc_indptr, inc_mate, inc_pos = incidence
+    step3 = min_lns if threshold is None else threshold
+    out = np.empty((cuts.size, n), dtype=np.int64)
+
+    deg = np.zeros(n, dtype=np.int64)
+    core = np.zeros(n, dtype=bool)
+    # Union-find over core ids: union by size, with the component
+    # minimum (the Figure-12 "seed", i.e. formation order) carried on
+    # the root.
+    parent = np.arange(n, dtype=np.int64)
+    size = np.ones(n, dtype=np.int64)
+    comp_min = np.arange(n, dtype=np.int64)
     # With no edges every cardinality is 1 (the segment itself); a
     # MinLns at or below that makes everything core immediately.
     if n and 1.0 >= min_lns:
-        labeler.promote(list(range(n)), adj.__getitem__)
-    ids = list(range(n))
-    step3 = min_lns if threshold is None else threshold
-    out = np.empty((cuts.size, n), dtype=np.int64)
+        core[:] = True
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return
+        if size[ra] < size[rb]:
+            ra, rb = rb, ra
+        parent[rb] = ra
+        size[ra] += size[rb]
+        if comp_min[rb] < comp_min[ra]:
+            comp_min[ra] = comp_min[rb]
+
+    def derive(cut: int) -> np.ndarray:
+        labels = np.full(n, NOISE, dtype=np.int64)
+        cores = np.flatnonzero(core)
+        if cores.size == 0:
+            return labels
+        roots = parent[cores]
+        while True:
+            hop = parent[roots]
+            if np.array_equal(hop, roots):
+                break
+            roots = hop
+        parent[cores] = roots  # vectorized path compression
+        unique_roots = np.unique(roots)
+        order = np.argsort(comp_min[unique_roots], kind="stable")
+        n_components = int(order.size)
+        rank_of = np.empty(n, dtype=np.int64)  # indexed by root id
+        rank_of[unique_roots[order]] = np.arange(n_components, dtype=np.int64)
+        labels[cores] = rank_of[roots]
+        # Borders, over the admitted directed-edge prefix: the earliest
+        # adjacent component claims the segment unless a later-formed
+        # cluster's seed has it in its neighborhood (Figure 12 line 07
+        # overwrites unconditionally — the last adjacent seed wins).
+        node = dnode[:2 * cut]
+        mate = dmate[:2 * cut]
+        border_mask = core[mate] & ~core[node]
+        if np.any(border_mask):
+            b_node = node[border_mask]
+            b_mate = mate[border_mask]
+            b_root = parent[b_mate]  # cores were just compressed
+            b_rank = rank_of[b_root]
+            first_claim = np.full(n, n_components, dtype=np.int64)
+            np.minimum.at(first_claim, b_node, b_rank)
+            last_seed = np.full(n, -1, dtype=np.int64)
+            seed_mask = b_mate == comp_min[b_root]
+            if np.any(seed_mask):
+                np.maximum.at(
+                    last_seed, b_node[seed_mask], b_rank[seed_mask]
+                )
+            borders = np.flatnonzero(first_claim < n_components)
+            labels[borders] = np.where(
+                last_seed[borders] >= 0,
+                last_seed[borders],
+                first_claim[borders],
+            )
+        return apply_cardinality_filter(labels, traj_ids, n_components, step3)
+
     at = 0
     for k, cut in enumerate(cuts.tolist()):
         if cut == at and k > 0:
             out[k] = out[k - 1]  # no edge crossed this ε step
             continue
         if cut > at:
-            block_u = edge_u[at:cut].tolist()
-            block_v = edge_v[at:cut].tolist()
-            core = labeler.core
-            core_neighbors = labeler.core_neighbors
-            core_edges: List[Tuple[int, int]] = []
-            for u, v in zip(block_u, block_v):
-                adj[u].append(v)
-                adj[v].append(u)
-                deg[u] += 1
-                deg[v] += 1
-                u_core = u in core
-                v_core = v in core
-                if u_core:
-                    core_neighbors[v].add(u)
-                if v_core:
-                    core_neighbors[u].add(v)
-                if u_core and v_core:
-                    core_edges.append((u, v))
-            promote = []
-            seen = set()
-            for x in block_u + block_v:
-                if x not in seen:
-                    seen.add(x)
-                    if x not in core and float(deg[x] + 1) >= min_lns:
-                        promote.append(x)
-            if promote:
-                labeler.promote(promote, adj.__getitem__)
-            for u, v in core_edges:
-                labeler.union(u, v)
+            block_u = edge_u[at:cut]
+            block_v = edge_v[at:cut]
+            deg += np.bincount(block_u, minlength=n)
+            deg += np.bincount(block_v, minlength=n)
+            touched = np.unique(np.concatenate([block_u, block_v]))
+            promoted = touched[
+                ~core[touched]
+                & ((deg[touched] + 1).astype(np.float64) >= min_lns)
+            ]
+            core[promoted] = True
+            # A promotion activates every already-admitted edge from the
+            # new core to another core: union along its incidence-row
+            # prefix (mates whose owning edge index is below the cut).
+            for u in promoted.tolist():
+                lo = int(inc_indptr[u])
+                hi = int(inc_indptr[u + 1])
+                admitted = lo + int(
+                    np.searchsorted(inc_pos[lo:hi], cut, side="left")
+                )
+                mates = inc_mate[lo:admitted]
+                for w in mates[core[mates]].tolist():
+                    union(u, w)
+            # Block edges whose endpoints are both core by now (old
+            # cores on both sides; promoted endpoints were already
+            # unioned above — those re-unions are no-ops).
+            both = core[block_u] & core[block_v]
+            if np.any(both):
+                for u, w in zip(
+                    block_u[both].tolist(), block_v[both].tolist()
+                ):
+                    union(u, w)
             at = cut
-        labels, n_clusters = labeler.labels_for(ids)
-        out[k] = apply_cardinality_filter(labels, traj_ids, n_clusters, step3)
+        out[k] = derive(at)
     return out
 
 
@@ -150,28 +269,38 @@ def _column_labels_weighted(
     indices: np.ndarray,
     data: np.ndarray,
     threshold: Optional[float],
+    incidence: Optional[Tuple[np.ndarray, ...]] = None,
 ) -> np.ndarray:
     """Labels at every sorted-unique ε for one MinLns, weighted
     cardinalities (Section 4.2).
 
-    The adjacency still grows incrementally along ε, but the core set is
+    The admitted adjacency is served by prefix slices of the shared
+    edge-incidence CSR (no per-edge Python appends), but the core set is
     recomputed per ε from the stored CSR rows: the batch's weighted
     cardinality is ``np.sum`` over the ascending neighbor row, and only
     the identical summation tree is bitwise-faithful to it.
     """
+    if incidence is None:
+        incidence = _edge_incidence(n, edge_u, edge_v)
+    _, _, inc_indptr, inc_mate, inc_pos = incidence
     labeler = CoreGraphLabeler()
-    adj: List[List[int]] = [[] for _ in range(n)]
     ids = list(range(n))
     step3 = min_lns if threshold is None else threshold
     out = np.empty((cuts.size, n), dtype=np.int64)
     at = 0
+
+    def adjacent(uid: int) -> np.ndarray:
+        lo = int(inc_indptr[uid])
+        hi = int(inc_indptr[uid + 1])
+        admitted = lo + int(
+            np.searchsorted(inc_pos[lo:hi], at, side="left")
+        )
+        return inc_mate[lo:admitted]
+
     for k, cut in enumerate(cuts.tolist()):
         if cut == at and k > 0:
             out[k] = out[k - 1]
             continue
-        for u, v in zip(edge_u[at:cut].tolist(), edge_v[at:cut].tolist()):
-            adj[u].append(v)
-            adj[v].append(u)
         at = cut
         eps = unique_eps[k]
         cores = []
@@ -180,7 +309,7 @@ def _column_labels_weighted(
             neighbors = indices[row][data[row] <= eps]
             if float(np.sum(weights[neighbors])) >= min_lns:
                 cores.append(i)
-        labeler.rebuild(ids, adj.__getitem__, cores)
+        labeler.rebuild(ids, adjacent, cores)
         labels, n_clusters = labeler.labels_for(ids)
         out[k] = apply_cardinality_filter(labels, traj_ids, n_clusters, step3)
     return out
@@ -208,11 +337,12 @@ def _run_column(payload: dict, min_lns: float) -> np.ndarray:
             payload["cuts"], payload["unique_eps"], min_lns,
             payload["traj_ids"], payload["weights"], payload["indptr"],
             payload["indices"], payload["data"], payload["threshold"],
+            incidence=payload.get("incidence"),
         )
     return _column_labels_counts(
         payload["n"], payload["edge_u"], payload["edge_v"],
         payload["cuts"], min_lns, payload["traj_ids"],
-        payload["threshold"],
+        payload["threshold"], incidence=payload.get("incidence"),
     )
 
 
@@ -233,6 +363,7 @@ class SweepEngine:
         eps_values: Sequence[float],
         distance: Optional[SegmentDistance] = None,
         pair_block: int = DEFAULT_PAIR_BLOCK,
+        graph: Optional[NeighborGraph] = None,
     ):
         eps_array = np.asarray(list(eps_values), dtype=np.float64)
         if eps_array.ndim != 1 or eps_array.size == 0:
@@ -247,9 +378,31 @@ class SweepEngine:
             eps_array, return_inverse=True
         )
         self.eps_max = float(self._unique_eps[-1])
-        self.graph = NeighborGraph.build(
-            segments, self.eps_max, self.distance, pair_block=pair_block
-        )
+        if graph is not None:
+            # Reuse a prebuilt ε-graph (e.g. a Workspace artifact): the
+            # graph at any ε <= graph.eps is recovered by filtering the
+            # stored distances, and because the pair kernel is
+            # elementwise, the filtered CSR is bitwise identical to a
+            # fresh build at eps_max.
+            if graph.n_segments != len(segments):
+                raise ClusteringError(
+                    f"graph covers {graph.n_segments} segments but the "
+                    f"set has {len(segments)}"
+                )
+            if graph.eps < self.eps_max:
+                raise ClusteringError(
+                    f"prebuilt graph at eps={graph.eps} cannot serve "
+                    f"eps_max={self.eps_max}; rebuild at the larger radius"
+                )
+            self.graph = (
+                graph
+                if graph.eps == self.eps_max
+                else graph.restrict(self.eps_max)
+            )
+        else:
+            self.graph = NeighborGraph.build(
+                segments, self.eps_max, self.distance, pair_block=pair_block
+            )
         n = len(segments)
         rows = np.repeat(
             np.arange(n, dtype=np.int64), np.diff(self.graph.indptr)
@@ -267,6 +420,7 @@ class SweepEngine:
         )
         self._rows_all = rows
         self._counts_cache: Optional[np.ndarray] = None
+        self._incidence_cache: Optional[Tuple[np.ndarray, ...]] = None
 
     # -- basic shape ---------------------------------------------------------
     @property
@@ -384,6 +538,10 @@ class SweepEngine:
     def _payload(
         self, cardinality_threshold: Optional[float], use_weights: bool
     ) -> dict:
+        if self._incidence_cache is None:
+            self._incidence_cache = _edge_incidence(
+                self.n_segments, self._edge_u, self._edge_v
+            )
         payload = {
             "n": self.n_segments,
             "edge_u": self._edge_u,
@@ -393,6 +551,7 @@ class SweepEngine:
             "traj_ids": self.segments.traj_ids,
             "threshold": cardinality_threshold,
             "use_weights": bool(use_weights),
+            "incidence": self._incidence_cache,
         }
         if use_weights:
             payload.update(

@@ -1,0 +1,109 @@
+"""Artifact store: exact npz round trips, ragged packing, inspection."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api.cache import ArtifactStore
+from repro.exceptions import ReproError
+from repro.io.artifacts import (
+    load_artifact,
+    pack_ragged,
+    save_artifact,
+    unpack_ragged,
+)
+
+
+class TestRagged:
+    def test_round_trip(self):
+        rows = [[0, 3, 9], [], [7], [1, 2, 3, 4]]
+        flat, offsets = pack_ragged(rows)
+        back = [list(map(int, row)) for row in unpack_ragged(flat, offsets)]
+        assert back == rows
+
+    def test_empty(self):
+        flat, offsets = pack_ragged([])
+        assert flat.size == 0 and offsets.tolist() == [0]
+        assert unpack_ragged(flat, offsets) == []
+
+
+class TestNpzRoundTrip:
+    def test_bitwise_floats_and_ints(self, tmp_path):
+        """The cache contract: every stored dtype comes back bit for
+        bit — subnormals, -0.0, nextafter neighbours, int64 extremes."""
+        path = str(tmp_path / "artifact.npz")
+        arrays = {
+            "floats": np.array(
+                [0.0, -0.0, 5e-324, np.nextafter(30.0, np.inf),
+                 1e308, -1e-308],
+                dtype=np.float64,
+            ),
+            "labels": np.array(
+                [-1, 0, 2**62, -(2**62)], dtype=np.int64
+            ),
+            "counts": np.arange(12, dtype=np.int64).reshape(3, 4),
+            "matrix": np.linspace(0, 1, 6).reshape(2, 3),
+        }
+        save_artifact(path, arrays, {"kind": "test", "eps": 30.0})
+        loaded, meta = load_artifact(path)
+        assert meta == {"kind": "test", "eps": 30.0}
+        for name, array in arrays.items():
+            assert loaded[name].dtype == array.dtype
+            assert loaded[name].shape == array.shape
+            assert np.array_equal(
+                loaded[name].view(np.uint8), array.view(np.uint8)
+            ), name
+
+    def test_meta_key_reserved(self, tmp_path):
+        with pytest.raises(ReproError):
+            save_artifact(
+                str(tmp_path / "x.npz"), {"__meta__": np.zeros(1)}, {}
+            )
+
+    def test_no_partial_file_on_replace(self, tmp_path):
+        """Writes go through rename: after a successful save there is
+        exactly the final file, no temp residue."""
+        path = str(tmp_path / "artifact.npz")
+        save_artifact(path, {"a": np.zeros(4)}, {})
+        save_artifact(path, {"a": np.ones(4)}, {})
+        assert sorted(os.listdir(tmp_path)) == ["artifact.npz"]
+        loaded, _ = load_artifact(path)
+        assert np.array_equal(loaded["a"], np.ones(4))
+
+
+class TestArtifactStore:
+    def test_memory_only_store_never_touches_disk(self):
+        store = ArtifactStore(None)
+        assert store.load_arrays("labels", "abc") is None
+        store.save_arrays("labels", "abc", {"x": np.zeros(2)}, {})
+        assert store.entries() == []
+        assert store.stats.misses == 1
+
+    def test_disk_round_trip_and_entries(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.save_arrays(
+            "labels", "deadbeef", {"labels": np.arange(5)},
+            {"kind": "labels", "grid": [1, 1]},
+        )
+        store.save_arrays(
+            "graph", "cafe", {"indptr": np.zeros(3, dtype=np.int64)},
+            {"kind": "graph", "eps": 9.0},
+        )
+        loaded = store.load_arrays("labels", "deadbeef")
+        assert loaded is not None
+        assert np.array_equal(loaded[0]["labels"], np.arange(5))
+        entries = store.entries()
+        # Pipeline-stage order: graph before labels.
+        assert [entry["kind"] for entry in entries] == ["graph", "labels"]
+        assert entries[0]["meta"]["eps"] == 9.0
+        assert store.stats.disk_hits == 1
+
+    def test_object_layer_counts_hits(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        assert store.get_object("graph", "k") is None
+        store.put_object("graph", "k", object())
+        assert store.get_object("graph", "k") is not None
+        assert store.stats.memory_hits == 1
+        store.drop_objects("graph")
+        assert store.get_object("graph", "k") is None

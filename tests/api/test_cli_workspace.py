@@ -1,0 +1,112 @@
+"""CLI integration of the artifact workspace: --workspace flags and
+the ``workspace`` inspector subcommand."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.csvio import write_trajectories_csv
+
+
+@pytest.fixture
+def tracks_csv(tmp_path, corridor_trajectories):
+    path = str(tmp_path / "tracks.csv")
+    write_trajectories_csv(corridor_trajectories, path)
+    return path
+
+
+class TestParser:
+    @pytest.mark.parametrize("command", ["cluster", "params", "sweep"])
+    def test_workspace_flag_accepted(self, command):
+        argv = [command, "in.csv"]
+        if command == "sweep":
+            argv += ["--eps", "3,5", "--min-lns", "3"]
+        args = build_parser().parse_args(argv + ["--workspace", "ws"])
+        assert args.workspace == "ws"
+
+    def test_inspector_requires_directory(self):
+        args = build_parser().parse_args(["workspace", "ws"])
+        assert args.directory == "ws"
+
+
+class TestWorkspaceFlow:
+    def test_commands_share_artifacts(self, tracks_csv, tmp_path, capsys):
+        """params then cluster then sweep over one --workspace DIR:
+        exactly one graph file exists afterwards (each later command
+        reused the earlier build), and the inspector lists it."""
+        ws_dir = str(tmp_path / "ws")
+        assert main(["params", tracks_csv, "--workspace", ws_dir]) == 0
+        graph_files = [
+            name for name in os.listdir(ws_dir) if name.startswith("graph-")
+        ]
+        assert len(graph_files) == 1
+        graph_mtime = os.path.getmtime(os.path.join(ws_dir, graph_files[0]))
+
+        assert main([
+            "cluster", tracks_csv, "--eps", "5", "--min-lns", "3",
+            "--workspace", ws_dir,
+        ]) == 0
+        assert main([
+            "sweep", tracks_csv, "--eps", "3,5", "--min-lns", "3,4",
+            "--workspace", ws_dir,
+        ]) == 0
+        graph_files_after = [
+            name for name in os.listdir(ws_dir) if name.startswith("graph-")
+        ]
+        # Same single graph artifact, untouched by the later commands
+        # (eps=5 and the 3..5 sweep both sit below the params search
+        # maximum).
+        assert graph_files_after == graph_files
+        assert os.path.getmtime(
+            os.path.join(ws_dir, graph_files[0])
+        ) == graph_mtime
+
+        capsys.readouterr()
+        assert main(["workspace", ws_dir]) == 0
+        out = capsys.readouterr().out
+        assert "partition" in out and "graph" in out and "labels" in out
+
+    def test_inspector_json_output(self, tracks_csv, tmp_path, capsys):
+        ws_dir = str(tmp_path / "ws")
+        main([
+            "cluster", tracks_csv, "--eps", "5", "--min-lns", "3",
+            "--workspace", ws_dir,
+        ])
+        index_path = str(tmp_path / "index.json")
+        assert main(["workspace", ws_dir, "--json", index_path]) == 0
+        with open(index_path, "r", encoding="utf-8") as handle:
+            entries = json.load(handle)
+        kinds = {entry["kind"] for entry in entries}
+        assert {"partition", "graph", "labels"} <= kinds
+
+    def test_inspector_rejects_missing_directory(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["workspace", str(tmp_path / "absent")])
+
+    def test_inspector_empty_directory(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["workspace", str(empty)]) == 0
+        assert "no artifacts" in capsys.readouterr().out
+
+    def test_warm_cluster_reuses_partition(self, tracks_csv, tmp_path):
+        """Second cluster run over the same workspace leaves every
+        artifact file's mtime unchanged (pure reads)."""
+        ws_dir = str(tmp_path / "ws")
+        argv = [
+            "cluster", tracks_csv, "--eps", "5", "--min-lns", "3",
+            "--workspace", ws_dir,
+        ]
+        assert main(argv) == 0
+        snapshot = {
+            name: os.path.getmtime(os.path.join(ws_dir, name))
+            for name in os.listdir(ws_dir)
+        }
+        assert main(argv) == 0
+        after = {
+            name: os.path.getmtime(os.path.join(ws_dir, name))
+            for name in os.listdir(ws_dir)
+        }
+        assert after == snapshot

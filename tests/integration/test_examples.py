@@ -53,6 +53,12 @@ class TestExamples:
         assert "grid search" in out
         assert "simulated annealing" in out
 
+    def test_workspace_quickstart(self, tmp_path):
+        out = run_example("workspace_quickstart.py", tmp_path)
+        assert "cold session" in out
+        assert "warm session" in out
+        assert "streaming session live" in out
+
     def test_weighted_and_temporal(self, tmp_path):
         out = run_example("weighted_and_temporal.py", tmp_path)
         assert "weighted eps-neighborhood" in out

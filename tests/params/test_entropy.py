@@ -76,15 +76,17 @@ class TestEntropyCurve:
         entropy; a mid-range eps must dip below (the Figure 16/19
         shape)."""
         n = len(parallel_band_segments)
-        entropies, _ = entropy_curve(
-            parallel_band_segments, [0.0, 1.5, 1e9]
-        )
+        with pytest.warns(DeprecationWarning):
+            entropies, _ = entropy_curve(
+                parallel_band_segments, [0.0, 1.5, 1e9]
+            )
         maximal = math.log2(n)
         assert entropies[0] == pytest.approx(maximal)
         assert entropies[2] == pytest.approx(maximal)
         assert entropies[1] < maximal - 0.01
 
     def test_avg_sizes_reported(self, parallel_band_segments):
-        _, avg_sizes = entropy_curve(parallel_band_segments, [0.0, 1e9])
+        with pytest.warns(DeprecationWarning):
+            _, avg_sizes = entropy_curve(parallel_band_segments, [0.0, 1e9])
         assert avg_sizes[0] == 1.0
         assert avg_sizes[1] == len(parallel_band_segments)

@@ -1,0 +1,55 @@
+"""The deprecated direct ``entropy_curve`` rebuild: warning fires, and
+the aliased Workspace route returns the identical curve."""
+
+import numpy as np
+import pytest
+
+from repro.api.workspace import Workspace
+from repro.params.entropy import entropy_curve
+from repro.params.heuristic import recommend_parameters
+
+
+class TestEntropyCurveDeprecation:
+    def test_warning_fires_without_counts(self, parallel_band_segments):
+        with pytest.warns(DeprecationWarning, match="Workspace"):
+            entropy_curve(parallel_band_segments, [1.0, 2.0])
+
+    def test_no_warning_with_counts(
+        self, parallel_band_segments, recwarn
+    ):
+        grid = np.array([1.0, 2.0])
+        counts = Workspace.from_segments(
+            parallel_band_segments
+        ).entropy_counts(grid)
+        entropy_curve(parallel_band_segments, grid, counts=counts)
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_deprecated_path_identical_to_workspace(
+        self, random_segments
+    ):
+        """The alias contract: old direct call == Workspace artifact
+        route, float for float."""
+        grid = np.arange(1.0, 9.0)
+        with pytest.warns(DeprecationWarning):
+            old_entropies, old_avg = entropy_curve(random_segments, grid)
+        new_entropies, new_avg = Workspace.from_segments(
+            random_segments
+        ).entropy_curve(grid)
+        assert np.array_equal(
+            old_entropies.view(np.uint8), new_entropies.view(np.uint8)
+        )
+        assert np.array_equal(
+            old_avg.view(np.uint8), new_avg.view(np.uint8)
+        )
+
+    def test_recommend_parameters_stays_quiet(
+        self, random_segments, recwarn
+    ):
+        """The heuristic counts for itself now — no deprecation noise
+        for callers that legitimately bypass the Workspace."""
+        recommend_parameters(random_segments, eps_values=[1.0, 3.0, 5.0])
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
