@@ -34,6 +34,10 @@ REGISTERED_FLOORS = {
     "streaming": 3.0,
     "sweep": 2.0,
     "workspace": 3.0,
+    # bench_serve.py's bars are a warm artifact hit *rate* (0..1) and a
+    # warm-vs-cold p50 speedup; 0.9 is the committed hit-rate floor and
+    # the speedup bar's own floor (2.0x) sits above it.
+    "serve": 0.9,
 }
 
 

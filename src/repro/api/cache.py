@@ -10,11 +10,22 @@ The store never interprets payloads; (de)materialising rich objects is
 the workspace's job.  It does count traffic (:class:`CacheStats`) —
 tests and the cold/warm benchmark assert engine short-circuits through
 those counters.
+
+Both tiers evict least-recently-used entries: the object tier caps the
+entry count per kind, and the npz tier (when ``max_disk_bytes`` is
+set) keeps the directory's total size under a byte budget by unlinking
+the coldest files (recency == file mtime, refreshed on every read, so
+the ordering is shared across the serving processes that share one
+directory).  A file being read is pinned and never a mid-eviction
+victim in-process; cross-process, POSIX unlink semantics keep an
+already-open reader safe, and a reader that loses the
+exists-then-open race treats the vanished file as a plain miss.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -44,7 +55,12 @@ class CacheStats:
 
     memory_hits: int = 0
     disk_hits: int = 0
+    #: Disk lookups that found no file.  Memory-only stores
+    #: (``cache_dir is None``) have no disk tier and never count one —
+    #: the serving layer's warm-hit-rate metrics ride this.
     misses: int = 0
+    #: npz files unlinked by the byte-budget eviction sweep.
+    disk_evictions: int = 0
     #: Expensive engine invocations, by stage — the cold/warm benchmark
     #: asserts ``graph_builds == 0`` on a warm grid re-run.
     builds: Dict[str, int] = field(default_factory=dict)
@@ -66,30 +82,59 @@ class ArtifactStore:
     #: reload from disk) on the next request.
     MAX_OBJECTS_PER_KIND = 8
 
-    def __init__(self, cache_dir: Optional[str] = None):
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        max_disk_bytes: Optional[int] = None,
+    ):
         self.cache_dir = cache_dir
+        #: Total-size budget for the npz tier; ``None`` means grow-only
+        #: (the pre-serving behaviour).  Enforced after every save.
+        self.max_disk_bytes = max_disk_bytes
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
+        # Insertion order doubles as recency order (oldest first):
+        # get/put re-insert on every touch, making eviction true LRU.
         self._memory: Dict[Tuple[str, str], object] = {}
+        self._lock = threading.RLock()
+        self._pins: Dict[str, int] = {}
         self.stats = CacheStats()
 
     # -- level 1: rich in-process objects ---------------------------------
     def get_object(self, kind: str, key: str):
-        entry = self._memory.get((kind, key))
-        if entry is not None:
-            self.stats.memory_hits += 1
+        with self._lock:
+            entry = self._memory.pop((kind, key), None)
+            if entry is not None:
+                self.stats.memory_hits += 1
+                self._memory[(kind, key)] = entry  # refresh recency
         return entry
 
     def put_object(self, kind: str, key: str, value) -> None:
-        same_kind = [k for k in self._memory if k[0] == kind and k[1] != key]
-        while len(same_kind) >= self.MAX_OBJECTS_PER_KIND:
-            del self._memory[same_kind.pop(0)]  # oldest first
-        self._memory[(kind, key)] = value
+        with self._lock:
+            self._memory.pop((kind, key), None)
+            same_kind = [k for k in self._memory if k[0] == kind]
+            while len(same_kind) >= self.MAX_OBJECTS_PER_KIND:
+                del self._memory[same_kind.pop(0)]  # least recent first
+            self._memory[(kind, key)] = value
 
     def drop_objects(self, kind: str) -> None:
         """Forget every in-memory object of *kind* (disk is untouched)."""
-        for cache_key in [k for k in self._memory if k[0] == kind]:
-            del self._memory[cache_key]
+        with self._lock:
+            for cache_key in [k for k in self._memory if k[0] == kind]:
+                del self._memory[cache_key]
+
+    # -- read pins ---------------------------------------------------------
+    def _pin(self, path: str) -> None:
+        with self._lock:
+            self._pins[path] = self._pins.get(path, 0) + 1
+
+    def _unpin(self, path: str) -> None:
+        with self._lock:
+            count = self._pins.get(path, 0) - 1
+            if count <= 0:
+                self._pins.pop(path, None)
+            else:
+                self._pins[path] = count
 
     # -- level 2: npz files ------------------------------------------------
     def path(self, kind: str, key: str) -> Optional[str]:
@@ -101,10 +146,28 @@ class ArtifactStore:
         self, kind: str, key: str
     ) -> Optional[Tuple[Dict[str, np.ndarray], dict]]:
         path = self.path(kind, key)
-        if path is None or not os.path.exists(path):
+        if path is None:
+            # Memory-only store: there is no disk tier to miss.
+            return None
+        if not os.path.exists(path):
             self.stats.misses += 1
             return None
-        arrays, meta = load_artifact(path)
+        self._pin(path)
+        try:
+            arrays, meta = load_artifact(path)
+        except FileNotFoundError:
+            # Lost the exists-then-open race against a concurrent
+            # eviction (another process's budget sweep) — a plain miss.
+            self.stats.misses += 1
+            return None
+        finally:
+            self._unpin(path)
+        if self.max_disk_bytes is not None:
+            # Budgeted stores refresh mtime on read — the recency
+            # signal eviction sorts on, visible to every process
+            # sharing the directory.  Grow-only stores leave mtimes
+            # alone (warm re-runs are pure reads; tests pin that).
+            self._touch(path)
         self.stats.disk_hits += 1
         return arrays, meta
 
@@ -115,6 +178,66 @@ class ArtifactStore:
         if path is None:
             return
         save_artifact(path, arrays, meta)
+        self.enforce_disk_budget()
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Refresh a file's mtime — the cross-process recency signal the
+        byte-budget eviction sorts on."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - concurrently evicted
+            pass
+
+    def disk_bytes(self) -> int:
+        """Total size of the npz tier right now (0 when memory-only)."""
+        if self.cache_dir is None:
+            return 0
+        total = 0
+        for name in os.listdir(self.cache_dir):
+            if not name.endswith(".npz"):
+                continue
+            try:
+                total += os.path.getsize(os.path.join(self.cache_dir, name))
+            except OSError:
+                continue  # vanished under a concurrent eviction
+        return total
+
+    def enforce_disk_budget(self) -> int:
+        """Unlink coldest-first npz files until the directory fits
+        ``max_disk_bytes``; returns how many were evicted.  Pinned
+        (mid-read) files are never victims; a file another process is
+        already reading survives its unlink (POSIX keeps the open fd
+        valid)."""
+        if self.cache_dir is None or self.max_disk_bytes is None:
+            return 0
+        rows = []
+        for name in os.listdir(self.cache_dir):
+            if not name.endswith(".npz"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            rows.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in rows)
+        evicted = 0
+        rows.sort()  # coldest mtime first
+        for _, size, path in rows:
+            if total <= self.max_disk_bytes:
+                break
+            with self._lock:
+                if self._pins.get(path, 0) > 0:
+                    continue  # a reader holds it — never a mid-read victim
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+            self.stats.disk_evictions += 1
+        return evicted
 
     # -- inspection --------------------------------------------------------
     def entries(self) -> List[dict]:
@@ -130,7 +253,15 @@ class ArtifactStore:
             kind, _, rest = name.partition("-")
             path = os.path.join(self.cache_dir, name)
             try:
+                size = os.path.getsize(path)
+            except OSError:
+                # Evicted between listdir and stat by a concurrent
+                # budget sweep — skip rather than crash the inspector.
+                continue
+            try:
                 meta = load_artifact_meta(path)
+            except FileNotFoundError:
+                continue  # evicted between stat and open
             except (OSError, ValueError):  # pragma: no cover - corrupt file
                 meta = {"error": "unreadable"}
             rows.append(
@@ -138,7 +269,7 @@ class ArtifactStore:
                     "kind": kind,
                     "key": rest[:-len(".npz")],
                     "file": name,
-                    "bytes": os.path.getsize(path),
+                    "bytes": size,
                     "meta": meta,
                 }
             )

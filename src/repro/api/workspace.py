@@ -164,6 +164,13 @@ class Workspace:
     cache_dir:
         Optional directory for the npz-backed persistent cache; the
         CLI's ``--workspace DIR`` flag is exactly this.
+    max_disk_bytes:
+        Optional total-size budget for the npz tier.  When set, every
+        save triggers an LRU sweep that unlinks the coldest artifacts
+        until the directory fits — the knob the multi-corpus serving
+        layer (:mod:`repro.serve`) uses to share one bounded cache
+        directory across corpora.  ``None`` (default) keeps the
+        grow-only behaviour.
 
     >>> ws = Workspace(trajectories, TraclusConfig())     # doctest: +SKIP
     >>> est = ws.recommend_parameters()                   # builds graph
@@ -176,6 +183,7 @@ class Workspace:
         trajectories: Optional[Sequence[Trajectory]] = None,
         config: Optional[TraclusConfig] = None,
         cache_dir: Optional[str] = None,
+        max_disk_bytes: Optional[int] = None,
         _segments: Optional[SegmentSet] = None,
     ):
         if (trajectories is None) == (_segments is None):
@@ -184,7 +192,7 @@ class Workspace:
                 "Workspace.from_segments) a segment set"
             )
         self.config = config if config is not None else TraclusConfig()
-        self.store = ArtifactStore(cache_dir)
+        self.store = ArtifactStore(cache_dir, max_disk_bytes=max_disk_bytes)
         self._distance = self.config.distance()
         self._engines: Dict[bytes, SweepEngine] = {}
         # Grids materialised this session: (eps tuple, min_lns tuple,
@@ -223,10 +231,14 @@ class Workspace:
         segments: SegmentSet,
         config: Optional[TraclusConfig] = None,
         cache_dir: Optional[str] = None,
+        max_disk_bytes: Optional[int] = None,
     ) -> "Workspace":
         """Bind to an already-partitioned segment set (phase 2+ only:
         no characteristic points, no streaming seed, no :meth:`fit`)."""
-        return cls(config=config, cache_dir=cache_dir, _segments=segments)
+        return cls(
+            config=config, cache_dir=cache_dir,
+            max_disk_bytes=max_disk_bytes, _segments=segments,
+        )
 
     # -- stats / inspection --------------------------------------------------
     @property

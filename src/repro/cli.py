@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands, composable through CSV/JSON files:
+Eight subcommands, composable through CSV/JSON files:
 
 * ``cluster``   — run TRACLUS on a trajectory CSV, write JSON/SVG results;
 * ``params``    — run the Section 4.4 heuristic and print the estimates;
@@ -11,7 +11,9 @@ Seven subcommands, composable through CSV/JSON files:
 * ``render``    — render a trajectory CSV (optionally with a result JSON)
   to SVG;
 * ``stream``    — tail a trajectory CSV through the online pipeline and
-  print label deltas as points arrive.
+  print label deltas as points arrive;
+* ``serve``     — run the asyncio HTTP front-end: many corpora, one
+  shared artifact store, CPU work sharded over a process pool.
 
 ``cluster``, ``params``, and ``sweep`` all accept ``--workspace DIR``:
 expensive artifacts (the phase-1 partition, the ε-neighborhood graph,
@@ -33,6 +35,8 @@ Examples
     python -m repro workspace ws/
     python -m repro render tracks.csv -o tracks.svg
     python -m repro stream tracks.csv --eps 6 --min-lns 8 --window 5000
+    python -m repro serve elk.csv deer.csv hurricane.csv \
+        --workspace ws/ --workers 4 --max-disk-mb 256 --port 8765
 """
 
 from __future__ import annotations
@@ -245,6 +249,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="label changes printed per update (0 = quiet)")
     stream.add_argument("--checkpoint", default=None,
                         help="write a stream checkpoint here on exit")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve many corpora over HTTP from one shared artifact "
+             "store (async front-end, process-pool workers)",
+    )
+    serve.add_argument("inputs", nargs="+", metavar="CSV",
+                       help="trajectory CSVs; each becomes a corpus "
+                            "named by its file stem")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--workspace", default=None, metavar="DIR",
+                       help="shared persistent artifact cache; omit for "
+                            "per-process memory-only caches")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="process-pool size for CPU-bound work "
+                            "(0 = run inline on a thread)")
+    serve.add_argument("--max-workspaces", type=int, default=8,
+                       help="open corpus workspaces kept per process "
+                            "(LRU-evicted beyond this)")
+    serve.add_argument("--max-disk-mb", type=float, default=None,
+                       metavar="MB",
+                       help="byte budget for the npz tier: coldest "
+                            "artifacts are evicted once the workspace "
+                            "directory exceeds this (default: grow-only)")
+    serve.add_argument("--suppression", type=float, default=0.0,
+                       help="partitioning suppression constant (Sec 4.1.3)")
+    serve.add_argument("--undirected", action="store_true",
+                       help="use the undirected angle distance")
+    serve.add_argument("--use-weights", action="store_true",
+                       help="weighted eps-neighborhood cardinality")
 
     return parser
 
@@ -633,6 +669,53 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.serve.registry import CorpusSpec
+    from repro.serve.server import ServeApp, serve_forever
+
+    config = TraclusConfig(
+        directed=not args.undirected,
+        suppression=args.suppression,
+        use_weights=args.use_weights,
+        compute_representatives=False,
+    )
+    specs = []
+    seen = set()
+    for path in args.inputs:
+        name = os.path.splitext(os.path.basename(path))[0]
+        if name in seen:
+            raise SystemExit(
+                f"duplicate corpus name {name!r} (from {path}); rename "
+                f"the file or serve it from a distinct stem"
+            )
+        seen.add(name)
+        if not os.path.exists(path):
+            raise SystemExit(f"{path}: no such file")
+        specs.append(CorpusSpec(name=name, csv_path=path, config=config))
+    max_disk_bytes = (
+        int(args.max_disk_mb * 1024 * 1024)
+        if args.max_disk_mb is not None
+        else None
+    )
+    app = ServeApp(
+        specs,
+        cache_dir=args.workspace,
+        workers=args.workers,
+        max_workspaces=args.max_workspaces,
+        max_disk_bytes=max_disk_bytes,
+    )
+    try:
+        asyncio.run(serve_forever(app, args.host, args.port))
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        app.close()
+    return 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     trajectories = read_trajectories_csv(args.input)
     render_trajectories_svg(
@@ -650,6 +733,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "render": _cmd_render,
     "stream": _cmd_stream,
+    "serve": _cmd_serve,
 }
 
 

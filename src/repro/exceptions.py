@@ -45,6 +45,12 @@ class WorkspaceError(ReproError):
     bindings or artifact requests."""
 
 
+class ServeError(ReproError):
+    """Raised by the multi-corpus serving layer (:mod:`repro.serve`)
+    on unknown corpora, bad operations, or invalid request
+    parameters."""
+
+
 class IndexError_(ReproError):
     """Raised by the spatial index substrate (named with a trailing
     underscore to avoid shadowing the built-in :class:`IndexError`)."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -61,14 +62,24 @@ def save_artifact(
     payload[META_KEY] = np.frombuffer(
         json.dumps(meta or {}, sort_keys=True).encode("utf-8"), dtype=np.uint8
     )
-    tmp = f"{path}.tmp.{os.getpid()}"
+    # The temp name must be unique per *call*, not per process: two
+    # threads of one serving process writing the same artifact would
+    # otherwise share a temp path (one clobbers the other's bytes, and
+    # an unconditional cleanup can unlink a peer's in-flight temp).
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=f"{os.path.basename(path)}.tmp.", dir=directory
+    )
     try:
-        with open(tmp, "wb") as handle:
+        with os.fdopen(fd, "wb") as handle:
             np.savez(handle, **payload)
         os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):  # pragma: no cover - crash cleanup
+    except BaseException:
+        try:
             os.unlink(tmp)
+        except OSError:  # pragma: no cover - already gone
+            pass
+        raise
 
 
 def load_artifact(path: str) -> Tuple[Dict[str, np.ndarray], dict]:

@@ -1,0 +1,26 @@
+"""Multi-corpus serving layer: ``repro serve``.
+
+One asyncio front-end multiplexes many trajectory corpora over one
+shared artifact store — async request handling with the CPU-bound
+fit/sweep/labels/quality work sharded to a process pool, per-corpus
+workspaces opened and LRU-evicted by a
+:class:`~repro.serve.registry.WorkspaceRegistry`, byte-budgeted LRU
+eviction of the shared npz tier, and single-flight coalescing so
+concurrent builds of the same artifact fingerprint run once.
+
+See the README's "Serving many corpora" section for endpoints, the
+eviction knobs, and when to bypass the server for the library.
+"""
+
+from repro.serve.registry import (  # noqa: F401
+    CorpusSpec,
+    RegistryStats,
+    WorkspaceRegistry,
+)
+from repro.serve.server import (  # noqa: F401
+    ServeApp,
+    ServeStats,
+    serve_forever,
+    start_http_server,
+)
+from repro.serve.worker import OPERATIONS  # noqa: F401

@@ -1,0 +1,370 @@
+"""The asyncio front-end: many corpora, many clients, one cache.
+
+:class:`ServeApp` is the transport-independent request layer — tests
+drive it directly, the HTTP adapter below wraps it for ``repro serve``.
+Three mechanisms turn the single-corpus Workspace library into a
+service:
+
+* **Process-pool sharding.**  Every operation is CPU-bound numpy work
+  (:mod:`repro.serve.worker`); the event loop never runs it.  With
+  ``workers > 0`` requests fan out over a ``ProcessPoolExecutor``
+  whose workers hold process-local workspace registries over the
+  shared npz directory; ``workers == 0`` runs the same code on a
+  thread (small deployments, tests).
+* **Single-flight coalescing.**  Concurrent requests for the same
+  ``(corpus, op, params)`` key collapse into one in-flight build whose
+  result every waiter shares — a cold-cache stampede performs each
+  expensive build exactly once (the per-artifact single-writer rule).
+* **Read-through warm path.**  Workers consult their in-memory object
+  tier, then the npz tier, then compute; every response carries which
+  stages were actually rebuilt, and :class:`ServeStats` aggregates
+  them into the artifact hit rate the load benchmark gates.
+
+The HTTP layer is a deliberately minimal zero-dependency HTTP/1.1
+subset (GET/POST, JSON bodies, keep-alive) — enough for load-balanced
+JSON clients and the replay benchmark, not a general web server.
+
+Endpoints::
+
+    GET  /healthz
+    GET  /stats
+    GET  /corpora
+    POST /corpora/<name>/<op>     op in {params, labels, fit, sweep,
+                                         quality}; JSON params body
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.exceptions import ServeError
+from repro.serve import worker
+from repro.serve.registry import CorpusSpec, WorkspaceRegistry
+
+#: Hard cap on request bodies (a params JSON is tiny; anything bigger
+#: is a client error, not a workload).
+MAX_BODY_BYTES = 1 << 20
+
+
+@dataclass
+class ServeStats:
+    """Aggregated traffic counters of one server instance."""
+
+    requests: int = 0
+    #: Requests served without recomputing any pipeline stage (memory
+    #: or npz artifacts all the way down) — includes coalesced waiters,
+    #: which by construction triggered no build of their own.
+    artifact_hits: int = 0
+    #: Requests that joined another request's in-flight build.
+    coalesced: int = 0
+    errors: int = 0
+    #: Stage -> total rebuild count across every worker process.
+    builds: Dict[str, int] = field(default_factory=dict)
+
+    def hit_rate(self) -> float:
+        return self.artifact_hits / self.requests if self.requests else 0.0
+
+    def build_total(self) -> int:
+        return sum(self.builds.values())
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "artifact_hits": self.artifact_hits,
+            "hit_rate": self.hit_rate(),
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "builds": dict(self.builds),
+        }
+
+
+class ServeApp:
+    """Transport-independent request layer over a corpus registry."""
+
+    def __init__(
+        self,
+        specs: Sequence[CorpusSpec],
+        cache_dir: Optional[str] = None,
+        workers: int = 0,
+        max_workspaces: int = 8,
+        max_disk_bytes: Optional[int] = None,
+    ):
+        if workers < 0:
+            raise ServeError("workers must be >= 0")
+        self.specs = list(specs)
+        self.cache_dir = cache_dir
+        self.workers = workers
+        self.max_workspaces = max_workspaces
+        self.max_disk_bytes = max_disk_bytes
+        self.stats = ServeStats()
+        # The front-end's own registry serves only metadata (names,
+        # fingerprints); computation happens in the executor.
+        self._registry = WorkspaceRegistry(
+            specs,
+            cache_dir=cache_dir,
+            max_workspaces=max_workspaces,
+            max_disk_bytes=max_disk_bytes,
+        )
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+        if workers > 0:
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=worker.initialize,
+                initargs=(
+                    self.specs, cache_dir, max_workspaces, max_disk_bytes
+                ),
+            )
+            # Force the pool to fork NOW, before any client connection
+            # exists: the executor otherwise spawns its workers on the
+            # first submit, mid-request, and (with the default fork
+            # start method) each long-lived worker would inherit a
+            # duplicate of the open client socket — so the client's
+            # wait-for-EOF after ``Connection: close`` never returns.
+            self._executor.submit(worker.ping).result()
+        else:
+            # Inline mode: the server process is its own (threaded)
+            # worker.
+            worker.initialize(
+                self.specs, cache_dir, max_workspaces, max_disk_bytes
+            )
+
+    # -- metadata ----------------------------------------------------------
+    def corpora(self) -> list:
+        return [
+            {
+                "name": name,
+                "fingerprint": self._registry.fingerprint(name),
+            }
+            for name in self._registry.names()
+        ]
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    # -- the request path --------------------------------------------------
+    @staticmethod
+    def request_key(name: str, op: str, params: dict) -> str:
+        """Canonical identity of a request — the coalescing key."""
+        return json.dumps([name, op, params], sort_keys=True)
+
+    async def request(self, name: str, op: str, params: dict) -> dict:
+        """Serve one operation; concurrent identical requests coalesce
+        into a single build whose result all of them share."""
+        if name not in self._registry.specs:
+            raise ServeError(
+                f"unknown corpus {name!r}; serving {self._registry.names()}"
+            )
+        if op not in worker.OPERATIONS:
+            raise ServeError(
+                f"unknown operation {op!r}; one of "
+                f"{sorted(worker.OPERATIONS)}"
+            )
+        key = self.request_key(name, op, params)
+        self.stats.requests += 1
+        existing = self._inflight.get(key)
+        if existing is not None:
+            # Join the in-flight build: by construction this request
+            # triggers no redundant work, which is what the hit-rate
+            # metric measures.
+            self.stats.coalesced += 1
+            payload = await asyncio.shield(existing)
+            if "error" in payload:
+                raise ServeError(payload["error"])
+            self.stats.artifact_hits += 1
+            return payload["result"]
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        try:
+            payload = await loop.run_in_executor(
+                self._executor, worker.compute_safe, name, op, params
+            )
+            future.set_result(payload)
+        except BaseException as error:
+            future.set_exception(error)
+            # A waiter may never await it; don't warn on teardown.
+            future.exception()
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        for stage, count in payload.get("builds", {}).items():
+            self.stats.builds[stage] = (
+                self.stats.builds.get(stage, 0) + count
+            )
+        if "error" in payload:
+            raise ServeError(payload["error"])
+        if not payload.get("builds"):
+            self.stats.artifact_hits += 1
+        return payload["result"]
+
+
+# -- HTTP adapter -----------------------------------------------------------
+
+def _response_bytes(status: int, payload: dict, keep_alive: bool) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+              405: "Method Not Allowed", 413: "Payload Too Large",
+              500: "Internal Server Error"}.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _coerce_query_params(pairs) -> dict:
+    """Query-string params: floats where possible, comma lists for the
+    grid parameters (``eps_values=1,2,3``)."""
+    params: dict = {}
+    for key, value in pairs:
+        if key in ("eps_values", "min_lns_values"):
+            params[key] = [float(v) for v in value.split(",") if v.strip()]
+        else:
+            try:
+                params[key] = float(value)
+            except ValueError:
+                params[key] = value
+    return params
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, dict, bool]]:
+    """Parse one request; ``None`` on clean EOF.  Returns
+    ``(method, path, params, keep_alive)``."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionResetError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise ServeError(f"malformed request line {request_line!r}")
+    method, target, version = parts
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    keep_alive = headers.get(
+        "connection", "keep-alive" if version == "HTTP/1.1" else "close"
+    ).lower() != "close"
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ServeError(f"request body of {length} bytes exceeds cap")
+    body = await reader.readexactly(length) if length else b""
+    split = urlsplit(target)
+    params = _coerce_query_params(parse_qsl(split.query))
+    if body:
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServeError(f"request body is not JSON: {error}") from None
+        if not isinstance(parsed, dict):
+            raise ServeError("request body must be a JSON object")
+        params.update(parsed)
+    return method, split.path, params, keep_alive
+
+
+async def handle_connection(
+    app: ServeApp,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """One client connection: serve requests until close/EOF."""
+    try:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except (ServeError, ValueError, asyncio.IncompleteReadError):
+                writer.write(_response_bytes(
+                    400, {"error": "malformed request"}, False
+                ))
+                break
+            if request is None:
+                break
+            method, path, params, keep_alive = request
+            status, payload = await route_request(app, method, path, params)
+            writer.write(_response_bytes(status, payload, keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                break
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client went away mid-response
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def route_request(
+    app: ServeApp, method: str, path: str, params: dict
+) -> Tuple[int, dict]:
+    """Dispatch one parsed request; returns ``(status, payload)``."""
+    segments = [part for part in path.split("/") if part]
+    try:
+        if path == "/healthz":
+            return 200, {"ok": True, "corpora": app._registry.names()}
+        if path == "/stats":
+            return 200, app.stats.snapshot()
+        if path == "/corpora" and method == "GET":
+            return 200, {"corpora": app.corpora()}
+        if len(segments) == 3 and segments[0] == "corpora":
+            if method not in ("GET", "POST"):
+                return 405, {"error": f"method {method} not allowed"}
+            _, name, op = segments
+            result = await app.request(name, op, params)
+            return 200, {"corpus": name, "op": op, "result": result}
+        return 404, {"error": f"no route for {path!r}"}
+    except ServeError as error:
+        app.stats.errors += 1
+        message = str(error)
+        status = 404 if "unknown corpus" in message else 400
+        return status, {"error": message}
+    except Exception as error:  # noqa: BLE001 - fault barrier
+        app.stats.errors += 1
+        return 500, {"error": f"{type(error).__name__}: {error}"}
+
+
+async def start_http_server(
+    app: ServeApp, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Bind the HTTP adapter; ``port=0`` picks an ephemeral port."""
+    return await asyncio.start_server(
+        lambda reader, writer: handle_connection(app, reader, writer),
+        host, port,
+    )
+
+
+async def serve_forever(
+    app: ServeApp, host: str, port: int, ready=None
+) -> None:
+    """Run the HTTP front-end until cancelled (the CLI entry)."""
+    server = await start_http_server(app, host, port)
+    address = server.sockets[0].getsockname()
+    print(
+        f"repro serve: {len(app.specs)} corpora on "
+        f"http://{address[0]}:{address[1]} "
+        f"(workers={app.workers or 'inline'}, "
+        f"cache={app.cache_dir or 'memory'})"
+    )
+    if ready is not None:
+        ready.set()
+    async with server:
+        await server.serve_forever()

@@ -74,10 +74,18 @@ class TestNpzRoundTrip:
 
 class TestArtifactStore:
     def test_memory_only_store_never_touches_disk(self):
+        """A memory-only workspace has no disk tier, so lookups must
+        not count as disk misses (regression: every lookup used to
+        inflate ``misses`` and skew warm-hit-rate metrics)."""
         store = ArtifactStore(None)
         assert store.load_arrays("labels", "abc") is None
         store.save_arrays("labels", "abc", {"x": np.zeros(2)}, {})
         assert store.entries() == []
+        assert store.stats.misses == 0
+
+    def test_disk_miss_still_counted(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        assert store.load_arrays("labels", "absent") is None
         assert store.stats.misses == 1
 
     def test_disk_round_trip_and_entries(self, tmp_path):
@@ -107,3 +115,148 @@ class TestArtifactStore:
         assert store.stats.memory_hits == 1
         store.drop_objects("graph")
         assert store.get_object("graph", "k") is None
+
+
+class TestObjectTierLRU:
+    def test_cap_honored_after_insert(self):
+        store = ArtifactStore(None)
+        for i in range(store.MAX_OBJECTS_PER_KIND + 4):
+            store.put_object("labels", f"k{i}", i)
+        held = [k for k in store._memory if k[0] == "labels"]
+        assert len(held) == store.MAX_OBJECTS_PER_KIND
+
+    def test_get_refreshes_recency(self):
+        """Regression: eviction used to be FIFO (``get_object`` never
+        refreshed recency), so the hottest entry could be the first
+        victim.  A read must move the entry to the warm end."""
+        store = ArtifactStore(None)
+        cap = store.MAX_OBJECTS_PER_KIND
+        for i in range(cap):
+            store.put_object("labels", f"k{i}", i)
+        assert store.get_object("labels", "k0") == 0  # refresh oldest
+        store.put_object("labels", "new", "x")  # forces one eviction
+        assert store.get_object("labels", "k0") == 0  # survived (LRU)
+        assert store.get_object("labels", "k1") is None  # the victim
+
+    def test_reput_refreshes_recency(self):
+        store = ArtifactStore(None)
+        cap = store.MAX_OBJECTS_PER_KIND
+        for i in range(cap):
+            store.put_object("labels", f"k{i}", i)
+        store.put_object("labels", "k0", -1)  # replace == touch
+        store.put_object("labels", "new", "x")
+        assert store.get_object("labels", "k0") == -1
+        assert store.get_object("labels", "k1") is None
+
+    def test_kinds_do_not_share_the_cap(self):
+        store = ArtifactStore(None)
+        for i in range(store.MAX_OBJECTS_PER_KIND):
+            store.put_object("labels", f"k{i}", i)
+            store.put_object("counts", f"k{i}", i)
+        assert len(store._memory) == 2 * store.MAX_OBJECTS_PER_KIND
+
+
+class TestDiskBudget:
+    def _fill(self, store, n, size=2048):
+        for i in range(n):
+            store.save_arrays(
+                "labels", f"k{i}",
+                {"labels": np.arange(size, dtype=np.int64)},
+                {"kind": "labels"},
+            )
+
+    def test_unbudgeted_store_grows(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        self._fill(store, 6)
+        assert len(store.entries()) == 6
+        assert store.stats.disk_evictions == 0
+
+    def test_budget_evicts_coldest(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        self._fill(store, 1)
+        one_file = store.disk_bytes()
+        store = ArtifactStore(
+            str(tmp_path), max_disk_bytes=3 * one_file + one_file // 2
+        )
+        self._fill(store, 6)
+        assert store.disk_bytes() <= store.max_disk_bytes
+        assert store.stats.disk_evictions >= 2
+        # Warmest (latest-written) artifacts survived.
+        surviving = {entry["key"] for entry in store.entries()}
+        assert "k5" in surviving and "k4" in surviving
+
+    def test_read_refreshes_disk_recency(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        self._fill(store, 1)
+        one_file = store.disk_bytes()
+        store = ArtifactStore(
+            str(tmp_path), max_disk_bytes=3 * one_file + one_file // 2
+        )
+        self._fill(store, 3)
+        # mtime granularity: force distinct timestamps, then read k0 to
+        # warm it before the budget forces an eviction.
+        for i in range(3):
+            past = 1_000_000_000 + i
+            os.utime(store.path("labels", f"k{i}"), (past, past))
+        assert store.load_arrays("labels", "k0") is not None
+        store.save_arrays(  # 4th artifact: over budget -> evict coldest
+            "labels", "k3", {"labels": np.arange(2048, dtype=np.int64)},
+            {"kind": "labels"},
+        )
+        surviving = {entry["key"] for entry in store.entries()}
+        assert "k0" in surviving
+        assert "k1" not in surviving
+
+    def test_pinned_file_is_never_a_victim(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        self._fill(store, 3)
+        path = store.path("labels", "k0")
+        store.max_disk_bytes = 1  # everything is now over budget
+        store._pin(path)  # a reader holds k0 open
+        try:
+            store.enforce_disk_budget()
+            assert os.path.exists(path)
+            assert not os.path.exists(store.path("labels", "k1"))
+        finally:
+            store._unpin(path)
+        store.enforce_disk_budget()
+        assert not os.path.exists(path)
+
+    def test_vanished_load_counts_as_miss(self, tmp_path, monkeypatch):
+        """A reader losing the exists-then-open race against another
+        process's eviction sees a plain miss, not a crash."""
+        store = ArtifactStore(str(tmp_path))
+        self._fill(store, 1)
+        path = store.path("labels", "k0")
+        import repro.api.cache as cache_module
+
+        real_load = cache_module.load_artifact
+
+        def racing_load(p):
+            os.unlink(path)
+            return real_load(p)
+
+        monkeypatch.setattr(cache_module, "load_artifact", racing_load)
+        assert store.load_arrays("labels", "k0") is None
+        assert store.stats.misses == 1
+
+
+class TestEntriesUnderConcurrentEviction:
+    def test_vanished_file_is_skipped(self, tmp_path, monkeypatch):
+        """Regression: ``entries()`` used to crash with
+        ``FileNotFoundError`` when a file was evicted between listdir
+        and stat — the ``repro workspace`` inspector died mid-sweep."""
+        store = ArtifactStore(str(tmp_path))
+        store.save_arrays("labels", "stays", {"x": np.zeros(2)}, {})
+        store.save_arrays("graph", "vanishes", {"x": np.zeros(2)}, {})
+        victim = store.path("graph", "vanishes")
+        real_getsize = os.path.getsize
+
+        def racing_getsize(p):
+            if p == victim and os.path.exists(victim):
+                os.unlink(victim)  # concurrent eviction wins the race
+            return real_getsize(p)
+
+        monkeypatch.setattr(os.path, "getsize", racing_getsize)
+        entries = store.entries()
+        assert [entry["key"] for entry in entries] == ["stays"]

@@ -1,0 +1,174 @@
+"""Concurrent access to one artifact cache directory.
+
+Multiple threads and processes hammer a shared ``ArtifactStore`` —
+same fingerprints (write collisions) and different fingerprints
+(independent artifacts) — asserting the serving-layer contract: no
+corrupt npz, no lost artifacts, no temp-file leftovers, and bitwise
+identical reloads.
+
+The thread test over one path is also the regression for the
+``save_artifact`` temp-file collision: the temp suffix used to be
+pid-only, so two threads of one process shared a temp path (clobbered
+bytes) and the unconditional cleanup could unlink a peer's in-flight
+temp (``FileNotFoundError`` on replace).
+"""
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.api.cache import ArtifactStore
+from repro.io.artifacts import load_artifact, save_artifact
+
+
+def _payload(seed: int):
+    rng = np.random.default_rng(seed)
+    return {
+        "labels": rng.integers(-1, 50, size=256, dtype=np.int64),
+        "data": rng.standard_normal(256),
+    }
+
+
+def _assert_no_temp_residue(directory):
+    leftovers = [n for n in os.listdir(directory) if ".tmp." in n]
+    assert leftovers == [], f"temp files leaked: {leftovers}"
+
+
+class TestThreadedWrites:
+    def test_same_artifact_many_threads(self, tmp_path):
+        """16 threads x 12 rounds racing on ONE artifact path: every
+        write must complete (unique per-call temp names), and the
+        surviving file must be one writer's intact payload."""
+        path = str(tmp_path / "labels-shared.npz")
+        payloads = {seed: _payload(seed) for seed in range(16)}
+        errors = []
+
+        def writer(seed):
+            try:
+                for _ in range(12):
+                    save_artifact(path, payloads[seed], {"seed": seed})
+            except BaseException as error:  # noqa: BLE001 - collected
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(seed,))
+            for seed in payloads
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == [], f"concurrent saves raised: {errors[:3]}"
+        _assert_no_temp_residue(tmp_path)
+        arrays, meta = load_artifact(path)  # must not be corrupt
+        winner = payloads[meta["seed"]]
+        for name in winner:
+            assert np.array_equal(arrays[name], winner[name])
+
+    def test_distinct_artifacts_many_threads(self, tmp_path):
+        """Threads writing distinct fingerprints through one store:
+        nothing lost, every reload bitwise identical."""
+        store = ArtifactStore(str(tmp_path))
+        errors = []
+
+        def worker(seed):
+            try:
+                arrays = _payload(seed)
+                store.save_arrays("labels", f"t{seed}", arrays, {"s": seed})
+                loaded = store.load_arrays("labels", f"t{seed}")
+                assert loaded is not None
+                for name in arrays:
+                    assert np.array_equal(
+                        loaded[0][name].view(np.uint8),
+                        arrays[name].view(np.uint8),
+                    )
+            except BaseException as error:  # noqa: BLE001 - collected
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(12)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        _assert_no_temp_residue(tmp_path)
+        assert len(store.entries()) == 12
+
+
+def _process_worker(args):
+    """Hammer the shared cache dir: write own artifacts, re-write the
+    contended one, and read everything back (runs in a child process)."""
+    directory, worker_id, rounds = args
+    store = ArtifactStore(directory)
+    for round_index in range(rounds):
+        seed = worker_id * 1000 + round_index
+        arrays = _payload(seed)
+        store.save_arrays(
+            "labels", f"p{worker_id}-{round_index}", arrays, {"seed": seed}
+        )
+        # Contended fingerprint: every worker keeps re-writing it.
+        store.save_arrays(
+            "graph", "contended", _payload(worker_id), {"seed": worker_id}
+        )
+        loaded = store.load_arrays("labels", f"p{worker_id}-{round_index}")
+        if loaded is None:
+            return f"worker {worker_id} lost round {round_index}"
+        for name in arrays:
+            if not np.array_equal(
+                loaded[0][name].view(np.uint8), arrays[name].view(np.uint8)
+            ):
+                return f"worker {worker_id} corrupt reload {name}"
+        contended = store.load_arrays("graph", "contended")
+        if contended is None:
+            return f"worker {worker_id} contended artifact vanished"
+        winner = contended[1]["seed"]
+        expected = _payload(winner)
+        for name in expected:
+            if not np.array_equal(contended[0][name], expected[name]):
+                return f"worker {worker_id} torn contended read"
+    return None
+
+
+class TestMultiProcessWrites:
+    def test_processes_share_one_cache_dir(self, tmp_path):
+        """4 processes x 6 rounds over one directory: atomic replace
+        means readers only ever see a complete artifact (meta and
+        arrays from the same writer), and nothing is lost or leaked."""
+        directory = str(tmp_path)
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            failures = [
+                failure
+                for failure in pool.map(
+                    _process_worker,
+                    [(directory, worker_id, 6) for worker_id in range(4)],
+                )
+                if failure is not None
+            ]
+        assert failures == []
+        _assert_no_temp_residue(tmp_path)
+        store = ArtifactStore(directory)
+        keys = {entry["key"] for entry in store.entries()}
+        expected = {
+            f"p{worker_id}-{round_index}"
+            for worker_id in range(4)
+            for round_index in range(6)
+        }
+        assert expected <= keys
+        assert "contended" in keys
+        # Final reload of every artifact is intact and bitwise equal.
+        for worker_id in range(4):
+            for round_index in range(6):
+                loaded = store.load_arrays(
+                    "labels", f"p{worker_id}-{round_index}"
+                )
+                assert loaded is not None
+                expected_arrays = _payload(worker_id * 1000 + round_index)
+                for name, array in expected_arrays.items():
+                    assert np.array_equal(
+                        loaded[0][name].view(np.uint8),
+                        array.view(np.uint8),
+                    )

@@ -1,0 +1,109 @@
+"""WorkspaceRegistry: lazy opens, LRU eviction, fingerprints."""
+
+import pytest
+
+from repro.core.config import TraclusConfig
+from repro.datasets.synthetic import generate_corridor_set
+from repro.exceptions import ServeError
+from repro.io.csvio import write_trajectories_csv
+from repro.serve.registry import CorpusSpec, WorkspaceRegistry
+
+
+def _specs(tmp_path, n=3):
+    specs = []
+    for i in range(n):
+        trajectories = generate_corridor_set(n_trajectories=4, seed=100 + i)
+        path = str(tmp_path / f"corpus{i}.csv")
+        write_trajectories_csv(trajectories, path)
+        specs.append(CorpusSpec(
+            name=f"corpus{i}", csv_path=path,
+            config=TraclusConfig(compute_representatives=False),
+        ))
+    return specs
+
+
+class TestSpecs:
+    def test_exactly_one_source(self):
+        with pytest.raises(ServeError):
+            CorpusSpec(name="empty")
+        with pytest.raises(ServeError):
+            CorpusSpec(
+                name="both", csv_path="x.csv",
+                trajectories=tuple(generate_corridor_set(
+                    n_trajectories=2, seed=1
+                )),
+            )
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        specs = _specs(tmp_path, 1) * 2
+        with pytest.raises(ServeError):
+            WorkspaceRegistry(specs)
+
+
+class TestRegistry:
+    def test_lazy_open_and_hit(self, tmp_path):
+        registry = WorkspaceRegistry(_specs(tmp_path))
+        assert registry.open_names() == []
+        workspace = registry.get("corpus0")
+        assert registry.stats.opens == 1
+        assert registry.get("corpus0") is workspace
+        assert registry.stats.hits == 1
+
+    def test_unknown_corpus(self, tmp_path):
+        registry = WorkspaceRegistry(_specs(tmp_path))
+        with pytest.raises(ServeError, match="unknown corpus"):
+            registry.get("absent")
+
+    def test_lru_eviction_and_reopen(self, tmp_path):
+        registry = WorkspaceRegistry(_specs(tmp_path), max_workspaces=2)
+        first = registry.get("corpus0")
+        registry.get("corpus1")
+        registry.get("corpus0")  # refresh: corpus1 is now coldest
+        registry.get("corpus2")  # evicts corpus1
+        assert registry.stats.evictions == 1
+        assert registry.open_names() == ["corpus0", "corpus2"]
+        # Reopening an evicted corpus builds a fresh workspace.
+        reopened = registry.get("corpus1")
+        assert registry.stats.opens == 4
+        assert reopened is not first
+
+    def test_evicted_corpus_reopens_warm_from_disk(self, tmp_path):
+        """Eviction drops the object tier only: a re-opened corpus
+        reads its artifacts back from the shared npz directory instead
+        of rebuilding (the read-through warm path)."""
+        cache_dir = str(tmp_path / "ws")
+        registry = WorkspaceRegistry(
+            _specs(tmp_path), cache_dir=cache_dir, max_workspaces=1
+        )
+        labels = registry.get("corpus0").labels(2.0, 3.0)
+        registry.get("corpus1")  # evicts corpus0's workspace
+        reopened = registry.get("corpus0")
+        warm = reopened.labels(2.0, 3.0)
+        assert reopened.stats.build_count("graph") == 0
+        assert reopened.stats.build_count("labels") == 0
+        assert (warm == labels).all()
+
+    def test_fingerprint_is_content_keyed(self, tmp_path):
+        registry = WorkspaceRegistry(_specs(tmp_path))
+        fingerprints = {
+            name: registry.fingerprint(name) for name in registry.names()
+        }
+        assert len(set(fingerprints.values())) == 3
+        # Stable across a fresh registry over the same files.
+        again = WorkspaceRegistry(_specs(tmp_path))
+        assert {
+            name: again.fingerprint(name) for name in again.names()
+        } == fingerprints
+
+    def test_disk_budget_reaches_workspaces(self, tmp_path):
+        cache_dir = str(tmp_path / "ws")
+        registry = WorkspaceRegistry(
+            _specs(tmp_path), cache_dir=cache_dir, max_disk_bytes=1
+        )
+        workspace = registry.get("corpus0")
+        assert workspace.store.max_disk_bytes == 1
+        workspace.labels(2.0, 3.0)
+        # Every artifact blows the (absurd) 1-byte budget, so the
+        # post-save sweep evicts it again: the directory stays empty.
+        assert workspace.store.stats.disk_evictions >= 1
+        assert workspace.store.disk_bytes() == 0

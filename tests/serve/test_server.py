@@ -1,0 +1,212 @@
+"""ServeApp + HTTP adapter: routing, coalescing, warm-path stats."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.config import TraclusConfig
+from repro.datasets.synthetic import generate_corridor_set
+from repro.exceptions import ServeError
+from repro.io.csvio import write_trajectories_csv
+from repro.serve.registry import CorpusSpec
+from repro.serve.server import ServeApp, route_request, start_http_server
+
+
+@pytest.fixture
+def specs(tmp_path):
+    specs = []
+    for i in range(3):
+        trajectories = generate_corridor_set(n_trajectories=6, seed=40 + i)
+        path = str(tmp_path / f"corpus{i}.csv")
+        write_trajectories_csv(trajectories, path)
+        specs.append(CorpusSpec(
+            name=f"corpus{i}", csv_path=path,
+            config=TraclusConfig(compute_representatives=False),
+        ))
+    return specs
+
+
+@pytest.fixture
+def app(specs, tmp_path):
+    app = ServeApp(specs, cache_dir=str(tmp_path / "ws"), workers=0)
+    yield app
+    app.close()
+
+
+class TestRequests:
+    def test_labels_and_warm_repeat(self, app):
+        async def scenario():
+            params = {"eps": 2.0, "min_lns": 3.0}
+            cold = await app.request("corpus0", "labels", params)
+            assert app.stats.build_total() > 0
+            builds_after_cold = app.stats.build_total()
+            warm = await app.request("corpus0", "labels", params)
+            assert warm["checksum"] == cold["checksum"]
+            assert app.stats.build_total() == builds_after_cold
+            assert app.stats.artifact_hits == 1
+            assert app.stats.requests == 2
+        asyncio.run(scenario())
+
+    def test_all_operations(self, app):
+        async def scenario():
+            point = {"eps": 2.0, "min_lns": 3.0}
+            labels = await app.request("corpus1", "labels", point)
+            assert {"n_segments", "n_clusters", "n_noise",
+                    "checksum"} <= labels.keys()
+            fit = await app.request("corpus1", "fit", point)
+            assert fit["checksum"] == labels["checksum"]
+            assert len(fit["cluster_sizes"]) == fit["n_clusters"]
+            estimate = await app.request("corpus1", "params", {})
+            assert estimate["min_lns_low"] < estimate["min_lns_high"]
+            sweep = await app.request("corpus1", "sweep", {
+                "eps_values": [1.5, 2.0], "min_lns_values": [3.0, 4.0],
+            })
+            assert sweep["grid"] == [2, 2]
+            assert len(sweep["cells"]) == 4
+            quality = await app.request("corpus1", "quality", point)
+            assert quality["qmeasure"] == pytest.approx(
+                quality["total_sse"] + quality["noise_penalty"]
+            )
+        asyncio.run(scenario())
+
+    def test_unknown_corpus_and_op(self, app):
+        async def scenario():
+            with pytest.raises(ServeError, match="unknown corpus"):
+                await app.request("absent", "labels", {})
+            with pytest.raises(ServeError, match="unknown operation"):
+                await app.request("corpus0", "explode", {})
+        asyncio.run(scenario())
+
+    def test_missing_parameter(self, app):
+        async def scenario():
+            with pytest.raises(ServeError, match="min_lns"):
+                await app.request("corpus0", "labels", {"eps": 2.0})
+        asyncio.run(scenario())
+
+    def test_concurrent_identical_requests_coalesce(self, app):
+        """A cold stampede on one artifact performs ONE build; every
+        waiter shares it (single-writer per fingerprint)."""
+        async def scenario():
+            params = {"eps": 2.0, "min_lns": 3.0}
+            results = await asyncio.gather(*[
+                app.request("corpus2", "labels", params) for _ in range(8)
+            ])
+            assert len({result["checksum"] for result in results}) == 1
+            assert app.stats.coalesced == 7
+            assert app.stats.builds.get("graph", 0) == 1
+            assert app.stats.builds.get("labels", 0) == 1
+        asyncio.run(scenario())
+
+    def test_distinct_requests_do_not_coalesce(self, app):
+        async def scenario():
+            await app.request(
+                "corpus0", "labels", {"eps": 2.0, "min_lns": 3.0}
+            )
+            await app.request(
+                "corpus0", "labels", {"eps": 2.5, "min_lns": 3.0}
+            )
+            # Different params -> different request keys: both executed
+            # (each walked its own label column off the shared graph).
+            assert app.stats.coalesced == 0
+            assert app.stats.builds.get("labels", 0) == 2
+        asyncio.run(scenario())
+
+
+async def _http(host, port, method, path, body=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    request = (
+        f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+        f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+    ).encode() + payload
+    writer.write(request)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, body_bytes = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), json.loads(body_bytes)
+
+
+class TestHttp:
+    def test_end_to_end(self, app):
+        async def scenario():
+            server = await start_http_server(app)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                status, health = await _http(host, port, "GET", "/healthz")
+                assert status == 200 and health["ok"]
+                status, listing = await _http(host, port, "GET", "/corpora")
+                assert {c["name"] for c in listing["corpora"]} == {
+                    "corpus0", "corpus1", "corpus2",
+                }
+                status, cold = await _http(
+                    host, port, "POST", "/corpora/corpus0/labels",
+                    {"eps": 2.0, "min_lns": 3.0},
+                )
+                assert status == 200
+                # Query-string flavor hits the same artifact.
+                status, warm = await _http(
+                    host, port, "GET",
+                    "/corpora/corpus0/labels?eps=2.0&min_lns=3.0",
+                )
+                assert status == 200
+                assert warm["result"]["checksum"] == (
+                    cold["result"]["checksum"]
+                )
+                status, stats = await _http(host, port, "GET", "/stats")
+                assert stats["requests"] == 2
+                assert stats["artifact_hits"] == 1
+                status, _ = await _http(
+                    host, port, "POST", "/corpora/absent/labels",
+                    {"eps": 1.0, "min_lns": 2.0},
+                )
+                assert status == 404
+                status, error = await _http(
+                    host, port, "POST", "/corpora/corpus0/labels",
+                    {"eps": 2.0},
+                )
+                assert status == 400 and "min_lns" in error["error"]
+                status, _ = await _http(host, port, "GET", "/nope")
+                assert status == 404
+            finally:
+                server.close()
+                await server.wait_closed()
+        asyncio.run(scenario())
+
+    def test_keep_alive_connection_reuse(self, app):
+        async def scenario():
+            server = await start_http_server(app)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                for _ in range(3):
+                    writer.write(
+                        b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+                    )
+                    await writer.drain()
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    length = int(
+                        [line.split(b":")[1] for line in head.split(b"\r\n")
+                         if line.lower().startswith(b"content-length")][0]
+                    )
+                    body = await reader.readexactly(length)
+                    assert json.loads(body)["ok"]
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+        asyncio.run(scenario())
+
+
+class TestRouting:
+    def test_route_table(self, app):
+        async def scenario():
+            status, _ = await route_request(app, "GET", "/healthz", {})
+            assert status == 200
+            status, _ = await route_request(app, "PUT", "/corpora/x/labels", {})
+            assert status == 405
+            status, _ = await route_request(app, "GET", "/corpora/x/y/z", {})
+            assert status == 404
+        asyncio.run(scenario())
