@@ -46,6 +46,10 @@ from repro.serve.server import ServeApp, start_http_server
 #: and cross-checked against check_speedup_bars.py's REGISTERED_FLOORS.
 WARM_HIT_RATE_FLOOR = 0.9
 WARM_SPEEDUP_FLOOR = 2.0
+#: Telemetry must be near-free on the warm path: warm p50 with
+#: telemetry OFF divided by warm p50 with telemetry ON (the default)
+#: must stay above this — i.e. instrumentation may cost at most ~5%.
+TELEMETRY_OVERHEAD_FLOOR = 0.95
 #: Latency ceilings (seconds) for the warm phase — generous for loaded
 #: CI runners; a local run measures far below.
 WARM_P50_CEILING = 0.25
@@ -113,6 +117,42 @@ async def http_request(host, port, name, op, params):
     return time.perf_counter() - start, response["result"]
 
 
+async def http_get_text(host, port, path):
+    """One GET over a fresh connection; returns ``(status, body_text)``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write((
+        f"GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+    ).encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), payload.decode("utf-8")
+
+
+def check_scrape(text):
+    """The /metrics contract the README documents: valid exposition
+    lines covering the request, build, and cache families.  Returns
+    the number of sample (non-comment) lines."""
+    required = (
+        "# TYPE repro_requests_total counter",
+        "# TYPE repro_request_seconds histogram",
+        "# TYPE repro_builds_total counter",
+        'repro_builds_total{stage="graph"}',
+        "repro_cache_lookups_total",
+        'repro_request_seconds_bucket{op="labels",le="+Inf"}',
+    )
+    for needle in required:
+        assert needle in text, f"/metrics scrape is missing {needle!r}"
+    samples = 0
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        float(line.rpartition(" ")[2])  # every sample line must parse
+        samples += 1
+    return samples
+
+
 async def replay(host, port, trace, n_clients):
     """Replay the trace from ``n_clients`` concurrent clients; returns
     ``(latencies, checksums)`` with checksums keyed by request."""
@@ -143,12 +183,15 @@ def percentile(values, fraction):
     return ordered[index]
 
 
-async def run_load_test(specs, cache_dir, workers, n_clients, warm_rounds):
+async def run_load_test(specs, cache_dir, workers, n_clients, warm_rounds,
+                        telemetry=True, access_log=None):
     app = ServeApp(
         specs,
         cache_dir=cache_dir,
         workers=workers,
         max_disk_bytes=MAX_DISK_BYTES,
+        telemetry=telemetry,
+        access_log=access_log,
     )
     server = await start_http_server(app)
     host, port = server.sockets[0].getsockname()[:2]
@@ -190,12 +233,22 @@ async def run_load_test(specs, cache_dir, workers, n_clients, warm_rounds):
             values = values | cold_checksums.get(key, set())
             assert len(values) == 1, f"nondeterministic serving for {key}"
 
+        metrics_samples = None
+        if telemetry:
+            # The scrape surface must hold up under load: one valid
+            # Prometheus exposition covering every instrumented layer.
+            status, text = await http_get_text(host, port, "/metrics")
+            assert status == 200, f"/metrics returned {status}"
+            metrics_samples = check_scrape(text)
+
         disk_bytes = sum(
             os.path.getsize(os.path.join(cache_dir, name))
             for name in os.listdir(cache_dir)
             if name.endswith(".npz")
         )
         return {
+            "telemetry": telemetry,
+            "metrics_samples": metrics_samples,
             "n_corpora": len(specs),
             "n_requests_cold": cold_stats["requests"],
             "n_requests_warm": warm_requests,
@@ -215,16 +268,115 @@ async def run_load_test(specs, cache_dir, workers, n_clients, warm_rounds):
         app.close()
 
 
-def run(workers, n_corpora, n_trajectories, n_clients, warm_rounds):
+def run(workers, n_corpora, n_trajectories, n_clients, warm_rounds,
+        telemetry=True, access_log=None):
     work_dir = tempfile.mkdtemp(prefix="repro-bench-serve-")
     try:
         specs = build_corpora(work_dir, n_corpora, n_trajectories)
         cache_dir = os.path.join(work_dir, "ws")
         return asyncio.run(run_load_test(
-            specs, cache_dir, workers, n_clients, warm_rounds
+            specs, cache_dir, workers, n_clients, warm_rounds,
+            telemetry=telemetry, access_log=access_log,
         ))
     finally:
         shutil.rmtree(work_dir, ignore_errors=True)
+
+
+async def _overhead_load_test(specs, work_dir, workers, rounds):
+    """Two servers side by side — telemetry ON (the serving default)
+    vs OFF — replaying the same warm trace in strictly alternating
+    rounds, so load spikes hit both modes equally and the p50 ratio
+    isolates the instrumentation cost.  Neither mode writes an access
+    log (an opt-in extra, not the default-on cost this gate bounds)."""
+    apps = {}
+    servers = {}
+    addresses = {}
+    trace = build_trace(specs)
+    round_p50s = {True: [], False: []}
+    try:
+        for telemetry in (True, False):
+            app = ServeApp(
+                specs,
+                cache_dir=os.path.join(
+                    work_dir, "ws-on" if telemetry else "ws-off"
+                ),
+                workers=workers,
+                max_disk_bytes=MAX_DISK_BYTES,
+                telemetry=telemetry,
+            )
+            apps[telemetry] = app
+            servers[telemetry] = await start_http_server(app)
+            addresses[telemetry] = (
+                servers[telemetry].sockets[0].getsockname()[:2]
+            )
+            # Cold pass: build both caches before any timing.
+            await replay(*addresses[telemetry], trace, n_clients=1)
+        # Untimed warmup rounds: allocator and branch caches settle.
+        for _ in range(2):
+            for telemetry in (True, False):
+                await replay(*addresses[telemetry], trace, n_clients=1)
+        for _ in range(rounds):
+            for telemetry in (True, False):
+                # One sequential client: with concurrent clients the
+                # p50 measures event-loop scheduling jitter, which
+                # swamps the microsecond-scale cost this gate bounds.
+                round_latencies, _ = await replay(
+                    *addresses[telemetry], trace, n_clients=1
+                )
+                round_p50s[telemetry].append(
+                    percentile(round_latencies, 0.50)
+                )
+        # The scrape surface must hold up under load.
+        status, text = await http_get_text(*addresses[True], "/metrics")
+        assert status == 200, f"/metrics returned {status}"
+        metrics_samples = check_scrape(text)
+    finally:
+        for server in servers.values():
+            server.close()
+            await server.wait_closed()
+        for app in apps.values():
+            app.close()
+    # Each round pair ran back to back, so its off/on ratio sees the
+    # same machine conditions; the median pair discards the rounds a
+    # load spike happened to hit.
+    ratios = sorted(
+        off / on
+        for on, off in zip(round_p50s[True], round_p50s[False])
+    )
+    return {
+        "warm_p50_on": percentile(round_p50s[True], 0.50),
+        "warm_p50_off": percentile(round_p50s[False], 0.50),
+        "ratio": percentile(ratios, 0.50),
+        "n_rounds": rounds,
+        "n_requests_per_round": len(trace),
+        "metrics_samples": metrics_samples,
+    }
+
+
+def run_overhead(workers, n_corpora, n_trajectories, n_clients,
+                 warm_rounds, rounds=16):
+    """The instrumentation-overhead comparison (see
+    :func:`_overhead_load_test`); asserts the median paired off/on
+    warm-p50 ratio stays above :data:`TELEMETRY_OVERHEAD_FLOOR` and
+    returns the report."""
+    # The alternating sequential rounds replace the warm passes and
+    # the concurrent clients (see _overhead_load_test).
+    del warm_rounds, n_clients
+    work_dir = tempfile.mkdtemp(prefix="repro-bench-serve-obs-")
+    try:
+        specs = build_corpora(work_dir, n_corpora, n_trajectories)
+        report = asyncio.run(_overhead_load_test(
+            specs, work_dir, workers, rounds
+        ))
+    finally:
+        shutil.rmtree(work_dir, ignore_errors=True)
+    assert report["ratio"] >= TELEMETRY_OVERHEAD_FLOOR, (
+        f"telemetry overhead: warm p50 "
+        f"{report['warm_p50_on'] * 1000:.2f} ms (on) vs "
+        f"{report['warm_p50_off'] * 1000:.2f} ms (off) — ratio "
+        f"{report['ratio']:.3f} below the {TELEMETRY_OVERHEAD_FLOOR} floor"
+    )
+    return report
 
 
 def check(report):
@@ -266,6 +418,9 @@ def test_serve_load_smoke():
     )
     check(report)
     assert report["n_corpora"] >= 3
+    # Telemetry is on by default: the pass above already validated the
+    # /metrics scrape and counted its sample lines.
+    assert report["metrics_samples"] > 0
 
 
 def main(argv=None):
@@ -283,6 +438,17 @@ def main(argv=None):
         help="write the measured bars as JSON (consumed by "
              "benchmarks/check_speedup_bars.py in CI)",
     )
+    parser.add_argument(
+        "--telemetry-json", dest="telemetry_json", default=None,
+        metavar="PATH",
+        help="also run the telemetry-overhead comparison (on vs off) "
+             "and write its bar as JSON for the CI gate",
+    )
+    parser.add_argument(
+        "--access-log", dest="access_log", default=None, metavar="PATH",
+        help="write the telemetry-on pass's access log (JSONL) here — "
+             "CI uploads it as a sample artifact",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         scale = dict(n_corpora=3, n_trajectories=8, n_clients=4,
@@ -295,8 +461,10 @@ def main(argv=None):
         # phase (p99 measures the queue, not the read path); 4 workers
         # keeps the warm tail artifact-bound.
         workers = 4 if args.workers is None else args.workers
-    report = run(workers=workers, **scale)
+    report = run(workers=workers, access_log=args.access_log, **scale)
     speedup = check(report)
+    if args.access_log:
+        print(f"wrote {args.access_log}")
     print_table(
         f"Serving-layer load test ({'smoke' if args.smoke else 'full'}: "
         f"{report['n_corpora']} corpora, workers={workers or 'inline'}, "
@@ -338,6 +506,41 @@ def main(argv=None):
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json_out}")
+    if args.telemetry_json:
+        overhead = run_overhead(workers=workers, **scale)
+        print_table(
+            "Telemetry overhead (alternating rounds, side-by-side "
+            "servers)",
+            [
+                ("warm p50 telemetry on",
+                 f"{overhead['warm_p50_on'] * 1000:.2f} ms"),
+                ("warm p50 telemetry off",
+                 f"{overhead['warm_p50_off'] * 1000:.2f} ms"),
+                ("off/on ratio (median of paired rounds)",
+                 f"{overhead['ratio']:.3f} "
+                 f"(floor {TELEMETRY_OVERHEAD_FLOOR})"),
+                ("rounds x requests",
+                 f"{overhead['n_rounds']} x "
+                 f"{overhead['n_requests_per_round']} per mode"),
+                ("/metrics sample lines",
+                 f"{overhead['metrics_samples']}"),
+            ],
+            ("metric", "measured"),
+        )
+        payload = {
+            "benchmark": "serve_telemetry",
+            "mode": "smoke" if args.smoke else "full",
+            "bars": [
+                {
+                    "name": "warm_p50_telemetry_off_vs_on",
+                    "speedup": overhead["ratio"],
+                    "floor": TELEMETRY_OVERHEAD_FLOOR,
+                },
+            ],
+        }
+        with open(args.telemetry_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.telemetry_json}")
     return 0
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -36,6 +37,7 @@ from repro.io.artifacts import (
     load_artifact_meta,
     save_artifact,
 )
+from repro.obs import NULL_REGISTRY, SIZE_BUCKETS_BYTES, span
 
 #: Artifact kinds in the order the ``repro workspace`` inspector lists
 #: them (upstream stages first).
@@ -51,7 +53,16 @@ ARTIFACT_KINDS = (
 
 @dataclass
 class CacheStats:
-    """Traffic counters of one workspace session (not persisted)."""
+    """Traffic counters of one workspace session (not persisted).
+
+    All mutation goes through the ``count_*`` methods, which hold an
+    internal lock: workspaces are shared across serving threads, and
+    unlocked ``dict`` read-modify-write on :attr:`builds` lost updates
+    under contention (two threads both reading ``n`` then writing
+    ``n + 1``).  The plain integer fields stay public for reads —
+    torn reads are impossible for ints under the GIL, and every test
+    asserting exact totals runs after the writers have joined.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
@@ -64,12 +75,52 @@ class CacheStats:
     #: Expensive engine invocations, by stage — the cold/warm benchmark
     #: asserts ``graph_builds == 0`` on a warm grid re-run.
     builds: Dict[str, int] = field(default_factory=dict)
+    #: Wall seconds spent inside engine builds, by stage (rides the
+    #: same lock as :attr:`builds`; the ``repro workspace stats``
+    #: inspector and ``/stats`` surface these).
+    build_seconds: Dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
-    def count_build(self, stage: str) -> None:
-        self.builds[stage] = self.builds.get(stage, 0) + 1
+    def count_build(self, stage: str, seconds: Optional[float] = None) -> None:
+        with self._lock:
+            self.builds[stage] = self.builds.get(stage, 0) + 1
+            if seconds is not None:
+                self.build_seconds[stage] = (
+                    self.build_seconds.get(stage, 0.0) + seconds
+                )
+
+    def add_build_time(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            self.build_seconds[stage] = (
+                self.build_seconds.get(stage, 0.0) + seconds
+            )
 
     def build_count(self, stage: str) -> int:
-        return self.builds.get(stage, 0)
+        with self._lock:
+            return self.builds.get(stage, 0)
+
+    def builds_snapshot(self) -> Dict[str, int]:
+        """A point-in-time copy safe to diff against a later one."""
+        with self._lock:
+            return dict(self.builds)
+
+    def count_memory_hit(self) -> None:
+        with self._lock:
+            self.memory_hits += 1
+
+    def count_disk_hit(self) -> None:
+        with self._lock:
+            self.disk_hits += 1
+
+    def count_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
+    def count_disk_eviction(self) -> None:
+        with self._lock:
+            self.disk_evictions += 1
 
 
 class ArtifactStore:
@@ -86,6 +137,7 @@ class ArtifactStore:
         self,
         cache_dir: Optional[str] = None,
         max_disk_bytes: Optional[int] = None,
+        metrics=None,
     ):
         self.cache_dir = cache_dir
         #: Total-size budget for the npz tier; ``None`` means grow-only
@@ -99,14 +151,52 @@ class ArtifactStore:
         self._lock = threading.RLock()
         self._pins: Dict[str, int] = {}
         self.stats = CacheStats()
+        # Instruments are resolved once here; with the default disabled
+        # registry every one is the shared no-op, so the hot path pays
+        # a method call and nothing else.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        lookups = "repro_cache_lookups_total"
+        lookups_help = "Artifact cache lookups by tier and outcome."
+        self._m_memory_hits = self.metrics.counter(
+            lookups, help=lookups_help, tier="memory", outcome="hit"
+        )
+        self._m_disk_hits = self.metrics.counter(
+            lookups, help=lookups_help, tier="disk", outcome="hit"
+        )
+        self._m_misses = self.metrics.counter(
+            lookups, help=lookups_help, tier="disk", outcome="miss"
+        )
+        self._m_evictions = self.metrics.counter(
+            "repro_cache_evictions_total",
+            help="Artifacts evicted by the disk byte-budget sweep.",
+            tier="disk",
+        )
+        io_name = "repro_cache_io_seconds"
+        io_help = "Wall seconds spent loading/saving npz artifacts."
+        self._m_load_seconds = self.metrics.histogram(
+            io_name, help=io_help, op="load"
+        )
+        self._m_save_seconds = self.metrics.histogram(
+            io_name, help=io_help, op="save"
+        )
+        bytes_name = "repro_cache_artifact_bytes"
+        bytes_help = "npz artifact sizes crossing the disk tier."
+        self._m_load_bytes = self.metrics.histogram(
+            bytes_name, help=bytes_help, buckets=SIZE_BUCKETS_BYTES, op="load"
+        )
+        self._m_save_bytes = self.metrics.histogram(
+            bytes_name, help=bytes_help, buckets=SIZE_BUCKETS_BYTES, op="save"
+        )
 
     # -- level 1: rich in-process objects ---------------------------------
     def get_object(self, kind: str, key: str):
         with self._lock:
             entry = self._memory.pop((kind, key), None)
             if entry is not None:
-                self.stats.memory_hits += 1
                 self._memory[(kind, key)] = entry  # refresh recency
+        if entry is not None:
+            self.stats.count_memory_hit()
+            self._m_memory_hits.inc()
         return entry
 
     def put_object(self, kind: str, key: str, value) -> None:
@@ -150,25 +240,36 @@ class ArtifactStore:
             # Memory-only store: there is no disk tier to miss.
             return None
         if not os.path.exists(path):
-            self.stats.misses += 1
+            self.stats.count_miss()
+            self._m_misses.inc()
             return None
         self._pin(path)
+        started = time.perf_counter()
         try:
-            arrays, meta = load_artifact(path)
+            with span("artifact_load", kind=kind):
+                arrays, meta = load_artifact(path)
         except FileNotFoundError:
             # Lost the exists-then-open race against a concurrent
             # eviction (another process's budget sweep) — a plain miss.
-            self.stats.misses += 1
+            self.stats.count_miss()
+            self._m_misses.inc()
             return None
         finally:
             self._unpin(path)
+        self._m_load_seconds.observe(time.perf_counter() - started)
         if self.max_disk_bytes is not None:
             # Budgeted stores refresh mtime on read — the recency
             # signal eviction sorts on, visible to every process
             # sharing the directory.  Grow-only stores leave mtimes
             # alone (warm re-runs are pure reads; tests pin that).
             self._touch(path)
-        self.stats.disk_hits += 1
+        self.stats.count_disk_hit()
+        self._m_disk_hits.inc()
+        if self.metrics.enabled:
+            try:
+                self._m_load_bytes.observe(os.path.getsize(path))
+            except OSError:  # pragma: no cover - concurrently evicted
+                pass
         return arrays, meta
 
     def save_arrays(
@@ -177,7 +278,15 @@ class ArtifactStore:
         path = self.path(kind, key)
         if path is None:
             return
-        save_artifact(path, arrays, meta)
+        started = time.perf_counter()
+        with span("artifact_save", kind=kind):
+            save_artifact(path, arrays, meta)
+        self._m_save_seconds.observe(time.perf_counter() - started)
+        if self.metrics.enabled:
+            try:
+                self._m_save_bytes.observe(os.path.getsize(path))
+            except OSError:  # pragma: no cover - concurrently evicted
+                pass
         self.enforce_disk_budget()
 
     @staticmethod
@@ -236,7 +345,8 @@ class ArtifactStore:
                 continue
             total -= size
             evicted += 1
-            self.stats.disk_evictions += 1
+            self.stats.count_disk_eviction()
+            self._m_evictions.inc()
         return evicted
 
     # -- inspection --------------------------------------------------------

@@ -53,6 +53,8 @@ When to bypass to the raw engines (see also the README API guide):
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -71,6 +73,7 @@ from repro.model.cluster import Cluster, clusters_from_labels
 from repro.model.result import ClusteringResult
 from repro.model.segmentset import SegmentSet
 from repro.model.trajectory import Trajectory
+from repro.obs import NULL_REGISTRY, span
 from repro.params.entropy import entropy_from_counts
 from repro.params.heuristic import (
     ParameterEstimate,
@@ -184,6 +187,7 @@ class Workspace:
         config: Optional[TraclusConfig] = None,
         cache_dir: Optional[str] = None,
         max_disk_bytes: Optional[int] = None,
+        metrics=None,
         _segments: Optional[SegmentSet] = None,
     ):
         if (trajectories is None) == (_segments is None):
@@ -192,7 +196,10 @@ class Workspace:
                 "Workspace.from_segments) a segment set"
             )
         self.config = config if config is not None else TraclusConfig()
-        self.store = ArtifactStore(cache_dir, max_disk_bytes=max_disk_bytes)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.store = ArtifactStore(
+            cache_dir, max_disk_bytes=max_disk_bytes, metrics=self.metrics
+        )
         self._distance = self.config.distance()
         self._engines: Dict[bytes, SweepEngine] = {}
         # Grids materialised this session: (eps tuple, min_lns tuple,
@@ -232,18 +239,46 @@ class Workspace:
         config: Optional[TraclusConfig] = None,
         cache_dir: Optional[str] = None,
         max_disk_bytes: Optional[int] = None,
+        metrics=None,
     ) -> "Workspace":
         """Bind to an already-partitioned segment set (phase 2+ only:
         no characteristic points, no streaming seed, no :meth:`fit`)."""
         return cls(
             config=config, cache_dir=cache_dir,
-            max_disk_bytes=max_disk_bytes, _segments=segments,
+            max_disk_bytes=max_disk_bytes, metrics=metrics,
+            _segments=segments,
         )
 
     # -- stats / inspection --------------------------------------------------
     @property
     def stats(self) -> CacheStats:
         return self.store.stats
+
+    @contextmanager
+    def _measure_build(self, stage: str):
+        """Wrap one engine build: counts it (``CacheStats.builds`` and
+        ``repro_builds_total{stage}``), records wall time
+        (``CacheStats.build_seconds`` and
+        ``repro_build_seconds{stage}``), and opens a ``build:<stage>``
+        span in any ambient request trace."""
+        self.stats.count_build(stage)
+        self.metrics.counter(
+            "repro_builds_total",
+            help="Engine builds (cache misses reaching compute) by stage.",
+            stage=stage,
+        ).inc()
+        started = time.perf_counter()
+        try:
+            with span(f"build:{stage}"):
+                yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.stats.add_build_time(stage, elapsed)
+            self.metrics.histogram(
+                "repro_build_seconds",
+                help="Wall seconds per engine build by stage.",
+                stage=stage,
+            ).observe(elapsed)
 
     def artifact_entries(self) -> List[dict]:
         """Persisted artifacts (the ``repro workspace`` inspector)."""
@@ -319,12 +354,12 @@ class Workspace:
         from repro.model.ragged import RaggedPoints
         from repro.partition.batched import lockstep_scan
 
-        self.stats.count_build("partition")
         trajectories = self.trajectories
         ragged = RaggedPoints.from_arrays([t.points for t in trajectories])
-        committed, starts, lengths = lockstep_scan(
-            ragged, self.config.suppression
-        )
+        with self._measure_build("partition"):
+            committed, starts, lengths = lockstep_scan(
+                ragged, self.config.suppression
+            )
         characteristic_points: List[List[int]] = []
         for row, trajectory in enumerate(trajectories):
             cps = list(committed[row])
@@ -415,10 +450,10 @@ class Workspace:
                 )
                 self.store.put_object("graph", key, graph)
                 return graph
-        self.stats.count_build("graph")
-        graph = NeighborGraph.build(
-            self.segments(), float(eps), self._distance
-        )
+        with self._measure_build("graph"):
+            graph = NeighborGraph.build(
+                self.segments(), float(eps), self._distance
+            )
         self.store.save_arrays(
             "graph", key,
             {"indptr": graph.indptr, "indices": graph.indices,
@@ -459,7 +494,8 @@ class Workspace:
         if engine is None:
             graph = self._ensure_graph(float(eps_array.max()))
             engine = SweepEngine(
-                self.segments(), eps_array, self._distance, graph=graph
+                self.segments(), eps_array, self._distance, graph=graph,
+                metrics=self.metrics,
             )
             while len(self._engines) >= self._MAX_ENGINES:
                 self._engines.pop(next(iter(self._engines)))
@@ -481,8 +517,9 @@ class Workspace:
         if loaded is not None:
             counts = loaded[0]["counts"]
         else:
-            self.stats.count_build("counts")
-            counts = self._engine(eps_array).neighborhood_counts()
+            engine = self._engine(eps_array)
+            with self._measure_build("counts"):
+                counts = engine.neighborhood_counts()
             counts.setflags(write=False)
             self.store.save_arrays(
                 "counts", key, {"counts": counts, "eps_values": eps_array},
@@ -552,15 +589,16 @@ class Workspace:
         if loaded is not None:
             labels = loaded[0]["labels"]
         else:
-            self.stats.count_build("labels")
             config = self.config
-            labels = self._engine(eps_array).labels_grid(
-                min_lns_array.tolist(),
-                cardinality_threshold=threshold,
-                use_weights=config.use_weights,
-                executor=executor,
-                n_workers=n_workers,
-            )
+            engine = self._engine(eps_array)
+            with self._measure_build("labels"):
+                labels = engine.labels_grid(
+                    min_lns_array.tolist(),
+                    cardinality_threshold=threshold,
+                    use_weights=config.use_weights,
+                    executor=executor,
+                    n_workers=n_workers,
+                )
             self.store.save_arrays(
                 "labels", key,
                 {"labels": labels, "eps_values": eps_array,
@@ -628,13 +666,13 @@ class Workspace:
                 noise_penalty=float(arrays["noise_penalty"]),
             )
         else:
-            self.stats.count_build("quality")
             segments = self.segments()
             labels = self.labels(eps, min_lns)
-            breakdown = quality_measure(
-                clusters_from_labels(labels, segments), segments, labels,
-                self._distance,
-            )
+            with self._measure_build("quality"):
+                breakdown = quality_measure(
+                    clusters_from_labels(labels, segments), segments, labels,
+                    self._distance,
+                )
             self.store.save_arrays(
                 "quality", key,
                 {"total_sse": np.float64(breakdown.total_sse),
@@ -669,16 +707,16 @@ class Workspace:
             if loaded is not None:
                 cached = (loaded[0]["rep_flat"], loaded[0]["rep_offsets"])
             else:
-                self.stats.count_build("representatives")
                 clusters = clusters_from_labels(
                     self.labels(eps, min_lns), self.segments()
                 )
-                reps = generate_all_representatives(
-                    clusters,
-                    RepresentativeConfig(
-                        min_lns=float(min_lns), gamma=gamma
-                    ),
-                )
+                with self._measure_build("representatives"):
+                    reps = generate_all_representatives(
+                        clusters,
+                        RepresentativeConfig(
+                            min_lns=float(min_lns), gamma=gamma
+                        ),
+                    )
                 row_counts = np.array(
                     [rep.shape[0] for rep in reps], dtype=np.int64
                 )
@@ -819,7 +857,7 @@ class Workspace:
                 f"match the workspace's {self.config.suppression}; scan "
                 f"states would be invalid"
             )
-        pipeline = StreamingTRACLUS(stream_config)
+        pipeline = StreamingTRACLUS(stream_config, metrics=self.metrics)
         pipeline.bulk_load(self.trajectories, partition=self.partition())
         return pipeline
 

@@ -181,9 +181,25 @@ def build_parser() -> argparse.ArgumentParser:
     workspace = sub.add_parser(
         "workspace",
         help="inspect a persistent artifact cache directory "
-             "(what cluster/params/sweep --workspace wrote)",
+             "(what cluster/params/sweep --workspace wrote); "
+             "'repro workspace stats DIR' aggregates per kind, "
+             "'repro workspace stats --url URL' scrapes a running "
+             "'repro serve'",
     )
-    workspace.add_argument("directory", help="the --workspace DIR to inspect")
+    workspace.add_argument(
+        "directory",
+        help="the --workspace DIR to inspect, or the literal 'stats' "
+             "for the aggregate view",
+    )
+    workspace.add_argument(
+        "extra", nargs="?", default=None, metavar="DIR",
+        help="with 'stats': the workspace DIR to aggregate",
+    )
+    workspace.add_argument(
+        "--url", default=None, metavar="URL",
+        help="with 'stats': scrape a running 'repro serve' instance "
+             "(GET /stats and /metrics) instead of reading a directory",
+    )
     workspace.add_argument("--json", dest="json_out", default=None,
                            help="write the artifact index JSON here")
 
@@ -281,6 +297,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the undirected angle distance")
     serve.add_argument("--use-weights", action="store_true",
                        help="weighted eps-neighborhood cardinality")
+    serve.add_argument("--max-pending", type=int, default=None, metavar="N",
+                       help="admission control: shed requests with 503 + "
+                            "Retry-After once N are pending (default: "
+                            "unbounded)")
+    serve.add_argument("--access-log", default=None, metavar="PATH",
+                       help="append one JSONL record per request here "
+                            "(request id, status, latency, build deltas, "
+                            "span tree)")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable metrics and tracing (/metrics returns "
+                            "404; /stats loses latency quantiles)")
 
     return parser
 
@@ -477,11 +504,106 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workspace_stats(args: argparse.Namespace) -> int:
+    """``repro workspace stats``: aggregate view of an artifact
+    directory (per-kind count/bytes/share) or — with ``--url`` — of a
+    running ``repro serve`` instance's /stats and /metrics."""
+    import os
+
+    from repro.api.cache import ARTIFACT_KINDS, ArtifactStore
+
+    if args.url is not None:
+        from urllib.request import urlopen
+
+        base = args.url.rstrip("/")
+        with urlopen(base + "/stats", timeout=10) as response:
+            stats = json.loads(response.read().decode("utf-8"))
+        print(f"{base}: {stats['requests']} requests, "
+              f"hit rate {stats['hit_rate']:.1%}, "
+              f"{stats['coalesced']} coalesced, "
+              f"{stats.get('sheds', 0)} shed, {stats['errors']} errors, "
+              f"{stats.get('pending', 0)} pending")
+        if stats.get("builds"):
+            builds = ", ".join(
+                f"{stage}={count}"
+                for stage, count in sorted(stats["builds"].items())
+            )
+            print(f"builds: {builds}")
+        for name, series in sorted(stats.get("latency", {}).items()):
+            for label, q in sorted(series.items()):
+                print(f"{name}{{{label}}}: "
+                      f"p50={q['p50'] * 1000:.2f}ms "
+                      f"p90={q['p90'] * 1000:.2f}ms "
+                      f"p99={q['p99'] * 1000:.2f}ms "
+                      f"(n={q['count']})")
+        with urlopen(base + "/metrics", timeout=10) as response:
+            text = response.read().decode("utf-8")
+        samples = [
+            line for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        print(f"/metrics: {len(samples)} samples")
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump({"stats": stats, "metrics_samples": len(samples)},
+                          handle, indent=2)
+            print(f"wrote {args.json_out}")
+        return 0
+
+    directory = args.extra
+    if directory is None:
+        raise SystemExit(
+            "repro workspace stats: pass a workspace DIR or --url"
+        )
+    if not os.path.isdir(directory):
+        raise SystemExit(f"{directory}: not a directory")
+    entries = ArtifactStore(directory).entries()
+    if not entries:
+        print(f"{directory}: no artifacts")
+        return 0
+    total = sum(entry["bytes"] for entry in entries)
+    by_kind: "dict[str, dict]" = {}
+    for entry in entries:
+        bucket = by_kind.setdefault(
+            entry["kind"], {"count": 0, "bytes": 0}
+        )
+        bucket["count"] += 1
+        bucket["bytes"] += entry["bytes"]
+    print(f"{directory}: {len(entries)} artifacts, {total / 1024:.1f} KiB")
+    header = f"{'kind':<16}{'count':>7}{'bytes':>12}{'share':>8}"
+    print(header)
+    print("-" * len(header))
+    order = {kind: rank for rank, kind in enumerate(ARTIFACT_KINDS)}
+    for kind in sorted(by_kind, key=lambda k: order.get(k, 99)):
+        bucket = by_kind[kind]
+        share = bucket["bytes"] / total if total else 0.0
+        print(f"{kind:<16}{bucket['count']:>7}{bucket['bytes']:>12}"
+              f"{share:>8.1%}")
+    if args.json_out:
+        payload = {
+            "directory": directory,
+            "total_bytes": total,
+            "n_artifacts": len(entries),
+            "by_kind": by_kind,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
 def _cmd_workspace(args: argparse.Namespace) -> int:
     import os
 
     from repro.api.cache import ArtifactStore
 
+    if args.directory == "stats":
+        return _cmd_workspace_stats(args)
+    if args.extra is not None:
+        raise SystemExit(
+            f"repro workspace: unexpected argument {args.extra!r} "
+            f"(did you mean 'repro workspace stats {args.extra}'?)"
+        )
     if not os.path.isdir(args.directory):
         raise SystemExit(f"{args.directory}: not a directory")
     entries = ArtifactStore(args.directory).entries()
@@ -700,12 +822,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.max_disk_mb is not None
         else None
     )
+    from repro.obs import configure_logging
+
+    configure_logging()
     app = ServeApp(
         specs,
         cache_dir=args.workspace,
         workers=args.workers,
         max_workspaces=args.max_workspaces,
         max_disk_bytes=max_disk_bytes,
+        telemetry=not args.no_telemetry,
+        max_pending=args.max_pending,
+        access_log=args.access_log,
     )
     try:
         asyncio.run(serve_forever(app, args.host, args.port))

@@ -51,6 +51,12 @@ class ServeError(ReproError):
     parameters."""
 
 
+class OverloadedError(ServeError):
+    """Raised when admission control sheds a request: the server's
+    pending-work queue is at ``--max-pending``.  The HTTP layer maps it
+    to ``503`` with a ``Retry-After`` hint."""
+
+
 class IndexError_(ReproError):
     """Raised by the spatial index substrate (named with a trailing
     underscore to avoid shadowing the built-in :class:`IndexError`)."""

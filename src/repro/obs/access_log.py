@@ -1,0 +1,67 @@
+"""JSONL access log for the serving layer.
+
+One line per completed HTTP request, append-only, flushed per write so
+``tail -f`` and crash forensics both work.  The schema (all fields
+always present unless noted):
+
+=================  ======================================================
+field              meaning
+=================  ======================================================
+``ts``             wall-clock epoch seconds at request start
+``request_id``     the id echoed to the client as ``X-Request-Id``
+``method``         HTTP method
+``path``           request path (no query string)
+``status``         response status code
+``duration_ms``    end-to-end wall time on the server
+``corpus``         corpus name (operation requests only)
+``op``             operation name (operation requests only)
+``coalesced``      request joined another's in-flight build
+``builds``         stage -> rebuild count this request triggered
+``queue_ms``       executor dispatch wait (telemetry on, ops only)
+``compute_ms``     worker-side compute time (telemetry on, ops only)
+``spans``          merged span tree (telemetry on, ops only)
+=================  ======================================================
+
+Writes hold a lock (the asyncio server writes from one loop, but the
+log is also safe to share with worker threads) and each record is one
+``json.dumps`` — no buffering beyond the OS.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Optional
+
+
+class AccessLog:
+    """Append-only JSONL sink; ``close()`` is idempotent."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle: Optional[object] = open(  # noqa: SIM115 - long-lived
+            path, "a", encoding="utf-8"
+        )
+        self.lines_written = 0
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.lines_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

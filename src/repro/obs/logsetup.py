@@ -1,0 +1,92 @@
+"""Structured logging on stdlib :mod:`logging` — zero dependencies.
+
+The library itself stays silent by default (no handler is installed at
+import time; the root ``repro`` logger propagates nowhere until
+:func:`configure_logging` runs).  The serving layer calls it once at
+startup, after which every record renders as one JSON object per line:
+
+    {"ts": "2026-08-07T12:00:00.123Z", "level": "info",
+     "logger": "repro.serve", "msg": "listening",
+     "host": "127.0.0.1", "port": 8765}
+
+Key-value payload fields ride the stdlib ``extra=`` mechanism —
+``log.info("shed", request_id=..., pending=...)`` via the tiny
+:class:`KVLoggerAdapter` — so downstream code never string-formats
+telemetry into messages.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional
+
+#: Attribute set of a pristine LogRecord — anything beyond these came
+#: in through ``extra=`` and belongs in the structured payload.
+_RESERVED = frozenset(
+    logging.LogRecord(
+        "x", logging.INFO, "path", 0, "msg", (), None
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record; ``extra=`` fields are merged in."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+        )
+        payload = {
+            "ts": f"{stamp}.{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for name, value in record.__dict__.items():
+            if name not in _RESERVED and not name.startswith("_"):
+                payload[name] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class KVLoggerAdapter(logging.LoggerAdapter):
+    """``log.info("msg", key=value, ...)`` — keywords become structured
+    ``extra`` fields instead of %-format arguments."""
+
+    def __init__(self, logger: logging.Logger):
+        super().__init__(logger, {})
+
+    def process(self, msg, kwargs):
+        extra = {
+            name: kwargs.pop(name)
+            for name in list(kwargs)
+            if name not in ("exc_info", "stack_info", "stacklevel")
+        }
+        kwargs["extra"] = extra
+        return msg, kwargs
+
+
+def configure_logging(
+    level: int = logging.INFO, stream: Optional[IO] = None
+) -> logging.Logger:
+    """Install the JSON-line handler on the ``repro`` root logger
+    (idempotent: reconfiguring replaces the previous handler)."""
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLineFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> KVLoggerAdapter:
+    """A structured logger under the ``repro`` hierarchy."""
+    qualified = name if name.startswith("repro") else f"repro.{name}"
+    return KVLoggerAdapter(logging.getLogger(qualified))

@@ -1,0 +1,215 @@
+"""Per-request span tracing over a context-local active trace.
+
+The tracer is deliberately ambient: instrumented layers write
+
+    with span("graph_build"):
+        ...
+
+and never thread a tracer object through their signatures.  When no
+trace is active (every library call outside the serving layer, and all
+of them when telemetry is off) the ``span`` context manager is a
+handful of attribute loads and one ``ContextVar.get`` — cheap enough
+to leave in hot paths unconditionally.
+
+A :class:`Trace` is activated for the dynamic extent of one request
+with :func:`activate_trace`; the active trace lives in a
+:class:`contextvars.ContextVar`, so concurrent asyncio requests (each
+task gets its own context) and pool-worker threads (each thread starts
+from an empty context) never see each other's spans.  Spans nest by an
+explicit stack on the trace — timings are ``time.perf_counter``
+(monotonic) offsets from the trace start, plus one wall-clock stamp on
+the trace itself for log correlation.
+
+Serving integration: the front-end activates a trace per HTTP request
+(request id echoed as ``X-Request-Id``), the pool worker activates its
+*own* trace around the compute (contexts do not cross process — or
+executor-thread — boundaries), ships ``Trace.span_dicts()`` home in
+the response payload, and the front-end grafts them under its dispatch
+span (:meth:`Trace.graft`) so ``--access-log`` records one merged tree
+per request.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+import uuid
+from contextvars import ContextVar
+from typing import Dict, List, Optional
+
+_ACTIVE_TRACE: ContextVar[Optional["Trace"]] = ContextVar(
+    "repro_active_trace", default=None
+)
+
+_REQUEST_COUNTER = itertools.count()
+_REQUEST_SALT = uuid.uuid4().hex[:8]
+
+
+def new_request_id() -> str:
+    """Process-unique request id: stable salt + pid + sequence — cheap,
+    collision-safe across the worker fleet, grep-friendly in logs."""
+    return f"{_REQUEST_SALT}-{os.getpid()}-{next(_REQUEST_COUNTER):06d}"
+
+
+class Span:
+    """One timed region.  ``offset``/``duration`` are seconds relative
+    to the owning trace's start; ``children`` preserve call order."""
+
+    __slots__ = ("name", "meta", "offset", "duration", "children")
+
+    def __init__(self, name: str, meta: Optional[Dict] = None):
+        self.name = name
+        self.meta = meta or {}
+        self.offset = 0.0
+        self.duration = 0.0
+        self.children: List[Span] = []
+
+    def to_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "offset_ms": round(self.offset * 1000.0, 3),
+            "duration_ms": round(self.duration * 1000.0, 3),
+        }
+        if self.meta:
+            record["meta"] = dict(self.meta)
+        if self.children:
+            record["children"] = [child.to_dict() for child in self.children]
+        return record
+
+
+class Trace:
+    """The span tree of one request (or one worker-side compute)."""
+
+    __slots__ = (
+        "request_id", "started_wall", "_start", "_stack", "spans", "_lock",
+    )
+
+    def __init__(self, request_id: Optional[str] = None):
+        self.request_id = request_id or new_request_id()
+        self.started_wall = time.time()
+        self._start = time.perf_counter()
+        self._stack: List[Span] = []
+        self.spans: List[Span] = []
+        # Spans open/close on the activating task's context, but a
+        # graft may arrive from the same task after worker payloads
+        # return; the lock keeps mutation safe if callers fan out.
+        self._lock = threading.Lock()
+
+    # -- recording ----------------------------------------------------------
+    def begin(self, name: str, meta: Optional[Dict] = None) -> Span:
+        span_ = Span(name, meta)
+        span_.offset = time.perf_counter() - self._start
+        with self._lock:
+            if self._stack:
+                self._stack[-1].children.append(span_)
+            else:
+                self.spans.append(span_)
+            self._stack.append(span_)
+        return span_
+
+    def end(self, span_: Span) -> None:
+        span_.duration = (time.perf_counter() - self._start) - span_.offset
+        with self._lock:
+            if self._stack and self._stack[-1] is span_:
+                self._stack.pop()
+            elif span_ in self._stack:  # tolerate mis-nested exits
+                self._stack.remove(span_)
+
+    def graft(self, span_dicts: List[dict], offset_ms: float = 0.0) -> None:
+        """Attach already-serialised spans (a worker's
+        :meth:`span_dicts`) under the innermost open span — or at the
+        top level — shifting their offsets by ``offset_ms`` so the
+        merged tree stays on this trace's clock."""
+        grafted = [_shift(dict(record), offset_ms) for record in span_dicts]
+        with self._lock:
+            target = self._stack[-1].children if self._stack else self.spans
+            target.extend(_DictSpan(record) for record in grafted)
+
+    # -- export -------------------------------------------------------------
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def span_dicts(self) -> List[dict]:
+        with self._lock:
+            return [span_.to_dict() for span_ in self.spans]
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "started": self.started_wall,
+            "spans": self.span_dicts(),
+        }
+
+
+class _DictSpan:
+    """An already-serialised span grafted from another process; quacks
+    just enough of :class:`Span` for export."""
+
+    __slots__ = ("record",)
+
+    def __init__(self, record: dict):
+        self.record = record
+
+    def to_dict(self) -> dict:
+        return self.record
+
+
+def _shift(record: dict, offset_ms: float) -> dict:
+    record["offset_ms"] = round(record.get("offset_ms", 0.0) + offset_ms, 3)
+    if "children" in record:
+        record["children"] = [
+            _shift(dict(child), offset_ms) for child in record["children"]
+        ]
+    return record
+
+
+class activate_trace:
+    """Context manager making *trace* (or a fresh one) the ambient
+    trace for the dynamic extent of the block."""
+
+    __slots__ = ("trace", "_token")
+
+    def __init__(self, trace: Optional[Trace] = None,
+                 request_id: Optional[str] = None):
+        self.trace = trace if trace is not None else Trace(request_id)
+        self._token = None
+
+    def __enter__(self) -> Trace:
+        self._token = _ACTIVE_TRACE.set(self.trace)
+        return self.trace
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _ACTIVE_TRACE.reset(self._token)
+
+
+def current_trace() -> Optional[Trace]:
+    """The ambient trace, or ``None`` outside any request."""
+    return _ACTIVE_TRACE.get()
+
+
+class span:
+    """``with span("stage"): ...`` — records into the ambient trace,
+    free no-op when none is active."""
+
+    __slots__ = ("name", "meta", "_trace", "_span")
+
+    def __init__(self, name: str, **meta):
+        self.name = name
+        self.meta = meta
+
+    def __enter__(self) -> Optional[Span]:
+        trace = _ACTIVE_TRACE.get()
+        self._trace = trace
+        if trace is None:
+            self._span = None
+            return None
+        self._span = trace.begin(self.name, self.meta or None)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._span is not None:
+            if exc_type is not None:
+                self._span.meta["error"] = exc_type.__name__
+            self._trace.end(self._span)

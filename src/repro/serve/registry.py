@@ -72,6 +72,7 @@ class WorkspaceRegistry:
         cache_dir: Optional[str] = None,
         max_workspaces: int = 8,
         max_disk_bytes: Optional[int] = None,
+        metrics=None,
     ):
         if max_workspaces < 1:
             raise ServeError("max_workspaces must be >= 1")
@@ -82,6 +83,8 @@ class WorkspaceRegistry:
         self.cache_dir = cache_dir
         self.max_workspaces = max_workspaces
         self.max_disk_bytes = max_disk_bytes
+        #: Shared by every workspace this registry opens (telemetry).
+        self.metrics = metrics
         # Insertion order == recency order (oldest first), like the
         # artifact store's object tier.
         self._open: Dict[str, Workspace] = {}
@@ -114,6 +117,7 @@ class WorkspaceRegistry:
             spec.config,
             cache_dir=self.cache_dir,
             max_disk_bytes=self.max_disk_bytes,
+            metrics=self.metrics,
         )
         with self._lock:
             raced = self._open.pop(name, None)

@@ -18,16 +18,30 @@ worker fleet.
 from __future__ import annotations
 
 import hashlib
+import os
+import time
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.api.workspace import Workspace
 from repro.exceptions import ReproError, ServeError
+from repro.obs import MetricsRegistry, activate_trace, span
 from repro.serve.registry import CorpusSpec, WorkspaceRegistry
 
 #: Process-local registry of a pool worker (set by :func:`initialize`).
 _REGISTRY: Optional[WorkspaceRegistry] = None
+
+#: Process-local metrics registry every workspace this process opens
+#: reports into.  Inline mode (``--workers 0``) initialises in the
+#: server process, so the front-end reads this registry directly; pool
+#: workers ship cumulative snapshots home with each response instead
+#: (see :func:`compute`).
+_METRICS: Optional[MetricsRegistry] = None
+
+#: Whether :func:`compute` attaches a metrics snapshot to each
+#: response (pool mode only — inline mode shares the registry object).
+_SHIP_METRICS = False
 
 
 def initialize(
@@ -35,22 +49,33 @@ def initialize(
     cache_dir: Optional[str],
     max_workspaces: int,
     max_disk_bytes: Optional[int],
+    telemetry: bool = False,
+    ship_metrics: bool = False,
 ) -> None:
     """Build this process's registry (the pool initializer; the inline
     path calls it once in the server process)."""
-    global _REGISTRY
+    global _REGISTRY, _METRICS, _SHIP_METRICS
+    _METRICS = MetricsRegistry(enabled=telemetry)
+    _SHIP_METRICS = bool(ship_metrics and telemetry)
     _REGISTRY = WorkspaceRegistry(
         specs,
         cache_dir=cache_dir,
         max_workspaces=max_workspaces,
         max_disk_bytes=max_disk_bytes,
+        metrics=_METRICS if telemetry else None,
     )
 
 
 def ping() -> bool:
     """No-op the front-end submits at startup to force the pool to
-    spawn its worker processes before any client socket exists."""
+    spawn its worker processes before any client socket exists — and
+    the liveness probe ``/healthz`` round-trips through the pool."""
     return True
+
+
+def metrics_registry() -> Optional[MetricsRegistry]:
+    """This process's registry (the inline front-end reads it)."""
+    return _METRICS
 
 
 def _labels_checksum(labels: np.ndarray) -> str:
@@ -192,12 +217,24 @@ OPERATIONS = {
 }
 
 
-def compute(name: str, op: str, params: dict) -> dict:
+def compute(
+    name: str, op: str, params: dict, request_id: Optional[str] = None,
+    want_spans: bool = False,
+) -> dict:
     """Run one operation against this process's registry.
 
     Returns ``{"result": ..., "builds": {stage: count}}`` where
     ``builds`` holds only the stages this call actually recomputed —
     empty on a fully warm (artifact-served) request.
+
+    With telemetry on the payload also carries ``telemetry``: this
+    process's pid, the compute wall time, and — pool mode — a
+    cumulative metrics snapshot the front-end merges into the
+    fleet-wide scrape.  With ``want_spans`` (the front-end sets it only
+    when an access log consumes the trees) the worker additionally runs
+    its own trace around the compute (contexts never cross the
+    process/executor-thread boundary) and ships its span tree for the
+    front-end to graft into the request's.
     """
     if _REGISTRY is None:
         raise ServeError("worker not initialised (no registry)")
@@ -207,21 +244,51 @@ def compute(name: str, op: str, params: dict) -> dict:
             f"unknown operation {op!r}; one of {sorted(OPERATIONS)}"
         )
     workspace = _REGISTRY.get(name)
-    before = dict(workspace.stats.builds)
-    result = operation(workspace, params)
+    before = workspace.stats.builds_snapshot()
+    telemetry = _METRICS is not None and _METRICS.enabled
+    if not telemetry:
+        result = operation(workspace, params)
+        trace = None
+        compute_seconds = None
+    elif want_spans:
+        started = time.perf_counter()
+        with activate_trace(request_id=request_id) as trace:
+            with span(f"op:{op}", corpus=name):
+                result = operation(workspace, params)
+        compute_seconds = time.perf_counter() - started
+    else:
+        trace = None
+        started = time.perf_counter()
+        result = operation(workspace, params)
+        compute_seconds = time.perf_counter() - started
     builds: Dict[str, int] = {}
-    for stage, count in workspace.stats.builds.items():
+    for stage, count in workspace.stats.builds_snapshot().items():
         delta = count - before.get(stage, 0)
         if delta:
             builds[stage] = delta
-    return {"result": result, "builds": builds}
+    payload = {"result": result, "builds": builds}
+    if telemetry:
+        payload["telemetry"] = {
+            "pid": os.getpid(),
+            "compute_seconds": compute_seconds,
+        }
+        if trace is not None:
+            payload["telemetry"]["spans"] = trace.span_dicts()
+        if _SHIP_METRICS:
+            payload["telemetry"]["metrics"] = _METRICS.snapshot()
+    return payload
 
 
-def compute_safe(name: str, op: str, params: dict) -> dict:
+def compute_safe(
+    name: str, op: str, params: dict, request_id: Optional[str] = None,
+    want_spans: bool = False,
+) -> dict:
     """:func:`compute`, with library errors flattened to a payload the
     parent can re-raise — a ``ReproError`` crossing the process-pool
     boundary must not kill the worker's future machinery."""
     try:
-        return compute(name, op, params)
+        return compute(
+            name, op, params, request_id=request_id, want_spans=want_spans
+        )
     except ReproError as error:
         return {"error": str(error), "error_kind": type(error).__name__}

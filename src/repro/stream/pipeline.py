@@ -24,6 +24,7 @@ the slots whose label moved.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -33,6 +34,7 @@ from repro.core.config import StreamConfig
 from repro.exceptions import ClusteringError
 from repro.model.cluster import Cluster
 from repro.model.trajectory import Trajectory
+from repro.obs import NULL_REGISTRY
 from repro.representative.sweep import RepresentativeConfig
 from repro.stream.ingest import TrajectoryStream
 from repro.stream.online_dbscan import OnlineDBSCAN
@@ -68,8 +70,13 @@ class StreamUpdate:
 class StreamingTRACLUS:
     """Online partition-and-group over append-only point streams."""
 
-    def __init__(self, config: StreamConfig):
+    def __init__(self, config: StreamConfig, metrics=None):
         self.config = config
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_append_seconds = self._metrics.histogram(
+            "repro_stream_append_seconds",
+            help="Wall seconds per streaming append (ingest + recluster).",
+        )
         self.stream = TrajectoryStream(suppression=config.suppression)
         self.clusterer = OnlineDBSCAN(
             eps=config.eps,
@@ -97,10 +104,20 @@ class StreamingTRACLUS:
 
         ``weight`` fixes the trajectory weight at its first append
         (``None`` = default 1.0, or keep the opening weight later)."""
+        if not self._metrics.enabled:
+            delta = self.stream.append(
+                traj_id, points, times=times, weight=weight
+            )
+            inserted, evicted = self._apply_delta(delta)
+            evicted.extend(self._apply_window())
+            return self._build_update(inserted, evicted)
+        started = time.perf_counter()
         delta = self.stream.append(traj_id, points, times=times, weight=weight)
         inserted, evicted = self._apply_delta(delta)
         evicted.extend(self._apply_window())
-        return self._build_update(inserted, evicted)
+        update = self._build_update(inserted, evicted)
+        self._m_append_seconds.observe(time.perf_counter() - started)
+        return update
 
     def bulk_load(self, items, partition=None) -> StreamUpdate:
         """Seed the session with many *new* trajectories at once.

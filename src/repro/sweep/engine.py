@@ -44,6 +44,7 @@ engine would not (see the ROADMAP engine-selection note).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -57,6 +58,7 @@ from repro.exceptions import ClusteringError, TrajectoryError
 from repro.model.cluster import NOISE, Cluster, clusters_from_labels
 from repro.model.segmentset import SegmentSet
 from repro.model.trajectory import Trajectory
+from repro.obs import NULL_REGISTRY, span
 from repro.params.heuristic import ParameterEstimate, recommend_parameters
 from repro.partition.approximate import partition_all
 
@@ -364,12 +366,14 @@ class SweepEngine:
         distance: Optional[SegmentDistance] = None,
         pair_block: int = DEFAULT_PAIR_BLOCK,
         graph: Optional[NeighborGraph] = None,
+        metrics=None,
     ):
         eps_array = np.asarray(list(eps_values), dtype=np.float64)
         if eps_array.ndim != 1 or eps_array.size == 0:
             raise ClusteringError("eps_values must be a non-empty sequence")
         if not np.all(eps_array >= 0):
             raise ClusteringError("eps values must be non-negative")
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.segments = segments
         self.distance = distance if distance is not None else SegmentDistance()
         self.eps_values = eps_array
@@ -507,10 +511,16 @@ class SweepEngine:
         payload = self._payload(cardinality_threshold, use_weights)
         payload["min_lns_values"] = min_lns_list
         columns: Dict[int, np.ndarray] = {}
+        grid_started = time.perf_counter()
+        column_seconds = self.metrics.histogram(
+            "repro_sweep_column_seconds",
+            help="Wall seconds per serial MinLns column walk.",
+        )
         if executor == "process" and len(min_lns_list) > 1:
             from concurrent.futures import ProcessPoolExecutor
 
-            with ProcessPoolExecutor(
+            with span("sweep_grid", executor="process",
+                      n_columns=len(min_lns_list)), ProcessPoolExecutor(
                 max_workers=n_workers,
                 initializer=_sweep_worker_init,
                 initargs=(payload,),
@@ -525,8 +535,18 @@ class SweepEngine:
                 f"{SWEEP_EXECUTORS}"
             )
         else:
-            for j, min_lns in enumerate(min_lns_list):
-                columns[j] = _run_column(payload, min_lns)
+            with span("sweep_grid", executor=executor,
+                      n_columns=len(min_lns_list)):
+                for j, min_lns in enumerate(min_lns_list):
+                    column_started = time.perf_counter()
+                    columns[j] = _run_column(payload, min_lns)
+                    column_seconds.observe(
+                        time.perf_counter() - column_started
+                    )
+        self.metrics.histogram(
+            "repro_sweep_grid_seconds",
+            help="Wall seconds per full labels_grid walk.",
+        ).observe(time.perf_counter() - grid_started)
         out = np.empty(
             (self.eps_values.size, len(min_lns_list), self.n_segments),
             dtype=np.int64,

@@ -1,0 +1,243 @@
+"""MetricsRegistry: thread-exact counts, snapshots, merging, text
+exposition, and quantile estimation."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS_SECONDS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    aggregate_snapshots,
+    histogram_quantile,
+    render_prometheus,
+)
+
+
+def _series(snapshot, name, **labels):
+    """Pull one series value out of a snapshot by (name, labels)."""
+    key = json.dumps([name, sorted(labels.items())])
+    return snapshot["series"][key]
+
+
+class TestInstruments:
+    def test_counter_identity_and_value(self):
+        registry = MetricsRegistry()
+        first = registry.counter("events_total", op="labels")
+        again = registry.counter("events_total", op="labels")
+        assert first is again
+        other = registry.counter("events_total", op="sweep")
+        assert other is not first
+        first.inc()
+        first.inc(2.5)
+        assert first.value() == pytest.approx(3.5)
+        assert other.value() == 0.0
+
+    def test_gauge_up_and_down(self):
+        gauge = MetricsRegistry().gauge("in_flight")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value() == 1.0
+        gauge.set(7)
+        assert gauge.value() == 7.0
+
+    def test_histogram_bucket_edges_are_inclusive(self):
+        hist = MetricsRegistry().histogram(
+            "seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        # A value exactly on an edge lands in that edge's bucket
+        # (Prometheus le= semantics).
+        for value in (0.05, 0.1, 0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        snap = hist._snapshot()
+        assert snap["counts"] == [2, 2, 1, 1]  # last is +Inf
+        assert hist.count() == 6
+        assert hist.sum() == pytest.approx(106.65)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="sorted unique"):
+            MetricsRegistry().histogram("bad", buckets=(1.0, 0.5))
+
+    def test_name_cannot_change_type(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("thing", shard="a")
+
+    def test_counter_is_thread_exact(self):
+        counter = MetricsRegistry().counter("hits_total")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 8000.0
+
+    def test_histogram_is_thread_exact(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+
+        def hammer():
+            for i in range(500):
+                hist.observe(0.5 if i % 2 else 1.5)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert hist.count() == 2000
+        assert hist._snapshot()["counts"] == [1000, 1000, 0]
+
+
+class TestNullRegistry:
+    def test_disabled_registry_hands_out_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        hist = registry.histogram("h")
+        # All three are the same shared null instrument.
+        assert counter is gauge is hist
+        counter.inc()
+        gauge.set(5)
+        gauge.dec()
+        hist.observe(1.0)
+        assert counter.value() == 0.0
+        assert hist.count() == 0
+        assert hist.sum() == 0.0
+
+    def test_disabled_snapshot_is_empty(self):
+        assert NULL_REGISTRY.snapshot() == {
+            "series": {}, "types": {}, "help": {},
+        }
+
+
+class TestSnapshots:
+    def test_snapshot_round_trips_as_json(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", help="Requests.", op="fit").inc(3)
+        registry.histogram("req_seconds", op="fit").observe(0.01)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert _series(snapshot, "req_total", op="fit") == 3
+        hist = _series(snapshot, "req_seconds", op="fit")
+        assert sum(hist["counts"]) == 1
+        assert snapshot["types"] == {
+            "req_total": "counter", "req_seconds": "histogram",
+        }
+        assert snapshot["help"]["req_total"] == "Requests."
+
+    def test_aggregate_sums_across_workers(self):
+        """Three 'workers' with overlapping and disjoint series merge
+        into exact fleet-wide totals — the pool scrape path."""
+        snapshots = []
+        for pid, (hits, obs) in enumerate([(2, [0.1]), (5, [0.2, 0.3]),
+                                           (1, [])]):
+            registry = MetricsRegistry()
+            registry.counter("hits_total", tier="memory").inc(hits)
+            registry.counter(f"only_{pid}_total").inc()
+            hist = registry.histogram("lat", buckets=(0.15, 1.0))
+            for value in obs:
+                hist.observe(value)
+            snapshots.append(registry.snapshot())
+        merged = aggregate_snapshots(snapshots)
+        assert _series(merged, "hits_total", tier="memory") == 8
+        for pid in range(3):
+            assert _series(merged, f"only_{pid}_total") == 1
+        hist = _series(merged, "lat")
+        assert hist["counts"] == [1, 2, 0]
+        assert hist["sum"] == pytest.approx(0.6)
+
+    def test_aggregate_does_not_mutate_inputs(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        merged = aggregate_snapshots([snapshot, snapshot])
+        assert _series(merged, "h")["counts"] == [2, 0]
+        assert _series(snapshot, "h")["counts"] == [1, 0]
+
+    def test_aggregate_rejects_mismatched_buckets(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError, match="mismatched buckets"):
+            aggregate_snapshots([a.snapshot(), b.snapshot()])
+
+
+class TestRenderPrometheus:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "req_total", help="Total requests.", op="fit", status="200",
+        ).inc(4)
+        registry.gauge("in_flight").set(2)
+        text = render_prometheus(registry.snapshot())
+        assert "# HELP req_total Total requests.\n" in text
+        assert "# TYPE req_total counter\n" in text
+        assert 'req_total{op="fit",status="200"} 4\n' in text
+        assert "# TYPE in_flight gauge\n" in text
+        assert "in_flight 2\n" in text
+
+    def test_histogram_is_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 3.0):
+            hist.observe(value)
+        text = render_prometheus(registry.snapshot())
+        assert 'lat_seconds_bucket{le="0.1"} 1\n' in text
+        assert 'lat_seconds_bucket{le="1"} 3\n' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 4\n' in text
+        assert "lat_seconds_sum 4.05\n" in text
+        assert "lat_seconds_count 4\n" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", path='a"b\\c').inc()
+        text = render_prometheus(registry.snapshot())
+        assert r'odd_total{path="a\"b\\c"} 1' in text
+
+    def test_every_sample_line_parses(self):
+        """The scrape surface contract: each non-comment line is
+        `name{labels} value` with a float value."""
+        registry = MetricsRegistry()
+        registry.counter("a_total", op="x").inc()
+        registry.histogram("b_seconds").observe(0.02)
+        registry.gauge("c").set(-1.5)
+        for line in render_prometheus(registry.snapshot()).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, _, value_part = line.rpartition(" ")
+            assert name_part
+            float(value_part)  # must parse
+
+
+class TestHistogramQuantile:
+    def test_empty_is_none(self):
+        assert histogram_quantile(
+            {"buckets": [1.0], "counts": [0, 0], "sum": 0.0}, 0.5
+        ) is None
+
+    def test_interpolates_within_bucket(self):
+        hist = {"buckets": [1.0, 2.0], "counts": [0, 10, 0], "sum": 15.0}
+        assert histogram_quantile(hist, 0.5) == pytest.approx(1.5)
+        assert histogram_quantile(hist, 0.1) == pytest.approx(1.1)
+
+    def test_inf_bucket_clamps_to_last_edge(self):
+        hist = {"buckets": [1.0, 2.0], "counts": [0, 0, 4], "sum": 40.0}
+        assert histogram_quantile(hist, 0.99) == pytest.approx(2.0)
+
+    def test_default_buckets_bracket_observation(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        for _ in range(100):
+            hist.observe(0.003)
+        p50 = histogram_quantile(hist._snapshot(), 0.5)
+        assert 0.0025 <= p50 <= 0.005
+        assert 0.003 <= max(LATENCY_BUCKETS_SECONDS)

@@ -1,0 +1,123 @@
+"""Span tracer: ambient activation, nesting, grafting, isolation."""
+
+import asyncio
+import threading
+
+from repro.obs import (
+    Trace,
+    activate_trace,
+    current_trace,
+    new_request_id,
+    span,
+)
+
+
+class TestAmbientActivation:
+    def test_no_trace_outside_activation(self):
+        assert current_trace() is None
+
+    def test_span_is_noop_without_trace(self):
+        with span("orphan") as recorded:
+            assert recorded is None
+        assert current_trace() is None
+
+    def test_activation_scopes_the_trace(self):
+        with activate_trace() as trace:
+            assert current_trace() is trace
+        assert current_trace() is None
+
+    def test_explicit_request_id_is_kept(self):
+        with activate_trace(request_id="req-42") as trace:
+            assert trace.request_id == "req-42"
+
+    def test_request_ids_are_unique(self):
+        ids = {new_request_id() for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestSpanTree:
+    def test_nesting_preserves_call_order(self):
+        with activate_trace() as trace:
+            with span("http:post", path="/x"):
+                with span("dispatch"):
+                    pass
+                with span("artifact_load", kind="labels"):
+                    pass
+        dicts = trace.span_dicts()
+        assert [d["name"] for d in dicts] == ["http:post"]
+        root = dicts[0]
+        assert root["meta"] == {"path": "/x"}
+        assert [c["name"] for c in root["children"]] == [
+            "dispatch", "artifact_load",
+        ]
+        assert root["children"][1]["meta"] == {"kind": "labels"}
+        assert root["duration_ms"] >= root["children"][1]["duration_ms"]
+
+    def test_exception_is_recorded_and_propagates(self):
+        with activate_trace() as trace:
+            try:
+                with span("boom"):
+                    raise KeyError("x")
+            except KeyError:
+                pass
+        (record,) = trace.span_dicts()
+        assert record["meta"]["error"] == "KeyError"
+
+    def test_graft_shifts_offsets(self):
+        worker_spans = [{
+            "name": "op:labels", "offset_ms": 1.0, "duration_ms": 5.0,
+            "children": [
+                {"name": "build:labels", "offset_ms": 2.0,
+                 "duration_ms": 3.0},
+            ],
+        }]
+        with activate_trace() as trace:
+            with span("dispatch"):
+                trace.graft(worker_spans, offset_ms=10.0)
+        (root,) = trace.span_dicts()
+        (grafted,) = root["children"]
+        assert grafted["name"] == "op:labels"
+        assert grafted["offset_ms"] == 11.0
+        assert grafted["children"][0]["offset_ms"] == 12.0
+        # The caller's list is untouched.
+        assert worker_spans[0]["offset_ms"] == 1.0
+
+
+class TestIsolation:
+    def test_threads_do_not_inherit_the_trace(self):
+        """Executor threads start from an empty context, so a worker
+        thread must run its own trace — the design the serving layer's
+        graft path depends on."""
+        seen = []
+        with activate_trace():
+            thread = threading.Thread(
+                target=lambda: seen.append(current_trace())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_concurrent_tasks_get_separate_traces(self):
+        async def one_request(name):
+            with activate_trace() as trace:
+                with span(name):
+                    await asyncio.sleep(0)
+                    assert current_trace() is trace
+            return [d["name"] for d in trace.span_dicts()]
+
+        async def scenario():
+            return await asyncio.gather(
+                *[one_request(f"req{i}") for i in range(4)]
+            )
+
+        results = asyncio.run(scenario())
+        assert results == [[f"req{i}"] for i in range(4)]
+
+    def test_to_dict_shape(self):
+        trace = Trace(request_id="abc")
+        handle = trace.begin("stage")
+        trace.end(handle)
+        record = trace.to_dict()
+        assert record["request_id"] == "abc"
+        assert record["spans"][0]["name"] == "stage"
+        assert "started" in record

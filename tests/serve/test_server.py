@@ -203,10 +203,15 @@ class TestHttp:
 class TestRouting:
     def test_route_table(self, app):
         async def scenario():
-            status, _ = await route_request(app, "GET", "/healthz", {})
+            status, body, _ = await route_request(app, "GET", "/healthz", {})
             assert status == 200
-            status, _ = await route_request(app, "PUT", "/corpora/x/labels", {})
+            assert body["ok"] and body["corpora"] == 3
+            status, _, _ = await route_request(
+                app, "PUT", "/corpora/x/labels", {}
+            )
             assert status == 405
-            status, _ = await route_request(app, "GET", "/corpora/x/y/z", {})
+            status, _, _ = await route_request(
+                app, "GET", "/corpora/x/y/z", {}
+            )
             assert status == 404
         asyncio.run(scenario())
