@@ -14,9 +14,13 @@ while brute force examines all n.
 import time
 
 import numpy as np
+import pytest
 
 from conftest import print_table
+from repro import kernels
 from repro.cluster.dbscan import LineSegmentDBSCAN
+from repro.distance.vectorized import component_distances_pairs
+from repro.model.segmentset import SegmentSet
 from repro.cluster.neighbor_graph import NeighborGraph, PrecomputedNeighborhood
 from repro.cluster.neighborhood import BruteForceNeighborhood, GridNeighborhood
 from repro.datasets.synthetic import generate_corridor_set
@@ -167,6 +171,111 @@ def run_engine_comparison(min_segments=5000):
     ]
 
 
+#: Compiled pair-kernel bar (``--kernel-json``): the role-assigned
+#: component-distance kernel behind the candidate-pair join, compiled
+#: vs numpy at a 10^5-segment store (measured ~6-7x with the C
+#: extension).  Smoke runs a reduced batch, hence the looser floor.
+PAIR_KERNEL_FLOOR_FULL = 5.0
+PAIR_KERNEL_FLOOR_SMOKE = 3.0
+
+
+def compiled_backends():
+    """Names of the usable compiled kernel backends on this host."""
+    return [
+        name for name in ("cext", "numba")
+        if kernels.available_backends()[name].startswith("ok")
+    ]
+
+
+def random_pair_workload(n_segments, n_pairs, seed=7):
+    """A segment store plus pre-materialized candidate pairs — the
+    blocked join's exact kernel input (what the per-backend bars time,
+    independent of candidate generation)."""
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0, 1000.0, (n_segments, 2))
+    ends = starts + rng.uniform(-20.0, 20.0, (n_segments, 2))
+    left = rng.integers(0, n_segments, n_pairs)
+    right = rng.integers(0, n_segments, n_pairs)
+    return SegmentSet(starts, ends), left, right
+
+
+def compare_pair_kernel(n_segments, n_pairs, backend, seed=7, reps=3):
+    """Time ``component_distances_pairs`` on numpy vs *backend*;
+    asserts bitwise equality.  Returns ``(numpy_seconds,
+    backend_seconds)``."""
+    store, left, right = random_pair_workload(n_segments, n_pairs, seed)
+    timings = {}
+    results = {}
+    for name in ("numpy", backend):
+        with kernels.use_backend(name):
+            component_distances_pairs(store, left[:64], right[:64])  # warm
+            best = float("inf")
+            for _ in range(reps):
+                start = time.perf_counter()
+                results[name] = component_distances_pairs(
+                    store, left, right
+                )
+                best = min(best, time.perf_counter() - start)
+            timings[name] = best
+    for expected, got in zip(results["numpy"], results[backend]):
+        assert (
+            np.ascontiguousarray(expected).view(np.uint64)
+            == np.ascontiguousarray(got).view(np.uint64)
+        ).all(), f"{backend} disagrees bitwise with numpy"
+    return timings["numpy"], timings[backend]
+
+
+def run_pair_kernel_grid(backends, sizes):
+    """Per-backend pair-kernel timings across store sizes (the last
+    size is the 10^5-segment bar point)."""
+    rows = []
+    bars = {}
+    for n_segments in sizes:
+        n_pairs = 2 * n_segments
+        for backend in backends:
+            numpy_time, compiled_time = compare_pair_kernel(
+                n_segments, n_pairs, backend
+            )
+            speedup = numpy_time / compiled_time
+            bars[(backend, n_segments)] = speedup
+            rows.append(
+                (
+                    n_segments, n_pairs, backend,
+                    f"{numpy_time * 1000:.1f} ms",
+                    f"{compiled_time * 1000:.1f} ms",
+                    f"{speedup:.1f}x",
+                )
+            )
+    return rows, bars
+
+
+def test_pair_kernel_compiled_speedup(benchmark):
+    """Acceptance (compiled-kernels PR): a compiled backend evaluates
+    the pair-component distance kernel >= 5x faster than numpy on a
+    10^5-segment store, bitwise-identically."""
+    backends = compiled_backends()
+    if not backends:
+        pytest.skip("no compiled kernel backend available on this host")
+    numpy_time, compiled_time = benchmark.pedantic(
+        compare_pair_kernel, args=(100_000, 200_000, backends[0]),
+        rounds=1, iterations=1,
+    )
+    print_table(
+        f"component_distances_pairs at 10^5 segments ({backends[0]})",
+        [
+            ("numpy", f"{numpy_time * 1000:.1f} ms"),
+            (backends[0], f"{compiled_time * 1000:.1f} ms"),
+            ("speedup", f"{numpy_time / compiled_time:.1f}x"),
+        ],
+        ("backend", "time"),
+    )
+    assert numpy_time >= PAIR_KERNEL_FLOOR_FULL * compiled_time, (
+        f"{backends[0]} ({compiled_time * 1000:.1f} ms) not "
+        f"{PAIR_KERNEL_FLOOR_FULL}x faster than numpy "
+        f"({numpy_time * 1000:.1f} ms)"
+    )
+
+
 def test_engine_comparison_batch_speedup(benchmark):
     """The acceptance bar of the batched-engine PR: building the full
     ε-neighborhood relation with the blocked CSR builder is >= 5x
@@ -262,14 +371,39 @@ def test_lemma3_index_prunes_candidates(benchmark):
 def main(argv=None):
     """Non-asserting entry point (``--smoke`` for CI: reduced scale)."""
     import argparse
+    import json
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke", action="store_true",
         help="reduced scale, prints every comparison without asserting",
     )
+    parser.add_argument(
+        "--kernel-backend", default="auto", choices=kernels.KERNEL_BACKENDS,
+        help="which compiled backend the pair-kernel grid compares "
+             "against numpy (auto = every backend available on this host)",
+    )
+    parser.add_argument(
+        "--kernel-json", dest="kernel_json", default=None, metavar="PATH",
+        help="write the compiled pair-kernel speedup bars (one per "
+             "backend; empty on hosts with no compiled backend) as JSON "
+             "for benchmarks/check_speedup_bars.py",
+    )
     args = parser.parse_args(argv)
     min_segments = 1500 if args.smoke else 5000
+    if args.kernel_backend == "auto":
+        backends = compiled_backends()
+    elif args.kernel_backend == "numpy":
+        backends = []
+    else:
+        backends = [
+            b for b in compiled_backends() if b == args.kernel_backend
+        ]
+        if not backends:
+            parser.error(
+                f"kernel backend {args.kernel_backend!r} is not available "
+                f"on this host (see `repro doctor`)"
+            )
 
     rows = run_lemma1()
     print_table(
@@ -295,6 +429,47 @@ def main(argv=None):
         ],
         ("candidates via", "n segments", "full build time"),
     )
+
+    # --- Kernel-backend dimension: the pair-distance kernel ----------
+    sizes = [5_000, 20_000] if args.smoke else [10_000, 100_000]
+    bar_size = sizes[-1]
+    if backends:
+        rows, bars = run_pair_kernel_grid(backends, sizes)
+        print_table(
+            "component_distances_pairs by kernel backend (vs numpy, "
+            "pre-materialized candidate pairs)",
+            rows,
+            ("n segments", "n pairs", "backend", "numpy", "compiled",
+             "speedup"),
+        )
+    else:
+        bars = {}
+        print(
+            "no compiled kernel backend available on this host; "
+            "pair-kernel bars skipped (see `repro doctor`)"
+        )
+    if args.kernel_json:
+        payload = {
+            "benchmark": "pair_kernels",
+            "mode": "smoke" if args.smoke else "full",
+            "bars": [
+                {
+                    "name": (
+                        f"component_distances_pairs_{backend}_vs_numpy_"
+                        f"{bar_size}"
+                    ),
+                    "speedup": bars[(backend, bar_size)],
+                    "floor": (
+                        PAIR_KERNEL_FLOOR_SMOKE if args.smoke
+                        else PAIR_KERNEL_FLOOR_FULL
+                    ),
+                }
+                for backend in backends
+            ],
+        }
+        with open(args.kernel_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.kernel_json}")
     return 0
 
 

@@ -259,8 +259,12 @@ class Workspace:
         """Wrap one engine build: counts it (``CacheStats.builds`` and
         ``repro_builds_total{stage}``), records wall time
         (``CacheStats.build_seconds`` and
-        ``repro_build_seconds{stage}``), and opens a ``build:<stage>``
-        span in any ambient request trace."""
+        ``repro_build_seconds{stage}``), opens a ``build:<stage>``
+        span in any ambient request trace, and applies the configured
+        (result-neutral, fingerprint-excluded) kernel backend for the
+        duration of the build."""
+        from repro import kernels
+
         self.stats.count_build(stage)
         self.metrics.counter(
             "repro_builds_total",
@@ -270,7 +274,8 @@ class Workspace:
         started = time.perf_counter()
         try:
             with span(f"build:{stage}"):
-                yield
+                with kernels.use_backend(self.config.kernel_backend):
+                    yield
         finally:
             elapsed = time.perf_counter() - started
             self.stats.add_build_time(stage, elapsed)

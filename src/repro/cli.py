@@ -13,7 +13,14 @@ Eight subcommands, composable through CSV/JSON files:
 * ``stream``    — tail a trajectory CSV through the online pipeline and
   print label deltas as points arrive;
 * ``serve``     — run the asyncio HTTP front-end: many corpora, one
-  shared artifact store, CPU work sharded over a process pool.
+  shared artifact store, CPU work sharded over a process pool;
+* ``doctor``    — report kernel-backend availability (compiled vs
+  numpy) and the numpy/BLAS thread environment.
+
+``cluster``, ``params``, ``sweep``, and ``serve`` accept
+``--kernel-backend`` (``auto``/``numpy``/``cext``/``numba``) selecting
+the hot-kernel dispatch of :mod:`repro.kernels` — bitwise-neutral, so
+results and caches are unaffected.
 
 ``cluster``, ``params``, and ``sweep`` all accept ``--workspace DIR``:
 expensive artifacts (the phase-1 partition, the ε-neighborhood graph,
@@ -56,6 +63,7 @@ from repro.core.config import (
     SweepConfig,
     TraclusConfig,
 )
+from repro.kernels import KERNEL_BACKENDS
 from repro.partition.approximate import PARTITION_METHODS
 from repro.core.traclus import TRACLUS
 from repro.datasets.hurricane import generate_hurricane_tracks
@@ -107,6 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="phase-1 partitioning engine (auto picks the "
                               "lock-step batched scanner for multi-"
                               "trajectory corpora)")
+    cluster.add_argument("--kernel-backend", default="auto",
+                         choices=KERNEL_BACKENDS,
+                         help="hot-kernel dispatch (bitwise-neutral; "
+                              "auto = first available compiled backend)")
     cluster.add_argument("--workspace", default=None, metavar="DIR",
                          help="persistent artifact cache: reuse/store the "
                               "partition, eps-graph, and labels as npz "
@@ -131,6 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
     params.add_argument("--partition-method", default="auto",
                         choices=PARTITION_METHODS,
                         help="phase-1 partitioning engine")
+    params.add_argument("--kernel-backend", default="auto",
+                        choices=KERNEL_BACKENDS,
+                        help="hot-kernel dispatch (bitwise-neutral)")
     params.add_argument("--workspace", default=None, metavar="DIR",
                         help="persistent artifact cache (grid method "
                              "only): the partition and neighborhood "
@@ -173,6 +188,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--labels", action="store_true",
                        help="include per-segment label arrays in the JSON "
                             "output (one row per grid cell)")
+    sweep.add_argument("--kernel-backend", default="auto",
+                       choices=KERNEL_BACKENDS,
+                       help="hot-kernel dispatch (bitwise-neutral)")
     sweep.add_argument("--workspace", default=None, metavar="DIR",
                        help="persistent artifact cache: the phase-1 "
                             "partition, the eps_max graph, and the label "
@@ -308,11 +326,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-telemetry", action="store_true",
                        help="disable metrics and tracing (/metrics returns "
                             "404; /stats loses latency quantiles)")
+    serve.add_argument("--kernel-backend", default="auto",
+                       choices=KERNEL_BACKENDS,
+                       help="hot-kernel dispatch in every worker "
+                            "(bitwise-neutral; surfaces as the "
+                            "repro_kernel_backend gauge on /metrics)")
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="capability report: importable kernel backends, what "
+             "'auto' resolves to, numpy/BLAS thread settings",
+    )
+    doctor.add_argument("--json", dest="json_out", default=None,
+                        help="write the capability report JSON here "
+                             "('-' for stdout)")
 
     return parser
 
 
+def _apply_kernel_backend(name: str) -> None:
+    """Validate and install the ``--kernel-backend`` choice: an
+    explicitly requested compiled backend fails loudly here (at the
+    front door) when the host cannot provide it, instead of silently
+    degrading mid-run."""
+    from repro import kernels
+
+    try:
+        kernels.resolve_backend(name)
+    except Exception as error:
+        raise SystemExit(f"--kernel-backend {name}: {error}") from None
+    kernels.set_default_backend(name)
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    _apply_kernel_backend(args.kernel_backend)
     trajectories = read_trajectories_csv(args.input)
     config = TraclusConfig(
         eps=args.eps,
@@ -323,6 +370,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         use_weights=args.use_weights,
         gamma=args.gamma,
         neighborhood_method=args.neighborhood_method,
+        kernel_backend=args.kernel_backend,
     )
     result = TRACLUS(config, workspace_dir=args.workspace).fit(trajectories)
     summary = result.summary()
@@ -349,6 +397,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def _cmd_params(args: argparse.Namespace) -> int:
+    _apply_kernel_backend(args.kernel_backend)
     trajectories = read_trajectories_csv(args.input)
     eps_values = (
         np.arange(1.0, args.eps_max + 1.0) if args.eps_max else None
@@ -362,6 +411,7 @@ def _cmd_params(args: argparse.Namespace) -> int:
                 suppression=args.suppression,
                 partition_method=args.partition_method,
                 compute_representatives=False,
+                kernel_backend=args.kernel_backend,
             ),
             cache_dir=args.workspace,
         )
@@ -434,6 +484,7 @@ _SWEEP_CSV_COLUMNS = (
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    _apply_kernel_backend(args.kernel_backend)
     trajectories = read_trajectories_csv(args.input)
     config = TraclusConfig(
         directed=not args.undirected,
@@ -442,6 +493,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         use_weights=args.use_weights,
         cardinality_threshold=args.cardinality_threshold,
         compute_representatives=False,
+        kernel_backend=args.kernel_backend,
     )
     sweep_config = SweepConfig(
         eps_values=_parse_grid(args.eps, "--eps"),
@@ -543,6 +595,15 @@ def _cmd_workspace_stats(args: argparse.Namespace) -> int:
             if line and not line.startswith("#")
         ]
         print(f"/metrics: {len(samples)} samples")
+        for line in samples:
+            if line.startswith("repro_kernel_backend{"):
+                print(f"kernel backend: {line}")
+        kernel_counts = [
+            line for line in samples
+            if line.startswith("repro_kernel_seconds_count{")
+        ]
+        for line in kernel_counts:
+            print(f"kernel calls:   {line}")
         if args.json_out:
             with open(args.json_out, "w", encoding="utf-8") as handle:
                 json.dump({"stats": stats, "metrics_samples": len(samples)},
@@ -798,11 +859,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.registry import CorpusSpec
     from repro.serve.server import ServeApp, serve_forever
 
+    _apply_kernel_backend(args.kernel_backend)
     config = TraclusConfig(
         directed=not args.undirected,
         suppression=args.suppression,
         use_weights=args.use_weights,
         compute_representatives=False,
+        kernel_backend=args.kernel_backend,
     )
     specs = []
     seen = set()
@@ -834,6 +897,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         telemetry=not args.no_telemetry,
         max_pending=args.max_pending,
         access_log=args.access_log,
+        kernel_backend=args.kernel_backend,
     )
     try:
         asyncio.run(serve_forever(app, args.host, args.port))
@@ -841,6 +905,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         app.close()
+    return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """``repro doctor``: the :func:`repro.kernels.capability_report`
+    rendered for operators — is this host actually running compiled?"""
+    from repro import kernels
+
+    report = kernels.capability_report()
+    print("kernel backends:")
+    for name in kernels.KERNEL_BACKENDS:
+        if name == "auto":
+            continue
+        status = report["backends"].get(name, "unknown")
+        mark = "+" if status.startswith("ok") else "-"
+        print(f"  [{mark}] {name:<6} {status}")
+    print(f"default knob:     {report['default']} -> "
+          f"{report['default_resolves_to']}")
+    print(f"auto resolves to: {report['auto_resolves_to']}")
+    print(f"max compiled dim: {report['max_compiled_dim']}")
+    print(f"numpy:            {report['numpy_version']}")
+    thread_env = ", ".join(
+        f"{var}={value if value is not None else 'unset'}"
+        for var, value in sorted(report["thread_env"].items())
+    )
+    print(f"thread env:       {thread_env}")
+    print(f"cpu count:        {report['cpu_count']}")
+    if report["auto_resolves_to"] == "numpy":
+        print("note: no compiled backend available — hot kernels run "
+              "on the numpy fallback (install a C compiler or "
+              "'pip install .[speed]')")
+    if args.json_out:
+        if args.json_out == "-":
+            json.dump(report, sys.stdout, indent=2)
+            print()
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+            print(f"wrote {args.json_out}")
     return 0
 
 
@@ -862,6 +965,7 @@ _COMMANDS = {
     "render": _cmd_render,
     "stream": _cmd_stream,
     "serve": _cmd_serve,
+    "doctor": _cmd_doctor,
 }
 
 

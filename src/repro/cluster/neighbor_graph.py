@@ -40,7 +40,10 @@ any engine while serving queries as O(1) slices.
 from __future__ import annotations
 
 import math
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+import os
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +55,58 @@ from repro.model.segmentset import SegmentSet
 #: Default number of candidate pairs per kernel block (bounds peak
 #: scratch memory of the blocked join at roughly 20 MB).
 DEFAULT_PAIR_BLOCK = 1 << 18
+
+
+def _join_threads() -> int:
+    """Worker-thread count for the blocked join when the active kernel
+    backend releases the GIL (``REPRO_KERNEL_THREADS`` overrides; 0/1
+    disables threading)."""
+    env = os.environ.get("REPRO_KERNEL_THREADS")
+    if env is not None:
+        try:
+            return max(int(env), 0)
+        except ValueError:
+            return 1
+    return min(os.cpu_count() or 1, 8)
+
+
+def _map_pair_blocks(
+    stream: Iterator[Tuple[np.ndarray, np.ndarray]],
+    evaluate: Callable[[np.ndarray, np.ndarray], object],
+) -> Iterator[object]:
+    """Apply *evaluate* to every candidate block, threading across
+    blocks when the active compiled backend drops the GIL.
+
+    Results are yielded in **submission order**, so consumers see the
+    exact sequence the sequential loop would produce, and the number of
+    in-flight blocks is bounded (workers + 2) to preserve the blocked
+    join's O(pair_block) scratch-memory guarantee.  The resolved
+    backend is pinned into each worker thread (``use_backend`` is
+    thread-local) so workers cannot re-resolve differently.
+    """
+    from repro import kernels
+
+    backend = kernels.active_backend()
+    workers = _join_threads() if backend is not None and backend.nogil else 0
+    if workers <= 1:
+        for left, right in stream:
+            yield evaluate(left, right)
+        return
+
+    name = backend.name
+
+    def pinned(left: np.ndarray, right: np.ndarray) -> object:
+        with kernels.use_backend(name):
+            return evaluate(left, right)
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        in_flight: deque = deque()
+        for left, right in stream:
+            in_flight.append(pool.submit(pinned, left, right))
+            if len(in_flight) > workers + 2:
+                yield in_flight.popleft().result()
+        while in_flight:
+            yield in_flight.popleft().result()
 
 #: Geometric gaps below ~sqrt(5e-324) square to exactly 0.0 inside the
 #: distance kernel, so a pair with a *positive* gap can still compute
@@ -425,19 +480,25 @@ class NeighborGraph:
         n = len(segments)
         eps = float(eps)
 
+        def evaluate(left: np.ndarray, right: np.ndarray):
+            dists = distance.pairs(segments, left, right)
+            mask = dists <= eps
+            if not np.any(mask):
+                return None
+            return left[mask], right[mask], dists[mask]
+
         kept_left: List[np.ndarray] = []
         kept_right: List[np.ndarray] = []
         kept_dist: List[np.ndarray] = []
-        for left, right in _candidate_pair_stream(
+        stream = _candidate_pair_stream(
             segments, eps, distance, cell_size, pair_block,
             vectorized=vectorized_candidates,
-        ):
-            dists = distance.pairs(segments, left, right)
-            mask = dists <= eps
-            if np.any(mask):
-                kept_left.append(left[mask])
-                kept_right.append(right[mask])
-                kept_dist.append(dists[mask])
+        )
+        for kept in _map_pair_blocks(stream, evaluate):
+            if kept is not None:
+                kept_left.append(kept[0])
+                kept_right.append(kept[1])
+                kept_dist.append(kept[2])
 
         diagonal = np.arange(n, dtype=np.int64)
         if kept_left:
@@ -589,18 +650,23 @@ def neighborhood_size_counts(
     sorted_eps = eps_array[sort_order]
     eps_max = float(sorted_eps[-1])
 
-    # binned[t, i]: neighbors of i first admitted at sorted threshold t.
-    binned = np.zeros((k, n), dtype=np.int64)
-    for left, right in _candidate_pair_stream(
-        segments, eps_max, distance, None, pair_block
-    ):
+    def evaluate(left: np.ndarray, right: np.ndarray):
         dists = distance.pairs(segments, left, right)
         mask = dists <= eps_max
         if not np.any(mask):
+            return None
+        return left[mask], right[mask], dists[mask]
+
+    # binned[t, i]: neighbors of i first admitted at sorted threshold t.
+    binned = np.zeros((k, n), dtype=np.int64)
+    stream = _candidate_pair_stream(segments, eps_max, distance, None, pair_block)
+    for kept in _map_pair_blocks(stream, evaluate):
+        if kept is None:
             continue
-        bins = np.searchsorted(sorted_eps, dists[mask], side="left")
-        flat_l = bins * n + left[mask]
-        flat_r = bins * n + right[mask]
+        left, right, dists = kept
+        bins = np.searchsorted(sorted_eps, dists, side="left")
+        flat_l = bins * n + left
+        flat_r = bins * n + right
         binned += np.bincount(flat_l, minlength=k * n).reshape(k, n)
         binned += np.bincount(flat_r, minlength=k * n).reshape(k, n)
     counts_sorted = np.cumsum(binned, axis=0)

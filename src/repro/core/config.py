@@ -91,6 +91,12 @@ class TraclusConfig:
     compute_representatives:
         Disable to stop after the grouping phase (saves time in
         parameter sweeps that only need labels).
+    kernel_backend:
+        Hot-kernel dispatch (:mod:`repro.kernels`): ``"auto"`` (first
+        available compiled backend, numpy fallback), ``"numpy"``,
+        ``"cext"``, or ``"numba"``.  Bitwise-neutral by the backends'
+        parity contract, and therefore **excluded** from Workspace
+        artifact fingerprints — flipping it keeps every cache warm.
     """
 
     eps: Optional[float] = None
@@ -108,6 +114,7 @@ class TraclusConfig:
     eps_search_values: Optional[Sequence[float]] = None
     eps_search_method: str = "grid"
     compute_representatives: bool = True
+    kernel_backend: str = "auto"
 
     def __post_init__(self):
         if self.eps is not None and self.eps < 0:
@@ -140,6 +147,13 @@ class TraclusConfig:
             raise ClusteringError(
                 f"unknown partition method {self.partition_method!r}; "
                 f"expected one of {PARTITION_METHODS}"
+            )
+        from repro.kernels import KERNEL_BACKENDS
+
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ClusteringError(
+                f"unknown kernel backend {self.kernel_backend!r}; "
+                f"expected one of {KERNEL_BACKENDS}"
             )
         # Delegate weight validation to SegmentDistance.
         self.distance()

@@ -123,8 +123,20 @@ class TRACLUS:
         ``"brute"``/``"grid"``/``"rtree"`` ε-engines (memory-capped or
         few-query workloads that must not materialise the ε-graph).
         Labels are bitwise identical to the Workspace path."""
+        from repro import kernels
+
         config = self.config
         distance = config.distance()
+
+        with kernels.use_backend(config.kernel_backend):
+            return self._fit_direct_inner(trajectories, config, distance)
+
+    def _fit_direct_inner(
+        self,
+        trajectories: Sequence[Trajectory],
+        config: TraclusConfig,
+        distance,
+    ) -> ClusteringResult:
 
         # Phase 1: partitioning (Figure 4 lines 01-03).
         segments, characteristic_points = partition_all(

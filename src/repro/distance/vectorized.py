@@ -237,6 +237,10 @@ def component_distances_pairs(
     to querying :func:`component_distances_to_all` row by row (both
     routes share :func:`_pair_components`), and bitwise symmetric in
     ``left``/``right``.
+
+    When a compiled kernel backend is active (``repro.kernels``), the
+    gathers and per-pair geometry run compiled — bitwise identical to
+    the numpy path by the backends' parity contract.
     """
     left = np.asarray(left, dtype=np.int64)
     right = np.asarray(right, dtype=np.int64)
@@ -245,6 +249,27 @@ def component_distances_pairs(
             f"left/right must be congruent 1-D index arrays, got "
             f"{left.shape} vs {right.shape}"
         )
+
+    from repro import kernels
+
+    backend = kernels.active_backend()
+    starts = segments.starts
+    if (
+        backend is not None
+        and starts.shape[1] <= kernels.MAX_COMPILED_DIM
+        and starts.flags.c_contiguous
+        and segments.ends.flags.c_contiguous
+    ):
+        with kernels.maybe_time("pair_distance", backend.name):
+            perp, par, ang = backend.pair_components(
+                starts,
+                segments.ends,
+                np.ascontiguousarray(left),
+                np.ascontiguousarray(right),
+                directed,
+            )
+        return ComponentArrays(perp, par, ang)
+
     return _pair_components(
         segments.starts[left],
         segments.ends[left],

@@ -1,0 +1,320 @@
+"""The ``numba`` kernel backend (optional — ``pip install .[speed]``).
+
+``@njit(nogil=True, fastmath=False)`` mirrors of the C loops in
+:mod:`repro.kernels.cext`, line for line: the same zero-initialised
+two-accumulator (einsum) and sequential (``np.sum``) dot orders, the
+same branch structure, no transcendentals beyond ``sqrt``, and no
+``log2`` (the numpy tail computes every encoding — see the package
+docstring's bitwise contract).  ``fastmath=False`` (the default) keeps
+LLVM from contracting multiply-adds into FMAs or reassociating sums.
+
+Like ``cext``, the backend only registers after the bitwise parity
+gate in :mod:`repro.kernels.selftest` passes, so a numba version whose
+codegen breaks parity degrades to numpy visibly (``repro doctor``)
+rather than silently corrupting the artifact cache.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels import KernelBackend
+
+
+def _build_kernels(njit):
+    """Compile the jitted kernels (deferred so importing this module
+    stays cheap and dependency-free)."""
+
+    @njit(nogil=True, cache=False)
+    def _dot_einsum(a, b, d):
+        acc0 = 0.0
+        acc1 = 0.0
+        for k in range(0, d, 2):
+            acc0 += a[k] * b[k]
+        for k in range(1, d, 2):
+            acc1 += a[k] * b[k]
+        return acc0 + acc1
+
+    @njit(nogil=True, cache=False)
+    def _dot_seq(a, b, d):
+        acc = 0.0
+        for k in range(d):
+            acc += a[k] * b[k]
+        return acc
+
+    @njit(nogil=True, cache=False)
+    def _min_np(a, b):
+        if a != a:
+            return a
+        if b != b:
+            return b
+        return b if b < a else a
+
+    tiny = float(np.finfo(np.float64).tiny)
+
+    @njit(nogil=True, cache=False)
+    def pair_components(starts, ends, left, right, directed,
+                        out_perp, out_par, out_ang):
+        d = starts.shape[1]
+        av = np.empty(d, np.float64)
+        bv = np.empty(d, np.float64)
+        tmp = np.empty(d, np.float64)
+        ps = np.empty(d, np.float64)
+        pe = np.empty(d, np.float64)
+        for k in range(left.shape[0]):
+            ai = left[k]
+            bi = right[k]
+            for dd in range(d):
+                av[dd] = ends[ai, dd] - starts[ai, dd]
+                bv[dd] = ends[bi, dd] - starts[bi, dd]
+            a_sq = _dot_einsum(av, av, d)
+            b_sq = _dot_einsum(bv, bv, d)
+            a_len = math.sqrt(a_sq)
+            b_len = math.sqrt(b_sq)
+            a_usable = a_sq >= tiny
+            b_usable = b_sq >= tiny
+            a_is_li = (a_len > b_len) or (a_len == b_len and ai <= bi)
+            if a_is_li:
+                si, ji = ai, bi
+                v, jv = av, bv
+                li_sq, lj_len = a_sq, b_len
+                li_usable, lj_usable = a_usable, b_usable
+            else:
+                si, ji = bi, ai
+                v, jv = bv, av
+                li_sq, lj_len = b_sq, a_len
+                li_usable, lj_usable = b_usable, a_usable
+
+            if li_usable:
+                inv_sq = 1.0 / li_sq
+                for dd in range(d):
+                    tmp[dd] = starts[ji, dd] - starts[si, dd]
+                u1 = _dot_einsum(tmp, v, d) * inv_sq
+                for dd in range(d):
+                    ps[dd] = starts[si, dd] + u1 * v[dd]
+                for dd in range(d):
+                    tmp[dd] = ends[ji, dd] - starts[si, dd]
+                u2 = _dot_einsum(tmp, v, d) * inv_sq
+                for dd in range(d):
+                    pe[dd] = starts[si, dd] + u2 * v[dd]
+
+                for dd in range(d):
+                    tmp[dd] = ps[dd] - starts[ji, dd]
+                l_perp1 = math.sqrt(_dot_einsum(tmp, tmp, d))
+                for dd in range(d):
+                    tmp[dd] = pe[dd] - ends[ji, dd]
+                l_perp2 = math.sqrt(_dot_einsum(tmp, tmp, d))
+                sums = l_perp1 + l_perp2
+                perp = 0.0
+                if sums > 0.0:
+                    perp = (l_perp1 * l_perp1 + l_perp2 * l_perp2) / sums
+
+                for dd in range(d):
+                    tmp[dd] = ps[dd] - starts[si, dd]
+                n1 = math.sqrt(_dot_einsum(tmp, tmp, d))
+                for dd in range(d):
+                    tmp[dd] = ps[dd] - ends[si, dd]
+                n2 = math.sqrt(_dot_einsum(tmp, tmp, d))
+                l_par1 = _min_np(n1, n2)
+                for dd in range(d):
+                    tmp[dd] = pe[dd] - starts[si, dd]
+                n1 = math.sqrt(_dot_einsum(tmp, tmp, d))
+                for dd in range(d):
+                    tmp[dd] = pe[dd] - ends[si, dd]
+                n2 = math.sqrt(_dot_einsum(tmp, tmp, d))
+                l_par2 = _min_np(n1, n2)
+                par = _min_np(l_par1, l_par2)
+
+                lj_len_eff = lj_len if lj_usable else 0.0
+                dots = _dot_einsum(v, jv, d)
+                coeff = dots / li_sq
+                for dd in range(d):
+                    tmp[dd] = jv[dd] - coeff * v[dd]
+                sin_term = math.sqrt(_dot_einsum(tmp, tmp, d))
+                if directed:
+                    ang = sin_term if dots > 0.0 else lj_len_eff
+                else:
+                    ang = sin_term
+                if not (lj_len_eff > 0.0):
+                    ang = 0.0
+                out_perp[k] = perp
+                out_par[k] = par
+                out_ang[k] = ang
+            else:
+                for dd in range(d):
+                    tmp[dd] = starts[ai, dd] - starts[bi, dd]
+                out_perp[k] = math.sqrt(_dot_einsum(tmp, tmp, d))
+                out_par[k] = 0.0
+                out_ang[k] = 0.0
+
+    @njit(nogil=True, cache=False)
+    def _mdl_element(ss, se, hs, hv, inv, deg, sub_len, d,
+                    rel1, off, sub_vec):
+        for dd in range(d):
+            rel1[dd] = ss[dd] - hs[dd]
+            sub_vec[dd] = se[dd] - ss[dd]
+        u1 = _dot_seq(rel1, hv, d) * inv
+        for dd in range(d):
+            off[dd] = se[dd] - hs[dd]
+        u2 = _dot_seq(off, hv, d) * inv
+        for dd in range(d):
+            off[dd] = ss[dd] - (hs[dd] + u1 * hv[dd])
+        l_perp1 = math.sqrt(_dot_seq(off, off, d))
+        for dd in range(d):
+            off[dd] = se[dd] - (hs[dd] + u2 * hv[dd])
+        l_perp2 = math.sqrt(_dot_seq(off, off, d))
+        sums = l_perp1 + l_perp2
+        d_perp = 0.0
+        if sums > 0.0:
+            d_perp = (l_perp1 * l_perp1 + l_perp2 * l_perp2) / sums
+
+        dots = _dot_seq(sub_vec, hv, d)
+        coeff = dots * inv
+        for dd in range(d):
+            off[dd] = sub_vec[dd] - coeff * hv[dd]
+        sin_term = math.sqrt(_dot_seq(off, off, d))
+        d_theta = sin_term if dots > 0.0 else sub_len
+        if not (sub_len > 0.0):
+            d_theta = 0.0
+
+        point_dist = math.sqrt(_dot_seq(rel1, rel1, d))
+        if deg:
+            return point_dist, 1.0
+        return d_perp, d_theta
+
+    @njit(nogil=True, cache=False)
+    def mdl_geometry(hyp_starts, hyp_ends, sub_starts, sub_ends,
+                     window_of, out_hyp_len, out_perp_in, out_theta_in,
+                     out_sub_lens):
+        d = hyp_starts.shape[1]
+        hv = np.empty(d, np.float64)
+        rel1 = np.empty(d, np.float64)
+        off = np.empty(d, np.float64)
+        sub_vec = np.empty(d, np.float64)
+        for w in range(hyp_starts.shape[0]):
+            for dd in range(d):
+                hv[dd] = hyp_ends[w, dd] - hyp_starts[w, dd]
+            out_hyp_len[w] = math.sqrt(_dot_seq(hv, hv, d))
+        last_w = np.int64(-1)
+        hyp_sq = 0.0
+        inv = 0.0
+        deg = False
+        for k in range(sub_starts.shape[0]):
+            w = window_of[k]
+            if w != last_w:
+                for dd in range(d):
+                    hv[dd] = hyp_ends[w, dd] - hyp_starts[w, dd]
+                hyp_sq = _dot_seq(hv, hv, d)
+                deg = hyp_sq < tiny
+                inv = 1.0 / (1.0 if deg else hyp_sq)
+                last_w = w
+            for dd in range(d):
+                sub_vec[dd] = sub_ends[k, dd] - sub_starts[k, dd]
+            sub_len = math.sqrt(_dot_seq(sub_vec, sub_vec, d))
+            out_sub_lens[k] = sub_len
+            perp_in, theta_in = _mdl_element(
+                sub_starts[k], sub_ends[k], hyp_starts[w], hv, inv,
+                deg, sub_len, d, rel1, off, sub_vec,
+            )
+            out_perp_in[k] = perp_in
+            out_theta_in[k] = theta_in
+
+    @njit(nogil=True, cache=False)
+    def lockstep_geometry(flat, seg_lens, enc_lens, first, counts,
+                          hyp_end_idx, out_hyp_len, out_perp_in,
+                          out_theta_in, out_enc_gath):
+        d = flat.shape[1]
+        hv = np.empty(d, np.float64)
+        rel1 = np.empty(d, np.float64)
+        off = np.empty(d, np.float64)
+        sub_vec = np.empty(d, np.float64)
+        j = 0
+        for w in range(first.shape[0]):
+            f = first[w]
+            he = hyp_end_idx[w]
+            for dd in range(d):
+                hv[dd] = flat[he, dd] - flat[f, dd]
+            hyp_sq = _dot_seq(hv, hv, d)
+            out_hyp_len[w] = math.sqrt(hyp_sq)
+            deg = hyp_sq < tiny
+            inv = 1.0 / (1.0 if deg else hyp_sq)
+            for k in range(f, f + counts[w]):
+                perp_in, theta_in = _mdl_element(
+                    flat[k], flat[k + 1], flat[f], hv, inv, deg,
+                    seg_lens[k], d, rel1, off, sub_vec,
+                )
+                out_perp_in[j] = perp_in
+                out_theta_in[j] = theta_in
+                out_enc_gath[j] = enc_lens[k]
+                j += 1
+
+    return pair_components, mdl_geometry, lockstep_geometry
+
+
+class NumbaBackend(KernelBackend):
+    name = "numba"
+    nogil = True
+
+    def __init__(self, kernels):
+        self._pair, self._mdl, self._lockstep = kernels
+
+    def pair_components(self, starts, ends, left, right, directed):
+        m = left.shape[0]
+        perp = np.empty(m, dtype=np.float64)
+        par = np.empty(m, dtype=np.float64)
+        ang = np.empty(m, dtype=np.float64)
+        self._pair(starts, ends, left, right, bool(directed),
+                   perp, par, ang)
+        return perp, par, ang
+
+    def mdl_geometry(self, hyp_starts, hyp_ends, sub_starts, sub_ends,
+                     window_of):
+        n_windows = hyp_starts.shape[0]
+        n_flat = sub_starts.shape[0]
+        hyp_len = np.empty(n_windows, dtype=np.float64)
+        perp_in = np.empty(n_flat, dtype=np.float64)
+        theta_in = np.empty(n_flat, dtype=np.float64)
+        sub_lens = np.empty(n_flat, dtype=np.float64)
+        self._mdl(hyp_starts, hyp_ends, sub_starts, sub_ends, window_of,
+                  hyp_len, perp_in, theta_in, sub_lens)
+        return hyp_len, perp_in, theta_in, sub_lens
+
+    def lockstep_geometry(self, flat, seg_lens, enc_lens, first, counts,
+                          hyp_end_idx):
+        n_windows = first.shape[0]
+        n_flat = int(counts.sum())
+        hyp_len = np.empty(n_windows, dtype=np.float64)
+        perp_in = np.empty(n_flat, dtype=np.float64)
+        theta_in = np.empty(n_flat, dtype=np.float64)
+        enc_gath = np.empty(n_flat, dtype=np.float64)
+        self._lockstep(flat, seg_lens, enc_lens, first, counts,
+                       hyp_end_idx, hyp_len, perp_in, theta_in,
+                       enc_gath)
+        return hyp_len, perp_in, theta_in, enc_gath
+
+
+def load_backend() -> Tuple[Optional[NumbaBackend], str]:
+    """Import numba, compile, and bitwise-verify; ``(None, reason)`` on
+    any failure so the registry degrades to numpy."""
+    if os.environ.get("REPRO_KERNEL_DISABLE_NUMBA"):
+        return None, "disabled via REPRO_KERNEL_DISABLE_NUMBA"
+    try:
+        from numba import njit
+    except ImportError:
+        return None, "unavailable: numba is not installed (pip install .[speed])"
+    try:
+        backend = NumbaBackend(_build_kernels(njit))
+        from repro.kernels.selftest import parity_check
+
+        failure = parity_check(backend)  # also forces JIT compilation
+    except Exception as exc:
+        return None, f"unavailable: numba kernels failed to compile: {exc}"
+    if failure is not None:
+        return None, f"parity check failed: {failure}"
+    import numba
+
+    return backend, f"ok (numba {numba.__version__}, jit compiled)"

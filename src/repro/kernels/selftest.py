@@ -1,0 +1,185 @@
+"""Bitwise parity gate for compiled kernel backends.
+
+A backend registers only if :func:`parity_check` passes: every output
+of its three geometry entry points must be **bit-for-bit identical**
+to the pure-numpy kernels on a deterministic probe corpus that covers
+the branchy cases — degenerate (zero-length) segments, equal-length
+ties in both id orders, huge and tiny coordinates, anti-parallel pairs
+(negative dots), single-segment windows, degenerate hypotheses, and
+both 2-D and 3-D data.
+
+The references are the *undispatched* numpy implementations
+(``_pair_components`` / ``_window_mdl_costs_numpy``), so the check can
+run from inside backend registration without re-entering dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _bits(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.float64).view(np.uint64)
+
+
+def _mismatch(name: str, got: np.ndarray, want: np.ndarray) -> Optional[str]:
+    if got.shape != want.shape:
+        return f"{name}: shape {got.shape} != {want.shape}"
+    bad = _bits(got) != _bits(want)
+    if np.any(bad):
+        k = int(np.flatnonzero(bad)[0])
+        return (
+            f"{name}: {int(bad.sum())}/{bad.size} values differ "
+            f"(first at [{k}]: {got.flat[k]!r} != {want.flat[k]!r})"
+        )
+    return None
+
+
+def _probe_segments(rng: np.random.Generator, d: int) -> np.ndarray:
+    """(n, 2, d) start/end probe segments with adversarial cases."""
+    n = 257
+    pts = rng.standard_normal((n, 2, d))
+    pts *= np.exp(rng.uniform(-6.0, 6.0, (n, 1, 1)))
+    # Degenerate segments (end == start), incl. exact zero coordinates.
+    pts[3, 1] = pts[3, 0]
+    pts[17] = 0.0
+    # Equal-length pairs for the id tie break: translated copies.
+    pts[20] = pts[21] + 1.5
+    pts[22] = pts[23] - 0.25
+    # Anti-parallel neighbors (negative dots -> angle fallback).
+    pts[30, 1] = pts[30, 0] - (pts[31, 1] - pts[31, 0])
+    # Huge and tiny magnitudes.
+    pts[40] *= 1e150
+    pts[41] *= 1e-150
+    pts[42, 1] = pts[42, 0] + 1e-160  # subnormal squared length
+    return pts
+
+
+def _check_pairs(backend, rng: np.random.Generator, d: int) -> Optional[str]:
+    from repro.distance.vectorized import _pair_components
+
+    pts = _probe_segments(rng, d)
+    starts = np.ascontiguousarray(pts[:, 0])
+    ends = np.ascontiguousarray(pts[:, 1])
+    n = starts.shape[0]
+    m = 1024
+    left = rng.integers(0, n, m)
+    right = rng.integers(0, n, m)
+    # Self pairs, tie pairs both ways, degenerate-vs-degenerate.
+    left[:4] = (5, 20, 21, 3)
+    right[:4] = (5, 21, 20, 17)
+    left = np.ascontiguousarray(left, dtype=np.int64)
+    right = np.ascontiguousarray(right, dtype=np.int64)
+    for directed in (True, False):
+        want = _pair_components(
+            starts[left], ends[left], left,
+            starts[right], ends[right], right,
+            directed=directed,
+        )
+        perp, par, ang = backend.pair_components(
+            starts, ends, left, right, directed
+        )
+        for name, got, ref in (
+            ("perp", perp, want.perpendicular),
+            ("par", par, want.parallel),
+            ("angle", ang, want.angle),
+        ):
+            bad = _mismatch(f"pair/{name}/d={d}/directed={directed}",
+                            got, ref)
+            if bad:
+                return bad
+    return None
+
+
+def _probe_windows(rng: np.random.Generator, d: int):
+    """A ragged multi-window probe (first/counts over a flat walk)."""
+    n_pts = 400
+    flat = np.cumsum(rng.standard_normal((n_pts, d)), axis=0)
+    flat[100:110] = flat[99]  # stalled stretch: degenerate everything
+    flat *= np.exp(rng.uniform(-3.0, 3.0))
+    counts = np.ascontiguousarray(
+        rng.integers(1, 24, 40), dtype=np.int64
+    )
+    counts[5] = 1  # single-segment window (ldh == 0 fix path)
+    first = np.ascontiguousarray(
+        rng.integers(0, n_pts - 1 - int(counts.max()), 40), dtype=np.int64
+    )
+    first[7] = 100  # hypothesis inside the stalled stretch: degenerate
+    counts[7] = 8
+    hyp_end_idx = first + counts
+    return np.ascontiguousarray(flat), first, counts, hyp_end_idx
+
+
+def _check_mdl(backend, rng: np.random.Generator, d: int) -> Optional[str]:
+    from repro.partition.mdl import _window_mdl_costs_numpy, clamped_log2
+    from repro.model.ragged import concatenate_ranges
+
+    flat, first, counts, hyp_end_idx = _probe_windows(rng, d)
+    offsets = np.cumsum(counts) - counts
+    gather = concatenate_ranges(first, counts)
+    window_of = np.repeat(
+        np.arange(first.size, dtype=np.int64), counts
+    )
+    hyp_starts = np.ascontiguousarray(flat[first])
+    hyp_ends = np.ascontiguousarray(flat[hyp_end_idx])
+    sub_starts = np.ascontiguousarray(flat[gather])
+    sub_ends = np.ascontiguousarray(flat[gather + 1])
+    want = _window_mdl_costs_numpy(
+        hyp_starts, hyp_ends, sub_starts, sub_ends, window_of, offsets
+    )
+
+    # Generic geometry entry point.
+    hyp_len, perp_in, theta_in, sub_lens = backend.mdl_geometry(
+        hyp_starts, hyp_ends, sub_starts, sub_ends,
+        np.ascontiguousarray(window_of),
+    )
+    got = _finish(hyp_len, perp_in, theta_in, clamped_log2(sub_lens),
+                  offsets, counts)
+    for name, g, w in zip(("lh", "ldh", "nopar"), got, want):
+        bad = _mismatch(f"mdl/{name}/d={d}", g, w)
+        if bad:
+            return bad
+
+    # Lock-step (persistent layout) entry point: same windows through
+    # the index-based form with precomputed segment invariants.
+    seg_vecs = flat[1:] - flat[:-1]
+    seg_lens = np.sqrt(np.sum(seg_vecs * seg_vecs, axis=1))
+    enc_lens = clamped_log2(seg_lens)
+    hyp_len, perp_in, theta_in, enc_gath = backend.lockstep_geometry(
+        flat, seg_lens, enc_lens, first, counts, hyp_end_idx
+    )
+    got = _finish(hyp_len, perp_in, theta_in, enc_gath, offsets, counts)
+    for name, g, w in zip(("lh", "ldh", "nopar"), got, want):
+        bad = _mismatch(f"lockstep/{name}/d={d}", g, w)
+        if bad:
+            return bad
+    return None
+
+
+def _finish(hyp_len, perp_in, theta_in, enc_lens_gathered, offsets, counts):
+    """The numpy tail every backend shares (mirrors window_mdl_costs)."""
+    from repro.partition.mdl import clamped_log2
+
+    lh = clamped_log2(hyp_len)
+    ldh = np.add.reduceat(clamped_log2(perp_in), offsets) + np.add.reduceat(
+        clamped_log2(theta_in), offsets
+    )
+    nopar = np.add.reduceat(enc_lens_gathered, offsets)
+    ldh[counts == 1] = 0.0
+    return lh, ldh, nopar
+
+
+def parity_check(backend) -> Optional[str]:
+    """Run the full bitwise gate; ``None`` on success, else a message
+    describing the first divergence (surfaced by ``repro doctor``)."""
+    rng = np.random.default_rng(20070612)  # SIGMOD'07 vintage
+    for d in (2, 3):
+        failure = _check_pairs(backend, rng, d)
+        if failure:
+            return failure
+        failure = _check_mdl(backend, rng, d)
+        if failure:
+            return failure
+    return None

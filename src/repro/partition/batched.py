@@ -32,7 +32,7 @@ corpus through this engine and then continue incrementally
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,16 +40,54 @@ from repro.exceptions import PartitionError
 from repro.model.ragged import RaggedPoints, concatenate_ranges
 from repro.model.segmentset import SegmentSet
 from repro.model.trajectory import Trajectory
+from repro.partition.layout import LockstepLayout
 from repro.partition.mdl import window_mdl_costs
 
 
+def _rebuild_step_costs(
+    flat: np.ndarray,
+    base: np.ndarray,
+    active: np.ndarray,
+    starts: np.ndarray,
+    currs: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The historical per-step evaluation: rebuild the full ragged
+    gather/window_of layout from scratch and call the generic kernel.
+    Kept as the baseline the persistent layout is benchmarked (and
+    bitwise-regression-tested) against."""
+    counts = currs - starts
+    offsets = np.cumsum(counts) - counts
+    first = base[active] + starts
+    gather = concatenate_ranges(first, counts)
+    window_of = np.repeat(np.arange(active.size, dtype=np.int64), counts)
+    return window_mdl_costs(
+        flat[first],
+        flat[base[active] + currs],
+        flat[gather],
+        flat[gather + 1],
+        window_of,
+        offsets,
+    )
+
+
 def lockstep_scan(
-    ragged: RaggedPoints, suppression: float = 0.0
+    ragged: RaggedPoints,
+    suppression: float = 0.0,
+    *,
+    layout: Optional[LockstepLayout] = None,
+    reuse_layout: bool = True,
 ) -> Tuple[List[List[int]], np.ndarray, np.ndarray]:
     """Run Figure 8 on every row of *ragged* in lock-step.
 
     Rows may have any length >= 1 (a single-point row simply never
     enters the scan loop — the streaming bulk-load path needs that).
+
+    By default each step is evaluated through a persistent
+    :class:`~repro.partition.layout.LockstepLayout` (precomputed
+    per-segment invariants, incremental window bookkeeping) — pass an
+    existing *layout* to share it across scans of the same corpus, or
+    ``reuse_layout=False`` to force the historical rebuild-per-step
+    path.  All paths are bitwise identical.
 
     Returns
     -------
@@ -70,6 +108,8 @@ def lockstep_scan(
     flat = ragged.flat
     base = ragged.offsets[:-1]
     n = ragged.lengths
+    if layout is None and reuse_layout:
+        layout = LockstepLayout(ragged)
     committed: List[List[int]] = [[0] for _ in range(n_rows)]  # line 01
     start = np.zeros(n_rows, dtype=np.int64)  # line 02
     length = np.ones(n_rows, dtype=np.int64)
@@ -77,21 +117,12 @@ def lockstep_scan(
     while active.size:
         starts = start[active]
         currs = starts + length[active]  # line 04
-        counts = currs - starts
-        offsets = np.cumsum(counts) - counts
-        first = base[active] + starts
-        gather = concatenate_ranges(first, counts)
-        window_of = np.repeat(
-            np.arange(active.size, dtype=np.int64), counts
-        )
-        lh, ldh, nopar = window_mdl_costs(
-            flat[first],
-            flat[base[active] + currs],
-            flat[gather],
-            flat[gather + 1],
-            window_of,
-            offsets,
-        )
+        if layout is not None:
+            lh, ldh, nopar = layout.step_costs(active, start, length)
+        else:
+            lh, ldh, nopar = _rebuild_step_costs(
+                flat, base, active, starts, currs
+            )
         cost_par = lh + ldh  # line 05
         cost_nopar = nopar + suppression  # line 06
         commit = (cost_par > cost_nopar) & (currs - 1 > starts)  # line 07

@@ -95,12 +95,56 @@ def window_mdl_costs(
     window enclosing exactly one segment — which in Figure-8 use *is*
     the hypothesis — has ``ldh == 0.0`` exactly, both mirroring the
     historical scalar behavior.
+
+    When a compiled kernel backend is active (``repro.kernels``), the
+    per-element geometry runs compiled and only the ``log2`` encodings
+    and ``reduceat`` reductions below run in numpy — bitwise identical
+    by the backends' parity contract.
     """
     n_windows = hyp_starts.shape[0]
     if n_windows == 0:
         empty = np.empty(0, dtype=np.float64)
         return empty, empty.copy(), empty.copy()
 
+    from repro import kernels
+
+    backend = kernels.active_backend()
+    if backend is not None and hyp_starts.shape[1] <= kernels.MAX_COMPILED_DIM:
+        with kernels.maybe_time("mdl_geometry", backend.name):
+            hyp_len, perp_in, theta_in, sub_lens = backend.mdl_geometry(
+                np.ascontiguousarray(hyp_starts, dtype=np.float64),
+                np.ascontiguousarray(hyp_ends, dtype=np.float64),
+                np.ascontiguousarray(sub_starts, dtype=np.float64),
+                np.ascontiguousarray(sub_ends, dtype=np.float64),
+                np.ascontiguousarray(window_of, dtype=np.int64),
+            )
+        lh = clamped_log2(hyp_len)
+        nopar = np.add.reduceat(clamped_log2(sub_lens), offsets)
+        # theta_input is 1.0 on degenerate-hypothesis windows, so the
+        # clamp encodes their zero angle contribution exactly.
+        ldh = np.add.reduceat(clamped_log2(perp_in), offsets) + np.add.reduceat(
+            clamped_log2(theta_in), offsets
+        )
+        counts = np.diff(offsets, append=sub_starts.shape[0])
+        ldh[counts == 1] = 0.0
+        return lh, ldh, nopar
+
+    return _window_mdl_costs_numpy(
+        hyp_starts, hyp_ends, sub_starts, sub_ends, window_of, offsets
+    )
+
+
+def _window_mdl_costs_numpy(
+    hyp_starts: np.ndarray,
+    hyp_ends: np.ndarray,
+    sub_starts: np.ndarray,
+    sub_ends: np.ndarray,
+    window_of: np.ndarray,
+    offsets: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The pure-numpy kernel — always available, and the bitwise
+    reference the compiled backends are parity-gated against
+    (:mod:`repro.kernels.selftest`)."""
     hyp_vecs = hyp_ends - hyp_starts
     hyp_sq = np.sum(hyp_vecs * hyp_vecs, axis=1)
     lh = clamped_log2(np.sqrt(hyp_sq))

@@ -1,0 +1,156 @@
+"""Registry, dispatch, and degradation behaviour of :mod:`repro.kernels`.
+
+These tests never assume a compiled backend exists: everything here
+must pass on a machine with no compiler and no numba.  Bitwise
+equivalence of the backends themselves lives in
+``test_backend_equivalence.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.exceptions import ClusteringError
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_registry():
+    """Each test sees a freshly initialised registry and leaves the
+    process default at ``auto`` for its successors."""
+    kernels._reset_for_tests()
+    yield
+    kernels._reset_for_tests()
+
+
+def test_backend_names_are_closed_set():
+    assert kernels.KERNEL_BACKENDS == ("auto", "numpy", "cext", "numba")
+
+
+def _usable(status):
+    return status.startswith("ok")
+
+
+def test_available_backends_statuses():
+    statuses = kernels.available_backends()
+    assert set(statuses) == {"numpy", "cext", "numba"}
+    assert _usable(statuses["numpy"])  # numpy is unconditional
+
+
+def test_numpy_always_resolves_to_none():
+    assert kernels.resolve_backend("numpy") is None
+    assert kernels.resolved_name("numpy") == "numpy"
+
+
+def test_auto_resolves_to_first_available_or_numpy():
+    statuses = kernels.available_backends()
+    resolved = kernels.resolved_name("auto")
+    available = [n for n in ("cext", "numba") if _usable(statuses[n])]
+    if available:
+        assert resolved == available[0]
+    else:
+        assert resolved == "numpy"
+
+
+def test_unknown_backend_name_fails_loudly():
+    with pytest.raises(ClusteringError, match="unknown kernel backend"):
+        kernels.resolve_backend("fortran")
+    with pytest.raises(ClusteringError, match="unknown kernel backend"):
+        kernels.set_default_backend("fortran")
+
+
+def test_explicit_missing_backend_fails_loudly():
+    statuses = kernels.available_backends()
+    missing = [n for n in ("cext", "numba") if not _usable(statuses[n])]
+    if not missing:
+        pytest.skip("every compiled backend is available here")
+    with pytest.raises(ClusteringError, match=missing[0]):
+        kernels.resolve_backend(missing[0])
+
+
+def test_active_backend_swallows_missing_explicit_default():
+    """A worker process whose configured backend is absent must keep
+    serving on numpy (visible via doctor), not crash per-call."""
+    statuses = kernels.available_backends()
+    missing = [n for n in ("cext", "numba") if not _usable(statuses[n])]
+    if not missing:
+        pytest.skip("every compiled backend is available here")
+    kernels.set_default_backend(missing[0])
+    assert kernels.active_backend() is None  # degraded to numpy
+
+
+def test_use_backend_nests_and_restores():
+    kernels.set_default_backend("numpy")
+    assert kernels.active_backend() is None
+    with kernels.use_backend("auto"):
+        auto_active = kernels.active_backend()
+        with kernels.use_backend("numpy"):
+            assert kernels.active_backend() is None
+        assert kernels.active_backend() is auto_active
+    assert kernels.active_backend() is None
+
+
+def test_use_backend_none_is_a_no_op():
+    kernels.set_default_backend("numpy")
+    with kernels.use_backend(None):
+        assert kernels.active_backend() is None
+
+
+def test_default_backend_roundtrip():
+    kernels.set_default_backend("numpy")
+    assert kernels.default_backend_name() == "numpy"
+    kernels.set_default_backend("auto")
+    assert kernels.default_backend_name() == "auto"
+
+
+def test_capability_report_shape():
+    report = kernels.capability_report()
+    assert set(report["backends"]) == {"numpy", "cext", "numba"}
+    assert report["default"] in kernels.KERNEL_BACKENDS
+    assert report["default_resolves_to"] in ("numpy", "cext", "numba")
+    assert report["auto_resolves_to"] in ("numpy", "cext", "numba")
+    assert report["max_compiled_dim"] == kernels.MAX_COMPILED_DIM
+    assert report["numpy_version"] == np.__version__
+    assert "REPRO_KERNEL_THREADS" in report["thread_env"]
+    assert report["cpu_count"] >= 1
+
+
+def test_disable_env_degrades_cext_gracefully(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_DISABLE_CEXT", "1")
+    monkeypatch.setenv("REPRO_KERNEL_DISABLE_NUMBA", "1")
+    kernels._reset_for_tests()
+    statuses = kernels.available_backends()
+    assert not _usable(statuses["cext"])
+    assert not _usable(statuses["numba"])
+    assert kernels.resolved_name("auto") == "numpy"
+    assert kernels.resolve_backend("auto") is None
+    # Library entry points still work on the numpy path.
+    from repro.partition.mdl import mdl_costs
+
+    points = np.array([[0.0, 0.0], [1.0, 0.5], [2.0, 0.0], [3.0, 1.0]])
+    part, nopart = mdl_costs(points, 0, 3)
+    assert np.isfinite(part) and np.isfinite(nopart)
+
+
+def test_metrics_gauge_and_timer():
+    from repro.obs.metrics import render_prometheus
+
+    registry = MetricsRegistry(enabled=True)
+    kernels.set_metrics_registry(registry)
+    try:
+        kernels.set_default_backend("numpy")
+        text = render_prometheus(registry.snapshot())
+        assert 'repro_kernel_backend{backend="numpy"} 1' in text
+        with kernels.maybe_time("pair_distance", "numpy"):
+            pass
+        text = render_prometheus(registry.snapshot())
+        assert "repro_kernel_seconds" in text
+        assert 'kernel="pair_distance"' in text
+    finally:
+        kernels.set_metrics_registry(None)
+
+
+def test_maybe_time_without_registry_is_noop():
+    kernels.set_metrics_registry(None)
+    with kernels.maybe_time("mdl_geometry", "numpy"):
+        pass  # must not raise
