@@ -52,6 +52,9 @@ REGISTERED_FLOORS = {
     # bench_scaling.py --kernel-json: compiled component_distances_pairs
     # vs numpy on pre-materialized candidate pairs (full floor 5.0).
     "pair_kernels": 3.0,
+    # bench_query.py: cross-corpus cells query off the sqlite catalog
+    # vs loading every npz payload (measures ~30x at smoke scale).
+    "query": 10.0,
 }
 
 

@@ -6,6 +6,7 @@ cache: see :mod:`repro.api.workspace` for the artifact table and
 """
 
 from repro.api.cache import ARTIFACT_KINDS, ArtifactStore, CacheStats
+from repro.api.catalog import CANNED_QUERIES, Catalog
 from repro.api.fingerprint import (
     artifact_key,
     corpus_fingerprint,
@@ -18,6 +19,8 @@ __all__ = [
     "PartitionArtifact",
     "ArtifactStore",
     "CacheStats",
+    "Catalog",
+    "CANNED_QUERIES",
     "ARTIFACT_KINDS",
     "artifact_key",
     "corpus_fingerprint",

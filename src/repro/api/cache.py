@@ -20,6 +20,15 @@ directory).  A file being read is pinned and never a mid-eviction
 victim in-process; cross-process, POSIX unlink semantics keep an
 already-open reader safe, and a reader that loses the
 exists-then-open race treats the vanished file as a plain miss.
+
+Alongside the npz tier the store maintains a sqlite catalog
+(:mod:`repro.api.catalog`): every save indexes the artifact's typed
+metadata, every eviction retires its rows, and the scan-heavy
+consumers — :meth:`ArtifactStore.entries`, the eviction victim query,
+``repro workspace stats``/``query`` — read the index instead of
+statting files.  A directory whose catalog cannot open (or whose
+sqlite gives up mid-session) degrades to the original filesystem
+scans; ``Catalog.rebuild()`` re-derives every row from the npz files.
 """
 
 from __future__ import annotations
@@ -32,6 +41,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.catalog import Catalog
+from repro.exceptions import CatalogError
 from repro.io.artifacts import (
     load_artifact,
     load_artifact_meta,
@@ -145,6 +156,11 @@ class ArtifactStore:
         self.max_disk_bytes = max_disk_bytes
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
+        # The sqlite catalog (repro.api.catalog) rides every save/evict
+        # below; a directory whose catalog cannot open (read-only
+        # mount, hostile sqlite build) degrades to the filesystem-scan
+        # paths instead of failing artifact traffic.
+        self.catalog: Optional[Catalog] = None
         # Insertion order doubles as recency order (oldest first):
         # get/put re-insert on every touch, making eviction true LRU.
         self._memory: Dict[Tuple[str, str], object] = {}
@@ -155,6 +171,11 @@ class ArtifactStore:
         # registry every one is the shared no-op, so the hot path pays
         # a method call and nothing else.
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        if cache_dir is not None:
+            try:
+                self.catalog = Catalog(cache_dir, metrics=self.metrics)
+            except CatalogError:
+                self.catalog = None
         lookups = "repro_cache_lookups_total"
         lookups_help = "Artifact cache lookups by tier and outcome."
         self._m_memory_hits = self.metrics.counter(
@@ -226,6 +247,21 @@ class ArtifactStore:
             else:
                 self._pins[path] = count
 
+    # -- catalog maintenance ------------------------------------------------
+    def _catalog_call(self, method: str, *args):
+        """Run one catalog write/read, degrading to no-catalog for the
+        rest of this store's life if sqlite gives up (the filesystem
+        fallbacks below take over; ``rebuild()`` on a later open
+        recovers the index)."""
+        catalog = self.catalog
+        if catalog is None:
+            return None
+        try:
+            return getattr(catalog, method)(*args)
+        except CatalogError:
+            self.catalog = None
+            return None
+
     # -- level 2: npz files ------------------------------------------------
     def path(self, kind: str, key: str) -> Optional[str]:
         if self.cache_dir is None:
@@ -263,6 +299,12 @@ class ArtifactStore:
             # sharing the directory.  Grow-only stores leave mtimes
             # alone (warm re-runs are pure reads; tests pin that).
             self._touch(path)
+            try:
+                mtime = os.stat(path).st_mtime
+            except OSError:  # pragma: no cover - concurrently evicted
+                pass
+            else:
+                self._catalog_call("touch", os.path.basename(path), mtime)
         self.stats.count_disk_hit()
         self._m_disk_hits.inc()
         if self.metrics.enabled:
@@ -282,11 +324,20 @@ class ArtifactStore:
         with span("artifact_save", kind=kind):
             save_artifact(path, arrays, meta)
         self._m_save_seconds.observe(time.perf_counter() - started)
-        if self.metrics.enabled:
-            try:
-                self._m_save_bytes.observe(os.path.getsize(path))
-            except OSError:  # pragma: no cover - concurrently evicted
-                pass
+        try:
+            stat = os.stat(path)
+        except OSError:  # pragma: no cover - concurrently evicted
+            stat = None
+        if stat is not None:
+            if self.metrics.enabled:
+                self._m_save_bytes.observe(stat.st_size)
+            # File first, row second: a crash between the two leaves an
+            # unindexed file (recovered by rebuild()), never a row
+            # pointing at nothing.
+            self._catalog_call(
+                "index_artifact", os.path.basename(path), kind, key,
+                stat.st_size, stat.st_mtime, meta,
+            )
         self.enforce_disk_budget()
 
     @staticmethod
@@ -320,29 +371,41 @@ class ArtifactStore:
         valid)."""
         if self.cache_dir is None or self.max_disk_bytes is None:
             return 0
-        rows = []
-        for name in os.listdir(self.cache_dir):
-            if not name.endswith(".npz"):
-                continue
-            path = os.path.join(self.cache_dir, name)
-            try:
-                stat = os.stat(path)
-            except OSError:
-                continue
-            rows.append((stat.st_mtime, stat.st_size, path))
-        total = sum(size for _, size, _ in rows)
+        candidates = self._catalog_call("eviction_candidates")
+        if candidates is None:
+            # No catalog (open failed, or it degraded mid-session):
+            # the original listdir+stat scan.
+            candidates = []
+            for name in os.listdir(self.cache_dir):
+                if not name.endswith(".npz"):
+                    continue
+                path = os.path.join(self.cache_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                candidates.append((stat.st_mtime, stat.st_size, name))
+            candidates.sort()  # coldest mtime first
+        total = sum(size for _, size, _ in candidates)
         evicted = 0
-        rows.sort()  # coldest mtime first
-        for _, size, path in rows:
+        for _, size, name in candidates:
             if total <= self.max_disk_bytes:
                 break
+            path = os.path.join(self.cache_dir, name)
             with self._lock:
                 if self._pins.get(path, 0) > 0:
                     continue  # a reader holds it — never a mid-read victim
             try:
                 os.unlink(path)
+            except FileNotFoundError:
+                # Another process won the race — its sweep (or ours,
+                # below) must still retire the row.
+                self._catalog_call("record_eviction", name)
+                total -= size
+                continue
             except OSError:
                 continue
+            self._catalog_call("record_eviction", name)
             total -= size
             evicted += 1
             self.stats.count_disk_eviction()
@@ -356,8 +419,23 @@ class ArtifactStore:
         inspector prints this)."""
         if self.cache_dir is None:
             return []
+        listing = {
+            name
+            for name in os.listdir(self.cache_dir)
+            if name.endswith(".npz")
+        }
+        if self.catalog is not None:
+            indexed = self._catalog_call("files")
+            if indexed is not None and indexed != listing:
+                # Files written around the store (raw save_artifact,
+                # another torn process) or rows whose file vanished:
+                # re-derive the index, then serve from it.
+                self._catalog_call("rebuild")
+            rows = self._catalog_call("entries", ARTIFACT_KINDS)
+            if rows is not None:
+                return rows
         rows: List[dict] = []
-        for name in sorted(os.listdir(self.cache_dir)):
+        for name in sorted(listing):
             if not name.endswith(".npz"):
                 continue
             kind, _, rest = name.partition("-")

@@ -60,6 +60,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.api.cache import ArtifactStore, CacheStats
+from repro.api.catalog import Catalog
 from repro.api.fingerprint import (
     artifact_key,
     corpus_fingerprint,
@@ -86,6 +87,28 @@ from repro.representative.sweep import (
     generate_all_representatives,
 )
 from repro.sweep.engine import SweepEngine, SweepResult
+
+
+def _grid_cells(
+    eps_values: np.ndarray, min_lns_values: np.ndarray, labels: np.ndarray
+) -> List[List[float]]:
+    """Per-cell ``[eps, min_lns, n_clusters, n_noise]`` of one labels
+    grid — precomputed at save time so the sqlite catalog (and hence
+    every cross-corpus analytics query) never has to open the payload.
+    Cluster ids are contiguous ``0..k-1`` with ``-1`` noise, so the
+    per-cell maximum is the cluster count minus one."""
+    n_clusters = labels.max(axis=2) + 1
+    n_noise = (labels < 0).sum(axis=2)
+    return [
+        [
+            float(eps_values[i]),
+            float(min_lns_values[j]),
+            int(n_clusters[i, j]),
+            int(n_noise[i, j]),
+        ]
+        for i in range(eps_values.size)
+        for j in range(min_lns_values.size)
+    ]
 
 
 class PartitionArtifact:
@@ -221,9 +244,19 @@ class Workspace:
                 )
             self.trajectories: Optional[List[Trajectory]] = trajectories
             self.corpus_key = corpus_fingerprint(trajectories)
+            if self.store.catalog is not None:
+                self.store._catalog_call(
+                    "register_corpus", self.corpus_key, None,
+                    len(trajectories), None,
+                )
         else:
             self.trajectories = None
             self.corpus_key = segments_fingerprint(_segments)
+            if self.store.catalog is not None:
+                self.store._catalog_call(
+                    "register_corpus", self.corpus_key, None,
+                    None, len(_segments),
+                )
             # A segment-bound workspace starts with its partition
             # artifact pre-materialised (phase 1 already happened).
             self.store.put_object(
@@ -289,6 +322,23 @@ class Workspace:
         """Persisted artifacts (the ``repro workspace`` inspector)."""
         return self.store.entries()
 
+    def catalog(self) -> Catalog:
+        """The sqlite catalog over this workspace's directory — canned
+        analytics via :meth:`Catalog.query`, guarded raw SQL via
+        :meth:`Catalog.sql`.  Raises for memory-only workspaces (there
+        is nothing on disk to index)."""
+        if self.store.cache_dir is None:
+            raise WorkspaceError(
+                "memory-only workspaces have no catalog; open the "
+                "workspace with cache_dir to index its artifacts"
+            )
+        if self.store.catalog is None:
+            raise WorkspaceError(
+                f"the catalog under {self.store.cache_dir!r} could not "
+                f"be opened; see repro.api.catalog.Catalog"
+            )
+        return self.store.catalog
+
     # -- keys ----------------------------------------------------------------
     def _distance_parts(self) -> Tuple:
         config = self.config
@@ -344,14 +394,20 @@ class Workspace:
         if loaded is not None:
             artifact = self._partition_from_arrays(loaded[0])
         else:
+            started = time.perf_counter()
             artifact = self._build_partition()
             self.store.save_arrays(
                 "partition", key, self._partition_to_arrays(artifact),
-                {"kind": "partition",
+                {"kind": "partition", "corpus": self.corpus_key,
                  "suppression": self.config.suppression,
                  "n_segments": len(artifact.segments),
-                 "n_trajectories": len(self.trajectories or ())},
+                 "n_trajectories": len(self.trajectories or ()),
+                 "build_seconds": time.perf_counter() - started},
             )
+        self.store._catalog_call(
+            "register_corpus", self.corpus_key, None, None,
+            len(artifact.segments),
+        )
         self.store.put_object("partition", key, artifact)
         return artifact
 
@@ -455,6 +511,7 @@ class Workspace:
                 )
                 self.store.put_object("graph", key, graph)
                 return graph
+        started = time.perf_counter()
         with self._measure_build("graph"):
             graph = NeighborGraph.build(
                 self.segments(), float(eps), self._distance
@@ -463,8 +520,9 @@ class Workspace:
             "graph", key,
             {"indptr": graph.indptr, "indices": graph.indices,
              "data": graph.data},
-            {"kind": "graph", "eps": graph.eps,
-             "n_segments": graph.n_segments, "n_edges": graph.n_edges},
+            {"kind": "graph", "corpus": self.corpus_key, "eps": graph.eps,
+             "n_segments": graph.n_segments, "n_edges": graph.n_edges,
+             "build_seconds": time.perf_counter() - started},
         )
         self.store.put_object("graph", key, graph)
         # Engines hold views of the superseded graph; rebuild from the
@@ -523,13 +581,16 @@ class Workspace:
             counts = loaded[0]["counts"]
         else:
             engine = self._engine(eps_array)
+            started = time.perf_counter()
             with self._measure_build("counts"):
                 counts = engine.neighborhood_counts()
             counts.setflags(write=False)
             self.store.save_arrays(
                 "counts", key, {"counts": counts, "eps_values": eps_array},
-                {"kind": "counts", "n_eps": int(eps_array.size),
-                 "eps_max": float(eps_array.max())},
+                {"kind": "counts", "corpus": self.corpus_key,
+                 "n_eps": int(eps_array.size),
+                 "eps_max": float(eps_array.max()),
+                 "build_seconds": time.perf_counter() - started},
             )
         counts.setflags(write=False)
         self.store.put_object("counts", key, counts)
@@ -596,6 +657,7 @@ class Workspace:
         else:
             config = self.config
             engine = self._engine(eps_array)
+            started = time.perf_counter()
             with self._measure_build("labels"):
                 labels = engine.labels_grid(
                     min_lns_array.tolist(),
@@ -608,8 +670,13 @@ class Workspace:
                 "labels", key,
                 {"labels": labels, "eps_values": eps_array,
                  "min_lns_values": min_lns_array},
-                {"kind": "labels", "use_weights": config.use_weights,
-                 "grid": [int(eps_array.size), int(min_lns_array.size)]},
+                {"kind": "labels", "corpus": self.corpus_key,
+                 "use_weights": config.use_weights,
+                 "grid": [int(eps_array.size), int(min_lns_array.size)],
+                 "n_segments": int(labels.shape[2]),
+                 "cardinality_threshold": threshold,
+                 "cells": _grid_cells(eps_array, min_lns_array, labels),
+                 "build_seconds": time.perf_counter() - started},
             )
         labels.setflags(write=False)
         self.store.put_object("labels", key, labels)
@@ -673,6 +740,7 @@ class Workspace:
         else:
             segments = self.segments()
             labels = self.labels(eps, min_lns)
+            started = time.perf_counter()
             with self._measure_build("quality"):
                 breakdown = quality_measure(
                     clusters_from_labels(labels, segments), segments, labels,
@@ -682,9 +750,10 @@ class Workspace:
                 "quality", key,
                 {"total_sse": np.float64(breakdown.total_sse),
                  "noise_penalty": np.float64(breakdown.noise_penalty)},
-                {"kind": "quality", "eps": float(eps),
-                 "min_lns": float(min_lns),
-                 "qmeasure": breakdown.qmeasure},
+                {"kind": "quality", "corpus": self.corpus_key,
+                 "eps": float(eps), "min_lns": float(min_lns),
+                 "qmeasure": breakdown.qmeasure,
+                 "build_seconds": time.perf_counter() - started},
             )
         self.store.put_object("quality", key, breakdown)
         return breakdown
@@ -715,6 +784,7 @@ class Workspace:
                 clusters = clusters_from_labels(
                     self.labels(eps, min_lns), self.segments()
                 )
+                started = time.perf_counter()
                 with self._measure_build("representatives"):
                     reps = generate_all_representatives(
                         clusters,
@@ -736,9 +806,10 @@ class Workspace:
                 self.store.save_arrays(
                     "representatives", key,
                     {"rep_flat": flat, "rep_offsets": offsets},
-                    {"kind": "representatives", "eps": float(eps),
-                     "min_lns": float(min_lns), "gamma": gamma,
-                     "n_clusters": len(reps)},
+                    {"kind": "representatives", "corpus": self.corpus_key,
+                     "eps": float(eps), "min_lns": float(min_lns),
+                     "gamma": gamma, "n_clusters": len(reps),
+                     "build_seconds": time.perf_counter() - started},
                 )
                 cached = (flat, offsets)
             for array in cached:

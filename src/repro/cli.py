@@ -51,6 +51,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -198,28 +199,84 @@ def build_parser() -> argparse.ArgumentParser:
 
     workspace = sub.add_parser(
         "workspace",
-        help="inspect a persistent artifact cache directory "
-             "(what cluster/params/sweep --workspace wrote); "
-             "'repro workspace stats DIR' aggregates per kind, "
-             "'repro workspace stats --url URL' scrapes a running "
-             "'repro serve'",
+        help="inspect, aggregate, or query a persistent artifact cache "
+             "directory (what cluster/params/sweep --workspace wrote)",
     )
-    workspace.add_argument(
-        "directory",
-        help="the --workspace DIR to inspect, or the literal 'stats' "
-             "for the aggregate view",
+    ws_sub = workspace.add_subparsers(
+        dest="workspace_command", required=True, metavar="SUBCOMMAND"
     )
-    workspace.add_argument(
-        "extra", nargs="?", default=None, metavar="DIR",
-        help="with 'stats': the workspace DIR to aggregate",
+
+    ws_inspect = ws_sub.add_parser(
+        "inspect", help="list every artifact with its metadata"
     )
-    workspace.add_argument(
+    ws_inspect.add_argument(
+        "directory", help="the --workspace DIR to inspect"
+    )
+    ws_inspect.add_argument("--json", dest="json_out", default=None,
+                            help="write the artifact index JSON here")
+
+    ws_stats = ws_sub.add_parser(
+        "stats",
+        help="per-kind aggregate of a DIR, or — with --url — of a "
+             "running 'repro serve' instance",
+    )
+    ws_stats.add_argument(
+        "directory", nargs="?", default=None,
+        help="the workspace DIR to aggregate",
+    )
+    ws_stats.add_argument(
         "--url", default=None, metavar="URL",
-        help="with 'stats': scrape a running 'repro serve' instance "
-             "(GET /stats and /metrics) instead of reading a directory",
+        help="scrape a running 'repro serve' instance "
+             "(GET /v1/stats and /v1/metrics) instead of reading a "
+             "directory",
     )
-    workspace.add_argument("--json", dest="json_out", default=None,
-                           help="write the artifact index JSON here")
+    ws_stats.add_argument("--json", dest="json_out", default=None,
+                          help="write the aggregate JSON here")
+
+    ws_query = ws_sub.add_parser(
+        "query",
+        help="cross-corpus analytics straight off the sqlite catalog "
+             "(never opens an npz payload)",
+    )
+    ws_query.add_argument(
+        "directory", help="the workspace DIR whose catalog to query"
+    )
+    ws_query.add_argument(
+        "--query", dest="query_name", default=None,
+        choices=("artifacts", "cells", "corpora", "kinds"),
+        help="canned query to run (default: 'cells', or 'artifacts' "
+             "when --kind is given)",
+    )
+    ws_query.add_argument("--corpus", default=None,
+                          help="filter to one corpus (fingerprint or "
+                               "registered name)")
+    ws_query.add_argument("--kind", default=None,
+                          help="filter artifacts to one kind "
+                               "(implies --query artifacts)")
+    ws_query.add_argument("--min-clusters", dest="min_clusters", type=int,
+                          default=None,
+                          help="cells: only grid cells with at least "
+                               "this many clusters")
+    ws_query.add_argument("--max-noise", dest="max_noise", type=float,
+                          default=None,
+                          help="cells: only grid cells at or below this "
+                               "noise fraction (0..1)")
+    ws_query.add_argument("--eps", type=float, default=None,
+                          help="cells: filter to one ε value")
+    ws_query.add_argument("--min-lns", dest="min_lns", type=float,
+                          default=None,
+                          help="cells: filter to one MinLns value")
+    ws_query.add_argument("--limit", type=int, default=None,
+                          help="cap the number of rows returned")
+    ws_query.add_argument("--sql", default=None, metavar="SELECT",
+                          help="run one raw read-only SELECT/WITH "
+                               "statement instead of a canned query")
+    ws_query.add_argument("--json", dest="json_out", default=None,
+                          metavar="FILE",
+                          help="write rows as JSON ('-' for stdout)")
+    ws_query.add_argument("--csv", dest="csv_out", default=None,
+                          metavar="FILE",
+                          help="write rows as CSV ('-' for stdout)")
 
     generate = sub.add_parser("generate", help="write a synthetic dataset CSV")
     generate.add_argument(
@@ -568,7 +625,7 @@ def _cmd_workspace_stats(args: argparse.Namespace) -> int:
         from urllib.request import urlopen
 
         base = args.url.rstrip("/")
-        with urlopen(base + "/stats", timeout=10) as response:
+        with urlopen(base + "/v1/stats", timeout=10) as response:
             stats = json.loads(response.read().decode("utf-8"))
         print(f"{base}: {stats['requests']} requests, "
               f"hit rate {stats['hit_rate']:.1%}, "
@@ -588,7 +645,7 @@ def _cmd_workspace_stats(args: argparse.Namespace) -> int:
                       f"p90={q['p90'] * 1000:.2f}ms "
                       f"p99={q['p99'] * 1000:.2f}ms "
                       f"(n={q['count']})")
-        with urlopen(base + "/metrics", timeout=10) as response:
+        with urlopen(base + "/v1/metrics", timeout=10) as response:
             text = response.read().decode("utf-8")
         samples = [
             line for line in text.splitlines()
@@ -611,26 +668,35 @@ def _cmd_workspace_stats(args: argparse.Namespace) -> int:
             print(f"wrote {args.json_out}")
         return 0
 
-    directory = args.extra
+    directory = args.directory
     if directory is None:
         raise SystemExit(
             "repro workspace stats: pass a workspace DIR or --url"
         )
     if not os.path.isdir(directory):
         raise SystemExit(f"{directory}: not a directory")
-    entries = ArtifactStore(directory).entries()
-    if not entries:
+    store = ArtifactStore(directory)
+    by_kind: "dict[str, dict]" = {}
+    if store.catalog is not None:
+        # One aggregate query off the sqlite catalog — no stat calls,
+        # no npz opens.
+        for row in store.catalog.query("kinds"):
+            by_kind[row["kind"]] = {
+                "count": row["n_artifacts"], "bytes": row["bytes"],
+            }
+    else:
+        for entry in store.entries():
+            bucket = by_kind.setdefault(
+                entry["kind"], {"count": 0, "bytes": 0}
+            )
+            bucket["count"] += 1
+            bucket["bytes"] += entry["bytes"]
+    if not by_kind:
         print(f"{directory}: no artifacts")
         return 0
-    total = sum(entry["bytes"] for entry in entries)
-    by_kind: "dict[str, dict]" = {}
-    for entry in entries:
-        bucket = by_kind.setdefault(
-            entry["kind"], {"count": 0, "bytes": 0}
-        )
-        bucket["count"] += 1
-        bucket["bytes"] += entry["bytes"]
-    print(f"{directory}: {len(entries)} artifacts, {total / 1024:.1f} KiB")
+    total = sum(bucket["bytes"] for bucket in by_kind.values())
+    n_artifacts = sum(bucket["count"] for bucket in by_kind.values())
+    print(f"{directory}: {n_artifacts} artifacts, {total / 1024:.1f} KiB")
     header = f"{'kind':<16}{'count':>7}{'bytes':>12}{'share':>8}"
     print(header)
     print("-" * len(header))
@@ -644,7 +710,7 @@ def _cmd_workspace_stats(args: argparse.Namespace) -> int:
         payload = {
             "directory": directory,
             "total_bytes": total,
-            "n_artifacts": len(entries),
+            "n_artifacts": n_artifacts,
             "by_kind": by_kind,
         }
         with open(args.json_out, "w", encoding="utf-8") as handle:
@@ -653,18 +719,131 @@ def _cmd_workspace_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_workspace(args: argparse.Namespace) -> int:
+def run_workspace_query(
+    directory: str,
+    name: Optional[str] = None,
+    filters: Optional[dict] = None,
+    sql: Optional[str] = None,
+):
+    """Run one catalog query over a workspace directory.
+
+    Returns ``(rows, stats)`` where *stats* is the backing store's
+    :class:`~repro.api.cache.CacheStats` — every counter stays zero,
+    because analytics answer from the sqlite index without touching an
+    npz payload (a test pins this)."""
     import os
 
     from repro.api.cache import ArtifactStore
 
-    if args.directory == "stats":
-        return _cmd_workspace_stats(args)
-    if args.extra is not None:
+    if not os.path.isdir(directory):
+        raise SystemExit(f"{directory}: not a directory")
+    store = ArtifactStore(directory)
+    if store.catalog is None:
         raise SystemExit(
-            f"repro workspace: unexpected argument {args.extra!r} "
-            f"(did you mean 'repro workspace stats {args.extra}'?)"
+            f"{directory}: catalog unavailable (sqlite could not open "
+            f"{directory}/catalog.sqlite)"
         )
+    if sql is not None:
+        rows = store.catalog.sql(sql)
+    else:
+        rows = store.catalog.query(name or "cells", **(filters or {}))
+    return rows, store.stats
+
+
+def _cmd_workspace_query(args: argparse.Namespace) -> int:
+    import csv
+
+    from repro.exceptions import CatalogError
+
+    filters = {}
+    name = args.query_name
+    if args.kind is not None:
+        filters["kind"] = args.kind
+        if name is None:
+            name = "artifacts"
+    if name is None:
+        name = "cells"
+    for option in ("corpus", "min_clusters", "max_noise", "eps",
+                   "min_lns", "limit"):
+        value = getattr(args, option)
+        if value is not None:
+            filters[option] = value
+    if args.sql is not None and filters:
+        raise SystemExit(
+            "repro workspace query: --sql takes the full statement; "
+            "drop the canned-query filters"
+        )
+    try:
+        rows, _ = run_workspace_query(
+            args.directory, name=name, filters=filters, sql=args.sql
+        )
+    except CatalogError as exc:
+        raise SystemExit(f"repro workspace query: {exc}")
+    if args.json_out:
+        if args.json_out == "-":
+            json.dump(rows, sys.stdout, indent=2)
+            print()
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(rows, handle, indent=2)
+            print(f"wrote {args.json_out}")
+        return 0
+    if args.csv_out:
+        handle = (
+            sys.stdout if args.csv_out == "-"
+            else open(args.csv_out, "w", encoding="utf-8", newline="")
+        )
+        try:
+            writer = csv.writer(handle)
+            if rows:
+                writer.writerow(rows[0].keys())
+                for row in rows:
+                    writer.writerow(row.values())
+        finally:
+            if handle is not sys.stdout:
+                handle.close()
+                print(f"wrote {args.csv_out}")
+        return 0
+    if not rows:
+        print("no rows")
+        return 0
+    columns = list(rows[0].keys())
+    rendered = [
+        ["" if row[column] is None else _render_cell(row[column])
+         for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    print("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    for line in rendered:
+        print("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    print(f"({len(rows)} rows)")
+    return 0
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _cmd_workspace(args: argparse.Namespace) -> int:
+    handlers = {
+        "inspect": _cmd_workspace_inspect,
+        "stats": _cmd_workspace_stats,
+        "query": _cmd_workspace_query,
+    }
+    return handlers[args.workspace_command](args)
+
+
+def _cmd_workspace_inspect(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.api.cache import ArtifactStore
+
     if not os.path.isdir(args.directory):
         raise SystemExit(f"{args.directory}: not a directory")
     entries = ArtifactStore(args.directory).entries()
@@ -969,10 +1148,44 @@ _COMMANDS = {
 }
 
 
+#: ``repro workspace`` subcommands (the pre-subcommand spelling
+#: ``repro workspace DIR`` is normalised to ``inspect`` below).
+_WORKSPACE_SUBCOMMANDS = ("inspect", "stats", "query")
+
+
+def _normalize_argv(argv: Sequence[str]) -> List[str]:
+    """Back-compat shim for the pre-subcommand workspace spelling:
+    ``repro workspace DIR`` becomes ``repro workspace inspect DIR``
+    (with a DeprecationWarning).  ``repro workspace stats DIR`` already
+    parses as the real subcommand."""
+    argv = list(argv)
+    if len(argv) >= 2 and argv[0] == "workspace":
+        head = argv[1]
+        if head not in _WORKSPACE_SUBCOMMANDS and not head.startswith("-"):
+            warnings.warn(
+                f"'repro workspace {head}' is deprecated; use "
+                f"'repro workspace inspect {head}'",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            argv.insert(1, "inspect")
+    return argv
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point (also used by ``python -m repro``)."""
-    args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = build_parser().parse_args(_normalize_argv(argv))
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # stdout piped into a pager/head that exited early: not an
+        # error worth a traceback.  Point the fd at devnull so the
+        # interpreter's shutdown flush does not raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main()

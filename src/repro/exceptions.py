@@ -45,6 +45,13 @@ class WorkspaceError(ReproError):
     bindings or artifact requests."""
 
 
+class CatalogError(WorkspaceError):
+    """Raised by the sqlite artifact catalog (:mod:`repro.api.catalog`)
+    on unknown canned queries, rejected raw SQL, or an unusable
+    database file.  Store integrations catch it and degrade to the
+    filesystem-scan paths rather than failing artifact traffic."""
+
+
 class ServeError(ReproError):
     """Raised by the multi-corpus serving layer (:mod:`repro.serve`)
     on unknown corpora, bad operations, or invalid request

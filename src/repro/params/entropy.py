@@ -140,21 +140,59 @@ def entropy_curve(
     every distance) skips the counting pass entirely.
 
     .. deprecated:: 1.2
-        Calling without ``counts=`` re-runs the full pairwise pass and
-        emits a :class:`DeprecationWarning`; the curve is identical —
-        float for float — when read from a Workspace's cached counts.
+        Calling without ``counts=`` emits a :class:`DeprecationWarning`
+        naming the replacement call.  The compatibility path no longer
+        recomputes on its own: it routes through a memory-only
+        :class:`~repro.api.Workspace`, so the counting pass shares the
+        workspace engine (and its kernel backends) — the curve stays
+        identical, float for float.  Only a custom
+        :class:`~repro.distance.weighted.SegmentDistance` subclass or
+        an explicit ``method="brute"`` still takes the direct pass.
     """
     if counts is None:
         warnings.warn(
-            "entropy_curve() without counts= re-evaluates every pairwise "
-            "distance; this scattered entry point is deprecated — read "
-            "the curve from a Workspace (repro.api.Workspace."
-            "entropy_curve / entropy_counts) so the shared ε-graph is "
-            "built once, or pass counts= explicitly",
+            "entropy_curve(segments, eps_values) without counts= is "
+            "deprecated; call Workspace.from_segments(segments, "
+            "config).entropy_curve(eps_values) (repro.api.Workspace) "
+            "instead — it is the exact replacement for this call and "
+            "builds the shared ε-graph once — or pass counts= from "
+            "Workspace.entropy_counts(eps_values)",
             DeprecationWarning,
             stacklevel=2,
         )
-        counts = neighborhood_size_curve(segments, eps_values, distance, method)
+        eps_array = np.asarray(eps_values, dtype=np.float64)
+        if eps_array.ndim != 1 or eps_array.size == 0:
+            raise ParameterSearchError(
+                "eps_values must be a non-empty 1-D sequence"
+            )
+        if np.any(eps_array < 0):
+            raise ParameterSearchError("eps values must be non-negative")
+        if method not in NEIGHBORHOOD_METHODS:
+            raise ParameterSearchError(
+                f"unknown neighborhood method {method!r}; "
+                f"expected one of {NEIGHBORHOOD_METHODS}"
+            )
+        plain_distance = distance is None or type(distance) is SegmentDistance
+        if method != "brute" and plain_distance and len(segments) > 0:
+            # Late imports: repro.api.workspace imports this module.
+            from repro.api.workspace import Workspace
+            from repro.core.config import TraclusConfig
+
+            d = distance if distance is not None else SegmentDistance()
+            workspace = Workspace.from_segments(
+                segments,
+                TraclusConfig(
+                    w_perp=d.w_perp, w_par=d.w_par, w_theta=d.w_theta,
+                    directed=d.directed,
+                ),
+            )
+            counts = workspace.entropy_counts(eps_array)
+        else:
+            # Custom distance subclass, explicit brute force, or an
+            # empty segment set: the direct pass (same integer counts).
+            counts = neighborhood_size_curve(
+                segments, eps_values, distance, method
+            )
     elif counts.shape[0] != len(eps_values):
         raise ParameterSearchError(
             f"counts has {counts.shape[0]} rows but eps_values has "

@@ -119,6 +119,12 @@ class WorkspaceRegistry:
             max_disk_bytes=self.max_disk_bytes,
             metrics=self.metrics,
         )
+        # The workspace registered its fingerprint in the catalog on
+        # open; the registry adds the only thing it alone knows — the
+        # human-facing corpus name ``/v1/query`` filters accept.
+        workspace.store._catalog_call(
+            "register_corpus", workspace.corpus_key, spec.name, None, None
+        )
         with self._lock:
             raced = self._open.pop(name, None)
             if raced is not None:

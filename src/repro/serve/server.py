@@ -36,15 +36,22 @@ Observability (:mod:`repro.obs`) threads through the whole path:
   pending are shed with ``503`` + ``Retry-After`` instead of growing
   the executor queue without bound.
 
-Endpoints::
+Endpoints (versioned under ``/v1``; the unversioned spellings keep
+working but answer with a ``Deprecation`` header and are counted in
+``ServeStats.legacy_requests`` so operators can see when it is safe to
+drop them)::
 
-    GET  /healthz                 liveness: ping round-trip through the
+    GET  /v1/healthz              liveness: ping round-trip through the
                                   worker pool (503 when it times out)
-    GET  /stats                   traffic counters + latency quantiles
-    GET  /metrics                 Prometheus text exposition
-    GET  /corpora
-    POST /corpora/<name>/<op>     op in {params, labels, fit, sweep,
+    GET  /v1/stats                traffic counters + latency quantiles
+    GET  /v1/metrics              Prometheus text exposition
+    GET  /v1/corpora
+    POST /v1/corpora/<name>/<op>  op in {params, labels, fit, sweep,
                                          quality}; JSON params body
+    GET  /v1/query                cross-corpus analytics off the sqlite
+                                  artifact catalog (?query=cells&
+                                  min_clusters=3&...); /v1-only — no
+                                  legacy spelling ever existed
 """
 
 from __future__ import annotations
@@ -97,6 +104,10 @@ class ServeStats:
     errors: int = 0
     #: Requests refused by ``--max-pending`` admission control.
     sheds: int = 0
+    #: Requests that arrived on a deprecated unversioned path (the
+    #: pre-``/v1`` spellings); drop the legacy routes once this stays
+    #: at zero across a deployment window.
+    legacy_requests: int = 0
     #: Stage -> total rebuild count across every worker process.
     builds: Dict[str, int] = field(default_factory=dict)
 
@@ -114,6 +125,7 @@ class ServeStats:
             "coalesced": self.coalesced,
             "errors": self.errors,
             "sheds": self.sheds,
+            "legacy_requests": self.legacy_requests,
             "builds": dict(self.builds),
         }
 
@@ -169,6 +181,10 @@ class ServeApp:
         )
         self._inflight: Dict[str, asyncio.Future] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
+        #: Lazily-opened sqlite catalog over the shared cache_dir — the
+        #: ``/v1/query`` analytics surface.  The front-end only ever
+        #: reads it (WAL keeps readers live under worker writes).
+        self._catalog = None
         #: pid -> latest cumulative metrics snapshot shipped by that
         #: pool worker.  Replacing (not adding) per pid keeps the sum
         #: correct: each snapshot is cumulative over the worker's life.
@@ -234,10 +250,50 @@ class ServeApp:
             for name in self._registry.names()
         ]
 
+    def catalog_query(self, params: dict) -> dict:
+        """``GET /v1/query``: run one canned catalog query (synchronous
+        sqlite work — the router pushes it onto the default thread
+        executor).  Raw SQL stays a Python/CLI-local affordance; over
+        HTTP only the canned queries are reachable."""
+        from repro.api.catalog import Catalog
+        from repro.exceptions import CatalogError
+
+        if self.cache_dir is None:
+            raise ServeError(
+                "this server is memory-only (no --workspace directory); "
+                "there is no catalog to query"
+            )
+        if self._catalog is None:
+            try:
+                self._catalog = Catalog(self.cache_dir, metrics=self.metrics)
+            except CatalogError as error:
+                raise ServeError(f"catalog unavailable: {error}") from error
+        filters = dict(params)
+        name = filters.pop("query", "cells")
+        # Query-string values arrive as text; sqlite orders TEXT after
+        # every numeric, so comparisons must bind real numbers.
+        try:
+            for key in ("min_clusters", "limit"):
+                if key in filters:
+                    filters[key] = int(filters[key])
+            for key in ("max_noise", "eps", "min_lns"):
+                if key in filters:
+                    filters[key] = float(filters[key])
+        except (TypeError, ValueError) as error:
+            raise ServeError(f"bad query parameter: {error}") from error
+        try:
+            rows = self._catalog.query(name, **filters)
+        except CatalogError as error:
+            raise ServeError(str(error)) from error
+        return {"query": name, "n_rows": len(rows), "rows": rows}
+
     def close(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+        if self._catalog is not None:
+            self._catalog.close()
+            self._catalog = None
         if self.access_log is not None:
             self.access_log.close()
 
@@ -562,6 +618,8 @@ def _access_record(
         "builds": info.get("builds", {}),
     }
     segments = [part for part in path.split("/") if part]
+    if segments and segments[0] == "v1":
+        segments = segments[1:]
     if len(segments) == 3 and segments[0] == "corpora":
         record["corpus"] = segments[1]
         record["op"] = segments[2]
@@ -637,6 +695,10 @@ async def handle_connection(
             pass
 
 
+#: URL prefix of the current API version.
+API_PREFIX = "/v1"
+
+
 async def route_request(
     app: ServeApp,
     method: str,
@@ -647,27 +709,77 @@ async def route_request(
 ) -> Tuple[int, object, Dict[str, str]]:
     """Dispatch one parsed request; returns
     ``(status, payload, headers)``.  The payload is a JSON-safe dict,
-    except ``/metrics`` which returns the Prometheus text body."""
+    except ``/metrics`` which returns the Prometheus text body.
+
+    Routes live under :data:`API_PREFIX`; an unversioned spelling of a
+    pre-``/v1`` route still answers, with a ``Deprecation`` header and
+    a ``Link`` to its successor, and bumps
+    ``ServeStats.legacy_requests``.  Unmatched paths 404 either way."""
+    versioned = path == API_PREFIX or path.startswith(API_PREFIX + "/")
+    route_path = path[len(API_PREFIX):] or "/" if versioned else path
+    status, payload, headers, matched = await _dispatch(
+        app, method, route_path, params,
+        request_id=request_id, info=info, versioned=versioned,
+    )
+    if matched and not versioned:
+        app.stats.legacy_requests += 1
+        headers.setdefault("Deprecation", "true")
+        headers.setdefault(
+            "Link", f'<{API_PREFIX}{route_path}>; rel="successor-version"'
+        )
+    return status, payload, headers
+
+
+async def _dispatch(
+    app: ServeApp,
+    method: str,
+    path: str,
+    params: dict,
+    request_id: Optional[str],
+    info: Optional[dict],
+    versioned: bool,
+) -> Tuple[int, object, Dict[str, str], bool]:
+    """The version-independent router: *path* has the ``/v1`` prefix
+    already stripped.  The fourth element says whether the path matched
+    a known route (deprecation headers only decorate real routes)."""
     segments = [part for part in path.split("/") if part]
     headers: Dict[str, str] = {}
     try:
         if path == "/healthz":
             ok, body = await app.health()
-            return (200 if ok else 503), body, headers
+            return (200 if ok else 503), body, headers, True
         if path == "/stats":
-            return 200, app.stats_payload(), headers
+            return 200, app.stats_payload(), headers, True
         if path == "/metrics":
             if not app.telemetry:
                 return 404, {
                     "error": "telemetry is disabled on this server "
                              "(started with --no-telemetry)"
-                }, headers
-            return 200, render_prometheus(app.metrics_snapshot()), headers
+                }, headers, True
+            return 200, render_prometheus(app.metrics_snapshot()), headers, True
+        if path == "/query":
+            # Born versioned: there is no legacy spelling to honour.
+            if not versioned:
+                return 404, {
+                    "error": f"no route for {path!r}; the catalog "
+                             f"query surface is {API_PREFIX}/query"
+                }, headers, False
+            if method != "GET":
+                return 405, {
+                    "error": f"method {method} not allowed"
+                }, headers, True
+            loop = asyncio.get_running_loop()
+            body = await loop.run_in_executor(
+                None, app.catalog_query, params
+            )
+            return 200, body, headers, True
         if path == "/corpora" and method == "GET":
-            return 200, {"corpora": app.corpora()}, headers
+            return 200, {"corpora": app.corpora()}, headers, True
         if len(segments) == 3 and segments[0] == "corpora":
             if method not in ("GET", "POST"):
-                return 405, {"error": f"method {method} not allowed"}, headers
+                return 405, {
+                    "error": f"method {method} not allowed"
+                }, headers, True
             _, name, op = segments
             started = time.perf_counter()
             status = 500
@@ -678,18 +790,18 @@ async def route_request(
                 status = 200
                 return status, {
                     "corpus": name, "op": op, "result": result
-                }, headers
+                }, headers, True
             except OverloadedError as error:
                 # Sheds are counted by admission control, not as
                 # errors — the client did nothing wrong.
                 status = 503
                 headers["Retry-After"] = "1"
-                return status, {"error": str(error)}, headers
+                return status, {"error": str(error)}, headers, True
             except ServeError as error:
                 app.stats.errors += 1
                 message = str(error)
                 status = 404 if "unknown corpus" in message else 400
-                return status, {"error": message}, headers
+                return status, {"error": message}, headers, True
             except Exception as error:  # noqa: BLE001 - fault barrier
                 app.stats.errors += 1
                 status = 500
@@ -699,20 +811,22 @@ async def route_request(
                 )
                 return status, {
                     "error": f"{type(error).__name__}: {error}"
-                }, headers
+                }, headers, True
             finally:
                 app.observe_request(
                     op, status, time.perf_counter() - started
                 )
-        return 404, {"error": f"no route for {path!r}"}, headers
+        return 404, {"error": f"no route for {path!r}"}, headers, False
     except ServeError as error:
         app.stats.errors += 1
         message = str(error)
         status = 404 if "unknown corpus" in message else 400
-        return status, {"error": message}, headers
+        return status, {"error": message}, headers, True
     except Exception as error:  # noqa: BLE001 - fault barrier
         app.stats.errors += 1
-        return 500, {"error": f"{type(error).__name__}: {error}"}, headers
+        return 500, {
+            "error": f"{type(error).__name__}: {error}"
+        }, headers, True
 
 
 async def start_http_server(

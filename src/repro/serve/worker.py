@@ -7,7 +7,10 @@ Pool workers are initialised once with the picklable corpus specs and
 build a process-local :class:`~repro.serve.registry.WorkspaceRegistry`
 over the shared cache directory — the npz tier is the read-through
 warm path between processes, the per-process registries are the hot
-object tier.
+object tier.  Each worker's artifact stores also write through to the
+shared sqlite catalog (:mod:`repro.api.catalog`): WAL mode makes the
+many-writer traffic safe, and the front-end's read-only ``/v1/query``
+connection sees every save the fleet commits.
 
 Each call also reports the workspace's *build deltas* (which pipeline
 stages actually recomputed), so the front-end can aggregate artifact

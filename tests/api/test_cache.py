@@ -242,13 +242,17 @@ class TestDiskBudget:
 
 
 class TestEntriesUnderConcurrentEviction:
-    def test_vanished_file_is_skipped(self, tmp_path, monkeypatch):
+    def test_vanished_file_is_skipped_without_catalog(
+        self, tmp_path, monkeypatch
+    ):
         """Regression: ``entries()`` used to crash with
         ``FileNotFoundError`` when a file was evicted between listdir
-        and stat — the ``repro workspace`` inspector died mid-sweep."""
+        and stat — the ``repro workspace`` inspector died mid-sweep.
+        The scan survives as the no-catalog fallback path."""
         store = ArtifactStore(str(tmp_path))
         store.save_arrays("labels", "stays", {"x": np.zeros(2)}, {})
         store.save_arrays("graph", "vanishes", {"x": np.zeros(2)}, {})
+        store.catalog = None  # degrade to the filesystem scan
         victim = store.path("graph", "vanishes")
         real_getsize = os.path.getsize
 
@@ -258,5 +262,29 @@ class TestEntriesUnderConcurrentEviction:
             return real_getsize(p)
 
         monkeypatch.setattr(os.path, "getsize", racing_getsize)
+        entries = store.entries()
+        assert [entry["key"] for entry in entries] == ["stays"]
+
+    def test_rebuild_skips_file_vanishing_mid_scan(
+        self, tmp_path, monkeypatch
+    ):
+        """The same race, moved to where the stats now happen: a file
+        evicted while ``Catalog.rebuild()`` scans the directory is
+        skipped, not indexed as a dangling row."""
+        import repro.api.catalog as catalog_module
+
+        store = ArtifactStore(str(tmp_path))
+        store.save_arrays("labels", "stays", {"x": np.zeros(2)}, {})
+        store.save_arrays("graph", "vanishes", {"x": np.zeros(2)}, {})
+        victim = store.path("graph", "vanishes")
+        real_meta = catalog_module.load_artifact_meta
+
+        def racing_meta(path):
+            if path == victim:
+                os.unlink(victim)  # concurrent eviction wins the race
+            return real_meta(path)
+
+        monkeypatch.setattr(catalog_module, "load_artifact_meta", racing_meta)
+        store.catalog.rebuild()
         entries = store.entries()
         assert [entry["key"] for entry in entries] == ["stays"]

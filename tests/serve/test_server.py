@@ -215,3 +215,114 @@ class TestRouting:
             )
             assert status == 404
         asyncio.run(scenario())
+
+
+class TestVersionedRoutes:
+    def test_v1_routes_answer_without_deprecation(self, app):
+        async def scenario():
+            for path in ("/v1/healthz", "/v1/stats", "/v1/corpora"):
+                status, _, headers = await route_request(
+                    app, "GET", path, {}
+                )
+                assert status == 200, path
+                assert "Deprecation" not in headers, path
+            status, body, headers = await route_request(
+                app, "POST", "/v1/corpora/corpus0/labels",
+                {"eps": 2.0, "min_lns": 3.0},
+            )
+            assert status == 200 and "Deprecation" not in headers
+            assert body["result"]["n_segments"] > 0
+            assert app.stats.legacy_requests == 0
+        asyncio.run(scenario())
+
+    def test_legacy_routes_deprecated_but_working(self, app):
+        async def scenario():
+            status, body, headers = await route_request(
+                app, "GET", "/stats", {}
+            )
+            assert status == 200
+            assert headers["Deprecation"] == "true"
+            assert headers["Link"] == '</v1/stats>; rel="successor-version"'
+            status, _, headers = await route_request(
+                app, "POST", "/corpora/corpus0/labels",
+                {"eps": 2.0, "min_lns": 3.0},
+            )
+            assert status == 200
+            assert headers["Link"] == (
+                '</v1/corpora/corpus0/labels>; rel="successor-version"'
+            )
+            assert app.stats.legacy_requests == 2
+            assert app.stats_payload()["legacy_requests"] == 2
+            # Unmatched paths are plain 404s, not "deprecated routes".
+            status, _, headers = await route_request(app, "GET", "/nope", {})
+            assert status == 404 and "Deprecation" not in headers
+            status, _, _ = await route_request(app, "GET", "/v1/nope", {})
+            assert status == 404
+            assert app.stats.legacy_requests == 2
+        asyncio.run(scenario())
+
+    def test_query_endpoint_is_versioned_only(self, app):
+        async def scenario():
+            # Born under /v1: the unversioned spelling never existed.
+            status, _, headers = await route_request(app, "GET", "/query", {})
+            assert status == 404 and "Deprecation" not in headers
+            status, _, _ = await route_request(app, "POST", "/v1/query", {})
+            assert status == 405
+        asyncio.run(scenario())
+
+    def test_query_end_to_end(self, app):
+        async def scenario():
+            await app.request("corpus0", "sweep", {
+                "eps_values": [4.0, 5.0], "min_lns_values": [3.0, 4.0],
+            })
+            status, body, _ = await route_request(
+                app, "GET", "/v1/query",
+                {"query": "cells", "min_clusters": "1", "limit": "10"},
+            )
+            assert status == 200
+            assert body["query"] == "cells"
+            assert body["n_rows"] == len(body["rows"]) > 0
+            row = body["rows"][0]
+            assert {"corpus", "eps", "min_lns", "n_clusters",
+                    "noise_fraction"} <= row.keys()
+            assert all(r["n_clusters"] >= 1 for r in body["rows"])
+            # The registry taught the catalog the corpus's name, so
+            # filtering by name (not fingerprint) works over HTTP.
+            status, named, _ = await route_request(
+                app, "GET", "/v1/query",
+                {"query": "cells", "corpus": "corpus0",
+                 "min_clusters": "1"},
+            )
+            assert status == 200 and named["n_rows"] == body["n_rows"]
+            status, absent, _ = await route_request(
+                app, "GET", "/v1/query",
+                {"query": "cells", "corpus": "no-such-corpus"},
+            )
+            assert status == 200 and absent["n_rows"] == 0
+            status, corpora, _ = await route_request(
+                app, "GET", "/v1/query", {"query": "corpora"},
+            )
+            assert status == 200
+            assert "corpus0" in {r["name"] for r in corpora["rows"]}
+            status, error, _ = await route_request(
+                app, "GET", "/v1/query", {"query": "bogus"},
+            )
+            assert status == 400 and "bogus" in error["error"]
+            status, error, _ = await route_request(
+                app, "GET", "/v1/query", {"min_clusters": "lots"},
+            )
+            assert status == 400
+        asyncio.run(scenario())
+
+    def test_query_on_memory_only_server_is_clean_400(self, specs):
+        app = ServeApp(specs, cache_dir=None, workers=0)
+        try:
+            async def scenario():
+                status, body, _ = await route_request(
+                    app, "GET", "/v1/query", {}
+                )
+                assert status == 400
+                assert "memory-only" in body["error"]
+            asyncio.run(scenario())
+        finally:
+            app.close()
