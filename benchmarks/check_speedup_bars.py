@@ -55,6 +55,16 @@ REGISTERED_FLOORS = {
     # bench_query.py: cross-corpus cells query off the sqlite catalog
     # vs loading every npz payload (measures ~30x at smoke scale).
     "query": 10.0,
+    # bench_shard.py: merger offload ratio — single-stream wall over
+    # the merger's serial wall.  The merger is the only serial stage
+    # of a sharded session, so this bounds K-shard scaling; measuring
+    # it single-threaded keeps the gate stable on 1-core CI hosts
+    # (measures ~2.6x at smoke scale).
+    "shard": 2.0,
+    # bench_shard.py --latency-json: committed per-append p99 ceiling
+    # over the measured in-process p99 (regression reads < 1.0x; the
+    # ceiling would be blown by any O(live)-per-append regression).
+    "shard_latency": 1.0,
 }
 
 

@@ -53,6 +53,7 @@ When to bypass to the raw engines (see also the README API guide):
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -232,6 +233,12 @@ class Workspace:
         self._grid_registry: List[Tuple[Tuple[float, ...],
                                         Tuple[float, ...],
                                         Optional[float], str]] = []
+        # One lock per (artifact kind, fingerprint key): concurrent
+        # builds of the *same* artifact collapse to one compute while
+        # distinct keys proceed in parallel.  The meta-lock only guards
+        # the registry dict, never a build.
+        self._build_locks: Dict[Tuple[str, str], threading.Lock] = {}
+        self._build_locks_meta = threading.Lock()
         if trajectories is not None:
             trajectories = list(trajectories)
             if not trajectories:
@@ -286,6 +293,22 @@ class Workspace:
     @property
     def stats(self) -> CacheStats:
         return self.store.stats
+
+    def _artifact_lock(self, kind: str, key: str) -> threading.Lock:
+        """The build lock for one (kind, key) artifact.
+
+        Callers take the fast cache path first and only reach for the
+        lock on a miss, then re-check the cache under it (double-checked
+        locking): a thread that lost the race finds the winner's object
+        and never builds.  Lock acquisition order follows the artifact
+        dependency graph (labels -> engine -> graph -> partition), which
+        is acyclic, so nested holds cannot deadlock."""
+        pair = (kind, key)
+        with self._build_locks_meta:
+            lock = self._build_locks.get(pair)
+            if lock is None:
+                lock = self._build_locks[pair] = threading.Lock()
+        return lock
 
     @contextmanager
     def _measure_build(self, stage: str):
@@ -390,26 +413,30 @@ class Workspace:
         artifact = self.store.get_object("partition", key)
         if artifact is not None:
             return artifact
-        loaded = self.store.load_arrays("partition", key)
-        if loaded is not None:
-            artifact = self._partition_from_arrays(loaded[0])
-        else:
-            started = time.perf_counter()
-            artifact = self._build_partition()
-            self.store.save_arrays(
-                "partition", key, self._partition_to_arrays(artifact),
-                {"kind": "partition", "corpus": self.corpus_key,
-                 "suppression": self.config.suppression,
-                 "n_segments": len(artifact.segments),
-                 "n_trajectories": len(self.trajectories or ()),
-                 "build_seconds": time.perf_counter() - started},
+        with self._artifact_lock("partition", key):
+            artifact = self.store.get_object("partition", key)
+            if artifact is not None:
+                return artifact
+            loaded = self.store.load_arrays("partition", key)
+            if loaded is not None:
+                artifact = self._partition_from_arrays(loaded[0])
+            else:
+                started = time.perf_counter()
+                artifact = self._build_partition()
+                self.store.save_arrays(
+                    "partition", key, self._partition_to_arrays(artifact),
+                    {"kind": "partition", "corpus": self.corpus_key,
+                     "suppression": self.config.suppression,
+                     "n_segments": len(artifact.segments),
+                     "n_trajectories": len(self.trajectories or ()),
+                     "build_seconds": time.perf_counter() - started},
+                )
+            self.store._catalog_call(
+                "register_corpus", self.corpus_key, None, None,
+                len(artifact.segments),
             )
-        self.store._catalog_call(
-            "register_corpus", self.corpus_key, None, None,
-            len(artifact.segments),
-        )
-        self.store.put_object("partition", key, artifact)
-        return artifact
+            self.store.put_object("partition", key, artifact)
+            return artifact
 
     def _build_partition(self) -> PartitionArtifact:
         from repro.model.ragged import RaggedPoints
@@ -500,35 +527,39 @@ class Workspace:
         graph = self.store.get_object("graph", key)
         if graph is not None and graph.eps >= eps:
             return graph
-        loaded = self.store.load_arrays("graph", key)
-        if loaded is not None:
-            arrays, meta = loaded
-            disk_eps = float(meta["eps"])
-            if disk_eps >= eps:
-                graph = NeighborGraph(
-                    disk_eps, self._distance, arrays["indptr"],
-                    arrays["indices"], arrays["data"],
-                )
-                self.store.put_object("graph", key, graph)
+        with self._artifact_lock("graph", key):
+            graph = self.store.get_object("graph", key)
+            if graph is not None and graph.eps >= eps:
                 return graph
-        started = time.perf_counter()
-        with self._measure_build("graph"):
-            graph = NeighborGraph.build(
-                self.segments(), float(eps), self._distance
+            loaded = self.store.load_arrays("graph", key)
+            if loaded is not None:
+                arrays, meta = loaded
+                disk_eps = float(meta["eps"])
+                if disk_eps >= eps:
+                    graph = NeighborGraph(
+                        disk_eps, self._distance, arrays["indptr"],
+                        arrays["indices"], arrays["data"],
+                    )
+                    self.store.put_object("graph", key, graph)
+                    return graph
+            started = time.perf_counter()
+            with self._measure_build("graph"):
+                graph = NeighborGraph.build(
+                    self.segments(), float(eps), self._distance
+                )
+            self.store.save_arrays(
+                "graph", key,
+                {"indptr": graph.indptr, "indices": graph.indices,
+                 "data": graph.data},
+                {"kind": "graph", "corpus": self.corpus_key, "eps": graph.eps,
+                 "n_segments": graph.n_segments, "n_edges": graph.n_edges,
+                 "build_seconds": time.perf_counter() - started},
             )
-        self.store.save_arrays(
-            "graph", key,
-            {"indptr": graph.indptr, "indices": graph.indices,
-             "data": graph.data},
-            {"kind": "graph", "corpus": self.corpus_key, "eps": graph.eps,
-             "n_segments": graph.n_segments, "n_edges": graph.n_edges,
-             "build_seconds": time.perf_counter() - started},
-        )
-        self.store.put_object("graph", key, graph)
-        # Engines hold views of the superseded graph; rebuild from the
-        # new one on next use.
-        self._engines.clear()
-        return graph
+            self.store.put_object("graph", key, graph)
+            # Engines hold views of the superseded graph; rebuild from
+            # the new one on next use.
+            self._engines.clear()
+            return graph
 
     def eps_graph(self, eps: float) -> NeighborGraph:
         """The ε-neighborhood CSR graph at exactly *eps* (a filtered
@@ -554,16 +585,20 @@ class Workspace:
             raise WorkspaceError("eps_values must be non-empty")
         cache_key = eps_array.tobytes()
         engine = self._engines.get(cache_key)
-        if engine is None:
-            graph = self._ensure_graph(float(eps_array.max()))
-            engine = SweepEngine(
-                self.segments(), eps_array, self._distance, graph=graph,
-                metrics=self.metrics,
-            )
-            while len(self._engines) >= self._MAX_ENGINES:
-                self._engines.pop(next(iter(self._engines)))
-            self._engines[cache_key] = engine
-        return engine
+        if engine is not None:
+            return engine
+        with self._artifact_lock("engine", cache_key.hex()):
+            engine = self._engines.get(cache_key)
+            if engine is None:
+                graph = self._ensure_graph(float(eps_array.max()))
+                engine = SweepEngine(
+                    self.segments(), eps_array, self._distance, graph=graph,
+                    metrics=self.metrics,
+                )
+                while len(self._engines) >= self._MAX_ENGINES:
+                    self._engines.pop(next(iter(self._engines)))
+                self._engines[cache_key] = engine
+            return engine
 
     # -- entropy artifact ----------------------------------------------------
     def entropy_counts(self, eps_values: Sequence[float]) -> np.ndarray:
@@ -576,25 +611,29 @@ class Workspace:
         counts = self.store.get_object("counts", key)
         if counts is not None:
             return counts
-        loaded = self.store.load_arrays("counts", key)
-        if loaded is not None:
-            counts = loaded[0]["counts"]
-        else:
-            engine = self._engine(eps_array)
-            started = time.perf_counter()
-            with self._measure_build("counts"):
-                counts = engine.neighborhood_counts()
+        with self._artifact_lock("counts", key):
+            counts = self.store.get_object("counts", key)
+            if counts is not None:
+                return counts
+            loaded = self.store.load_arrays("counts", key)
+            if loaded is not None:
+                counts = loaded[0]["counts"]
+            else:
+                engine = self._engine(eps_array)
+                started = time.perf_counter()
+                with self._measure_build("counts"):
+                    counts = engine.neighborhood_counts()
+                counts.setflags(write=False)
+                self.store.save_arrays(
+                    "counts", key, {"counts": counts, "eps_values": eps_array},
+                    {"kind": "counts", "corpus": self.corpus_key,
+                     "n_eps": int(eps_array.size),
+                     "eps_max": float(eps_array.max()),
+                     "build_seconds": time.perf_counter() - started},
+                )
             counts.setflags(write=False)
-            self.store.save_arrays(
-                "counts", key, {"counts": counts, "eps_values": eps_array},
-                {"kind": "counts", "corpus": self.corpus_key,
-                 "n_eps": int(eps_array.size),
-                 "eps_max": float(eps_array.max()),
-                 "build_seconds": time.perf_counter() - started},
-            )
-        counts.setflags(write=False)
-        self.store.put_object("counts", key, counts)
-        return counts
+            self.store.put_object("counts", key, counts)
+            return counts
 
     def entropy_curve(
         self, eps_values: Sequence[float]
@@ -651,42 +690,46 @@ class Workspace:
         labels = self.store.get_object("labels", key)
         if labels is not None:
             return labels
-        loaded = self.store.load_arrays("labels", key)
-        if loaded is not None:
-            labels = loaded[0]["labels"]
-        else:
-            config = self.config
-            engine = self._engine(eps_array)
-            started = time.perf_counter()
-            with self._measure_build("labels"):
-                labels = engine.labels_grid(
-                    min_lns_array.tolist(),
-                    cardinality_threshold=threshold,
-                    use_weights=config.use_weights,
-                    executor=executor,
-                    n_workers=n_workers,
+        with self._artifact_lock("labels", key):
+            labels = self.store.get_object("labels", key)
+            if labels is not None:
+                return labels
+            loaded = self.store.load_arrays("labels", key)
+            if loaded is not None:
+                labels = loaded[0]["labels"]
+            else:
+                config = self.config
+                engine = self._engine(eps_array)
+                started = time.perf_counter()
+                with self._measure_build("labels"):
+                    labels = engine.labels_grid(
+                        min_lns_array.tolist(),
+                        cardinality_threshold=threshold,
+                        use_weights=config.use_weights,
+                        executor=executor,
+                        n_workers=n_workers,
+                    )
+                self.store.save_arrays(
+                    "labels", key,
+                    {"labels": labels, "eps_values": eps_array,
+                     "min_lns_values": min_lns_array},
+                    {"kind": "labels", "corpus": self.corpus_key,
+                     "use_weights": config.use_weights,
+                     "grid": [int(eps_array.size), int(min_lns_array.size)],
+                     "n_segments": int(labels.shape[2]),
+                     "cardinality_threshold": threshold,
+                     "cells": _grid_cells(eps_array, min_lns_array, labels),
+                     "build_seconds": time.perf_counter() - started},
                 )
-            self.store.save_arrays(
-                "labels", key,
-                {"labels": labels, "eps_values": eps_array,
-                 "min_lns_values": min_lns_array},
-                {"kind": "labels", "corpus": self.corpus_key,
-                 "use_weights": config.use_weights,
-                 "grid": [int(eps_array.size), int(min_lns_array.size)],
-                 "n_segments": int(labels.shape[2]),
-                 "cardinality_threshold": threshold,
-                 "cells": _grid_cells(eps_array, min_lns_array, labels),
-                 "build_seconds": time.perf_counter() - started},
+            labels.setflags(write=False)
+            self.store.put_object("labels", key, labels)
+            entry = (
+                tuple(eps_array.tolist()), tuple(min_lns_array.tolist()),
+                threshold, key,
             )
-        labels.setflags(write=False)
-        self.store.put_object("labels", key, labels)
-        entry = (
-            tuple(eps_array.tolist()), tuple(min_lns_array.tolist()),
-            threshold, key,
-        )
-        if entry not in self._grid_registry:
-            self._grid_registry.append(entry)
-        return labels
+            if entry not in self._grid_registry:
+                self._grid_registry.append(entry)
+            return labels
 
     def labels(self, eps: float, min_lns: float) -> np.ndarray:
         """Labels at one (ε, MinLns) point (read-only; ``.copy()`` to
@@ -730,33 +773,37 @@ class Workspace:
         cached = self.store.get_object("quality", key)
         if cached is not None:
             return cached
-        loaded = self.store.load_arrays("quality", key)
-        if loaded is not None:
-            arrays = loaded[0]
-            breakdown = QualityBreakdown(
-                total_sse=float(arrays["total_sse"]),
-                noise_penalty=float(arrays["noise_penalty"]),
-            )
-        else:
-            segments = self.segments()
-            labels = self.labels(eps, min_lns)
-            started = time.perf_counter()
-            with self._measure_build("quality"):
-                breakdown = quality_measure(
-                    clusters_from_labels(labels, segments), segments, labels,
-                    self._distance,
+        with self._artifact_lock("quality", key):
+            cached = self.store.get_object("quality", key)
+            if cached is not None:
+                return cached
+            loaded = self.store.load_arrays("quality", key)
+            if loaded is not None:
+                arrays = loaded[0]
+                breakdown = QualityBreakdown(
+                    total_sse=float(arrays["total_sse"]),
+                    noise_penalty=float(arrays["noise_penalty"]),
                 )
-            self.store.save_arrays(
-                "quality", key,
-                {"total_sse": np.float64(breakdown.total_sse),
-                 "noise_penalty": np.float64(breakdown.noise_penalty)},
-                {"kind": "quality", "corpus": self.corpus_key,
-                 "eps": float(eps), "min_lns": float(min_lns),
-                 "qmeasure": breakdown.qmeasure,
-                 "build_seconds": time.perf_counter() - started},
-            )
-        self.store.put_object("quality", key, breakdown)
-        return breakdown
+            else:
+                segments = self.segments()
+                labels = self.labels(eps, min_lns)
+                started = time.perf_counter()
+                with self._measure_build("quality"):
+                    breakdown = quality_measure(
+                        clusters_from_labels(labels, segments), segments,
+                        labels, self._distance,
+                    )
+                self.store.save_arrays(
+                    "quality", key,
+                    {"total_sse": np.float64(breakdown.total_sse),
+                     "noise_penalty": np.float64(breakdown.noise_penalty)},
+                    {"kind": "quality", "corpus": self.corpus_key,
+                     "eps": float(eps), "min_lns": float(min_lns),
+                     "qmeasure": breakdown.qmeasure,
+                     "build_seconds": time.perf_counter() - started},
+                )
+            self.store.put_object("quality", key, breakdown)
+            return breakdown
 
     # -- representative artifact ---------------------------------------------
     def representatives(
@@ -777,44 +824,52 @@ class Workspace:
         # one result cannot poison later reads.
         cached = self.store.get_object("representatives", key)
         if cached is None:
-            loaded = self.store.load_arrays("representatives", key)
-            if loaded is not None:
-                cached = (loaded[0]["rep_flat"], loaded[0]["rep_offsets"])
-            else:
-                clusters = clusters_from_labels(
-                    self.labels(eps, min_lns), self.segments()
-                )
-                started = time.perf_counter()
-                with self._measure_build("representatives"):
-                    reps = generate_all_representatives(
-                        clusters,
-                        RepresentativeConfig(
-                            min_lns=float(min_lns), gamma=gamma
-                        ),
-                    )
-                row_counts = np.array(
-                    [rep.shape[0] for rep in reps], dtype=np.int64
-                )
-                offsets = np.zeros(len(reps) + 1, dtype=np.int64)
-                np.cumsum(row_counts, out=offsets[1:])
-                dim = self.segments().dim
-                flat = (
-                    np.concatenate([rep for rep in reps if rep.shape[0]])
-                    if offsets[-1]
-                    else np.empty((0, dim), dtype=np.float64)
-                )
-                self.store.save_arrays(
-                    "representatives", key,
-                    {"rep_flat": flat, "rep_offsets": offsets},
-                    {"kind": "representatives", "corpus": self.corpus_key,
-                     "eps": float(eps), "min_lns": float(min_lns),
-                     "gamma": gamma, "n_clusters": len(reps),
-                     "build_seconds": time.perf_counter() - started},
-                )
-                cached = (flat, offsets)
-            for array in cached:
-                array.setflags(write=False)
-            self.store.put_object("representatives", key, cached)
+            with self._artifact_lock("representatives", key):
+                cached = self.store.get_object("representatives", key)
+                if cached is None:
+                    loaded = self.store.load_arrays("representatives", key)
+                    if loaded is not None:
+                        cached = (
+                            loaded[0]["rep_flat"], loaded[0]["rep_offsets"]
+                        )
+                    else:
+                        clusters = clusters_from_labels(
+                            self.labels(eps, min_lns), self.segments()
+                        )
+                        started = time.perf_counter()
+                        with self._measure_build("representatives"):
+                            reps = generate_all_representatives(
+                                clusters,
+                                RepresentativeConfig(
+                                    min_lns=float(min_lns), gamma=gamma
+                                ),
+                            )
+                        row_counts = np.array(
+                            [rep.shape[0] for rep in reps], dtype=np.int64
+                        )
+                        offsets = np.zeros(len(reps) + 1, dtype=np.int64)
+                        np.cumsum(row_counts, out=offsets[1:])
+                        dim = self.segments().dim
+                        flat = (
+                            np.concatenate(
+                                [rep for rep in reps if rep.shape[0]]
+                            )
+                            if offsets[-1]
+                            else np.empty((0, dim), dtype=np.float64)
+                        )
+                        self.store.save_arrays(
+                            "representatives", key,
+                            {"rep_flat": flat, "rep_offsets": offsets},
+                            {"kind": "representatives",
+                             "corpus": self.corpus_key,
+                             "eps": float(eps), "min_lns": float(min_lns),
+                             "gamma": gamma, "n_clusters": len(reps),
+                             "build_seconds": time.perf_counter() - started},
+                        )
+                        cached = (flat, offsets)
+                    for array in cached:
+                        array.setflags(write=False)
+                    self.store.put_object("representatives", key, cached)
         flat, offsets = cached
         clusters = clusters_from_labels(
             self.labels(eps, min_lns), self.segments()

@@ -339,7 +339,23 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--max-deltas", type=int, default=12,
                         help="label changes printed per update (0 = quiet)")
     stream.add_argument("--checkpoint", default=None,
-                        help="write a stream checkpoint here on exit")
+                        help="write a stream checkpoint here on exit "
+                             "(a directory with --shards > 1)")
+    stream.add_argument("--shards", type=int, default=1, metavar="K",
+                        help="shard ingestion across K worker processes "
+                             "(trajectory-hash routed, one merged label "
+                             "view); labels stay bitwise identical to "
+                             "--shards 1, but windows/compaction are "
+                             "unsupported")
+    stream.add_argument("--inline-shards", action="store_true",
+                        help="with --shards: run the shard workers "
+                             "in-process over the same wire protocol "
+                             "(debugging/CI)")
+    stream.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="expose Prometheus metrics (append latency, "
+                             "diff rates, shard lag) on "
+                             "http://127.0.0.1:PORT/v1/metrics")
 
     serve = sub.add_parser(
         "serve",
@@ -914,9 +930,21 @@ def _format_label(label: Optional[int]) -> str:
     return "noise" if label < 0 else f"c{label}"
 
 
+def _print_deltas(changed, max_deltas: int) -> None:
+    if max_deltas <= 0:
+        return
+    for slot in sorted(changed)[:max_deltas]:
+        old, new = changed[slot]
+        print(f"        seg {slot}: {_format_label(old)} -> {_format_label(new)}")
+    if len(changed) > max_deltas:
+        print(f"        ... {len(changed) - max_deltas} more")
+
+
 def _print_update(update, event: int, max_deltas: int) -> None:
+    # n_alive, not len(update.labels): the dense map is lazy and
+    # materializing it would put an O(live) cost back on every append.
     print(
-        f"[{event:>5}] live={len(update.labels):>5} "
+        f"[{event:>5}] live={update.n_alive:>5} "
         f"clusters={update.n_clusters:>3} "
         f"+{len(update.inserted)} -{len(update.evicted)} segs, "
         f"{len(update.changed)} label changes"
@@ -924,16 +952,26 @@ def _print_update(update, event: int, max_deltas: int) -> None:
     if update.remapped is not None:
         print(f"        compacted: {len(update.remapped)} live slots "
               f"renumbered")
-    if max_deltas <= 0:
-        return
-    for slot in sorted(update.changed)[:max_deltas]:
-        old, new = update.changed[slot]
-        print(f"        seg {slot}: {_format_label(old)} -> {_format_label(new)}")
-    if len(update.changed) > max_deltas:
-        print(f"        ... {len(update.changed) - max_deltas} more")
+    _print_deltas(update.changed, max_deltas)
+
+
+def _silence_stdout() -> None:
+    """Point stdout at devnull after a broken pipe so later prints and
+    the interpreter's shutdown flush stay quiet."""
+    import os
+
+    try:
+        sys.stdout.flush()
+    except (BrokenPipeError, OSError):
+        pass
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
+    if args.batch_points < 1:
+        raise SystemExit("--batch-points must be >= 1")
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
     config = StreamConfig(
         eps=args.eps,
         min_lns=args.min_lns,
@@ -944,9 +982,19 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         horizon=args.horizon,
         compact_dead_fraction=args.compact_dead_fraction,
     )
-    pipeline = StreamingTRACLUS(config)
-    if args.batch_points < 1:
-        raise SystemExit("--batch-points must be >= 1")
+    if args.shards > 1:
+        return _cmd_stream_sharded(args, config)
+    metrics = None
+    scrape = None
+    if args.metrics_port is not None:
+        from repro.obs import MetricsRegistry, start_scrape_server
+
+        metrics = MetricsRegistry(enabled=True)
+        scrape = start_scrape_server(
+            metrics.snapshot, port=args.metrics_port
+        )
+        print(f"metrics on http://127.0.0.1:{scrape.port}/v1/metrics")
+    pipeline = StreamingTRACLUS(config, metrics=metrics)
     pending: "dict[int, list]" = {}
     opened: "set[int]" = set()
     event = 0
@@ -1016,6 +1064,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 flush(traj_id)
     except KeyboardInterrupt:
         print("\ninterrupted — final state below")
+    except BrokenPipeError:
+        # Downstream pager/head went away: stop streaming quietly but
+        # still honour --checkpoint below.
+        _silence_stdout()
+    finally:
+        if scrape is not None:
+            scrape.close()
     slots, labels = pipeline.labels()
     n_clusters = int(labels.max()) + 1 if labels.size else 0
     noise = int(np.sum(labels < 0))
@@ -1028,6 +1083,120 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
         save_checkpoint(pipeline, args.checkpoint)
         print(f"wrote {args.checkpoint}")
+    return 0
+
+
+def _cmd_stream_sharded(args: argparse.Namespace, config) -> int:
+    """``repro stream --shards K``: parallel shard ingest with the
+    merged label view (bitwise identical to ``--shards 1``)."""
+    from repro.exceptions import ClusteringError
+    from repro.shard import ShardedStream
+
+    metrics = None
+    scrape = None
+    if args.metrics_port is not None:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry(enabled=True)
+    try:
+        stream = ShardedStream(
+            config,
+            args.shards,
+            processes=not args.inline_shards,
+            metrics=metrics,
+        )
+    except ClusteringError as error:
+        raise SystemExit(str(error))
+    if metrics is not None:
+        from repro.obs import start_scrape_server
+
+        scrape = start_scrape_server(
+            stream.metrics_snapshot, port=args.metrics_port
+        )
+        print(f"metrics on http://127.0.0.1:{scrape.port}/v1/metrics")
+    pending: "dict[int, list]" = {}
+    opened: "set[int]" = set()
+    event = 0
+
+    def report(merged) -> None:
+        nonlocal event
+        for diff in merged:
+            event += 1
+            if not diff.changed:
+                continue
+            print(
+                f"[{event:>5}] live={stream.view.n_live:>5} "
+                f"clusters={stream.view.n_clusters:>3} "
+                f"{len(diff.changed)} label changes, lag={stream.lag}"
+            )
+            _print_deltas(diff.changed, args.max_deltas)
+
+    def flush(traj_id: int) -> None:
+        rows = pending.pop(traj_id)
+        points = np.array([r.point for r in rows])
+        times = [r.time for r in rows]
+        weight = None if traj_id in opened else rows[0].weight
+        opened.add(traj_id)
+        merged = stream.append(
+            traj_id,
+            points,
+            times=None if times[0] is None else times,
+            weight=weight,
+        )
+        report([merged] if merged is not None else stream.drain())
+
+    try:
+        try:
+            with open(args.input, "r", encoding="utf-8", newline="") as handle:
+                header = read_csv_header(handle)
+                if args.bulk_load:
+                    # Sharded sessions have no batched bulk path; the
+                    # equivalent seed is one whole-trajectory append
+                    # each, routed and merged like any other (labels
+                    # are append-order independent per trajectory).
+                    groups: "dict[int, list]" = {}
+                    n_rows = 0
+                    for row in iter_point_rows(
+                        handle, follow=args.follow, poll=0.0, max_polls=0,
+                        header=header,
+                    ):
+                        groups.setdefault(row.traj_id, []).append(row)
+                        n_rows += 1
+                    for traj_id, rows in groups.items():  # file order
+                        pending[traj_id] = rows
+                        flush(traj_id)
+                    if groups:
+                        print(f"seeded {n_rows} points / {len(groups)} "
+                              f"trajectories across {args.shards} shards")
+                if not args.bulk_load or args.follow:
+                    for row in iter_point_rows(
+                        handle, follow=args.follow, poll=args.poll,
+                        header=header,
+                    ):
+                        pending.setdefault(row.traj_id, []).append(row)
+                        if len(pending[row.traj_id]) >= args.batch_points:
+                            flush(row.traj_id)
+                for traj_id in sorted(pending):
+                    flush(traj_id)
+        except KeyboardInterrupt:
+            print("\ninterrupted — final state below")
+        except BrokenPipeError:
+            _silence_stdout()
+        stream.sync()
+        slots, labels = stream.labels()
+        n_clusters = int(labels.max()) + 1 if labels.size else 0
+        noise = int(np.sum(labels < 0))
+        print(
+            f"final: {max(n_clusters, 0)} clusters over {slots.size} live "
+            f"segments ({noise} noise) merged from {args.shards} shards"
+        )
+        if args.checkpoint:
+            stream.checkpoint(args.checkpoint)
+            print(f"wrote {args.checkpoint}/ (sharded checkpoint)")
+    finally:
+        if scrape is not None:
+            scrape.close()
+        stream.close()
     return 0
 
 

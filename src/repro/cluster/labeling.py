@@ -59,6 +59,7 @@ class CoreGraphLabeler:
         "_comp_members",
         "_comp_min",
         "_next_comp",
+        "journal",
     )
 
     def __init__(self):
@@ -74,6 +75,21 @@ class CoreGraphLabeler:
         self._comp_members: Dict[int, Set[int]] = {}
         self._comp_min: Dict[int, int] = {}
         self._next_comp = 0
+        #: Optional event sink.  When a consumer assigns a list here,
+        #: every component-level state change appends one tuple:
+        #:
+        #: * ``("new", token, min_member)`` — component minted;
+        #: * ``("union", absorbed, survivor, moved, min_changed)`` —
+        #:   ``moved`` is the tuple of member ids that switched token;
+        #: * ``("keep", token, min_changed)`` — component survived a
+        #:   repair intact (possibly with a new minimum);
+        #: * ``("split", token, new_tokens)`` — component reclustered
+        #:   into two or more parts (each part also emitted "new");
+        #: * ``("drop", token)`` — component vanished (last core left).
+        #:
+        #: ``None`` (the default, and what the sweep engine keeps)
+        #: records nothing and costs nothing.
+        self.journal: Optional[List[tuple]] = None
 
     # -- introspection -------------------------------------------------------
     @property
@@ -86,6 +102,18 @@ class CoreGraphLabeler:
 
     def is_core(self, uid: int) -> bool:
         return uid in self.core
+
+    def component_of(self, uid: int) -> int:
+        """Component token of core *uid*."""
+        return self._comp_of[uid]
+
+    def component_min(self, token: int) -> int:
+        """Smallest core member — the component's formation key."""
+        return self._comp_min[token]
+
+    def component_members(self, token: int) -> Set[int]:
+        """Core members of component *token* (live view, do not mutate)."""
+        return self._comp_members[token]
 
     # -- tracking ------------------------------------------------------------
     def track(self, uid: int, adjacent: Iterable[int]) -> None:
@@ -105,6 +133,8 @@ class CoreGraphLabeler:
             self._comp_of[member] = token
         self._comp_members[token] = members
         self._comp_min[token] = min(members)
+        if self.journal is not None:
+            self.journal.append(("new", token, self._comp_min[token]))
         return token
 
     def union(self, a: int, b: int) -> None:
@@ -118,21 +148,29 @@ class CoreGraphLabeler:
         for member in small:
             self._comp_of[member] = ra
         self._comp_members[ra].update(small)
-        self._comp_min[ra] = min(self._comp_min[ra], self._comp_min.pop(rb))
+        small_min = self._comp_min.pop(rb)
+        min_changed = small_min < self._comp_min[ra]
+        if min_changed:
+            self._comp_min[ra] = small_min
+        if self.journal is not None:
+            self.journal.append(("union", rb, ra, tuple(small), min_changed))
 
     def promote(
         self, ids: Sequence[int], adjacent: Callable[[int], Iterable[int]]
     ) -> None:
         """Make *ids* core (flags and singleton components first, then
         unions — order-independent even when two promotions are
-        adjacent)."""
+        adjacent).  Union order is canonical (ascending neighbor id),
+        so which token survives a merge chain is a function of the
+        state alone, not of set iteration history — stable cluster
+        identities stay reproducible across checkpoint restores."""
         for u in ids:
             self.core.add(u)
             self.new_component({u})
             for w in adjacent(u):
                 self.core_neighbors[int(w)].add(u)
         for u in ids:
-            for w in list(self.core_neighbors[u]):
+            for w in sorted(self.core_neighbors[u]):
                 self.union(u, w)
 
     def demote(
@@ -169,16 +207,25 @@ class CoreGraphLabeler:
             if not members:
                 del self._comp_members[root]
                 del self._comp_min[root]
+                if self.journal is not None:
+                    self.journal.append(("drop", root))
                 continue
             if len(removals) == 1 and removals[0][1] <= 1:
-                if removals[0][0] == self._comp_min[root]:
+                min_changed = removals[0][0] == self._comp_min[root]
+                if min_changed:
                     self._comp_min[root] = min(members)
+                if self.journal is not None:
+                    self.journal.append(("keep", root, min_changed))
                 continue
-            del self._comp_members[root]
-            del self._comp_min[root]
+            # Recluster bounded to the component.  Seeds are taken in
+            # ascending id order so that, when the component does
+            # split, the parts' token order is canonical.
             remaining = set(members)
-            while remaining:
-                seed = remaining.pop()
+            components: List[Set[int]] = []
+            for seed in sorted(members):
+                if seed not in remaining:
+                    continue
+                remaining.discard(seed)
                 component = {seed}
                 stack = [seed]
                 while stack:
@@ -188,7 +235,25 @@ class CoreGraphLabeler:
                             remaining.discard(w)
                             component.add(w)
                             stack.append(w)
-                self.new_component(component)
+                components.append(component)
+            if len(components) == 1:
+                # No split after all: the component keeps its token
+                # (members' _comp_of entries still point at it), so the
+                # cluster's stable identity survives the demotion.
+                old_min = self._comp_min[root]
+                self._comp_min[root] = min(members)
+                if self.journal is not None:
+                    self.journal.append(
+                        ("keep", root, self._comp_min[root] != old_min)
+                    )
+                continue
+            del self._comp_members[root]
+            del self._comp_min[root]
+            minted = tuple(
+                self.new_component(component) for component in components
+            )
+            if self.journal is not None:
+                self.journal.append(("split", root, minted))
 
     # -- wholesale state changes ---------------------------------------------
     def reset(self) -> None:

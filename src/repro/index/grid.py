@@ -145,6 +145,85 @@ class SegmentGrid:
         hi = np.maximum(self.segments.starts[index], self.segments.ends[index])
         return self.candidates_in_window(lo - radius, hi + radius)
 
+    def candidates_near_many(
+        self, indices: np.ndarray, radius: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`candidates_near`: ``(query_pos, candidate)``
+        pair arrays, query-major with candidates ascending and deduped
+        per query — for each position ``q`` in *indices*, the rows with
+        ``query_pos == q`` hold exactly ``candidates_near(indices[q],
+        radius)``.
+
+        The point is the join order: the batch's cell windows are
+        rasterised into one cell -> queries table first, so each
+        distinct cell key is looked up in the grid *once* for the whole
+        batch instead of once per overlapping query.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        query_parts: List[np.ndarray] = []
+        candidate_parts: List[np.ndarray] = []
+        cell_to_queries: Dict[Tuple[int, ...], List[int]] = {}
+        rastered: List[int] = []
+        for qpos, index in enumerate(indices.tolist()):
+            if not 0 <= index < len(self.segments):
+                raise IndexError_(
+                    f"segment index {index} out of range "
+                    f"0..{len(self.segments) - 1}"
+                )
+            lo = np.minimum(
+                self.segments.starts[index], self.segments.ends[index]
+            )
+            hi = np.maximum(
+                self.segments.starts[index], self.segments.ends[index]
+            )
+            lo_cell, hi_cell = self._cell_range(lo - radius, hi + radius)
+            spans = hi_cell - lo_cell + 1
+            if (
+                float(np.prod(spans, dtype=np.float64))
+                > 16 * self.max_cells_per_segment
+            ):
+                # Same huge-window escape as candidates_in_window:
+                # cheaper to answer this query alone than rasterise it.
+                found = self.candidates_in_window(lo - radius, hi + radius)
+                query_parts.append(
+                    np.full(found.size, qpos, dtype=np.int64)
+                )
+                candidate_parts.append(found)
+                continue
+            rastered.append(qpos)
+            ranges = [
+                range(int(a), int(b) + 1) for a, b in zip(lo_cell, hi_cell)
+            ]
+            for cell in product(*ranges):
+                cell_to_queries.setdefault(cell, []).append(qpos)
+        hits_q: List[int] = []
+        hits_c: List[int] = []
+        for cell, queries in cell_to_queries.items():
+            members = self._cells.get(cell)
+            if not members:
+                continue
+            for qpos in queries:
+                hits_q.extend([qpos] * len(members))
+                hits_c.extend(members)
+        if self._oversize and rastered:
+            for qpos in rastered:
+                hits_q.extend([qpos] * len(self._oversize))
+                hits_c.extend(self._oversize)
+        if hits_q:
+            query_parts.append(np.asarray(hits_q, dtype=np.int64))
+            candidate_parts.append(np.asarray(hits_c, dtype=np.int64))
+        if not query_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        query_pos = np.concatenate(query_parts)
+        candidates = np.concatenate(candidate_parts)
+        # Dedup (query, candidate) pairs; the combined key sorts
+        # query-major with candidates ascending, matching the per-query
+        # np.unique of candidates_in_window.
+        span = max(len(self.segments), 1)
+        keys = np.unique(query_pos * span + candidates)
+        return keys // span, keys % span
+
     # -- introspection -------------------------------------------------------
     @property
     def n_cells(self) -> int:

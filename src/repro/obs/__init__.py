@@ -23,6 +23,11 @@ warm latency.
 
 from repro.obs.access_log import AccessLog
 from repro.obs.logsetup import configure_logging, get_logger
+from repro.obs.scrape import (
+    PROMETHEUS_CONTENT_TYPE,
+    ScrapeServer,
+    start_scrape_server,
+)
 from repro.obs.metrics import (
     LATENCY_BUCKETS_SECONDS,
     NULL_REGISTRY,
@@ -46,7 +51,9 @@ __all__ = [
     "LATENCY_BUCKETS_SECONDS",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "PROMETHEUS_CONTENT_TYPE",
     "SIZE_BUCKETS_BYTES",
+    "ScrapeServer",
     "Span",
     "Trace",
     "activate_trace",
@@ -58,4 +65,5 @@ __all__ = [
     "new_request_id",
     "render_prometheus",
     "span",
+    "start_scrape_server",
 ]

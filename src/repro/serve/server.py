@@ -68,6 +68,7 @@ from repro.exceptions import OverloadedError, ServeError
 from repro.obs import (
     AccessLog,
     MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
     activate_trace,
     aggregate_snapshots,
     current_trace,
@@ -528,7 +529,7 @@ def _response_bytes(
     ``str`` payloads as ``text/plain`` (the Prometheus exposition)."""
     if isinstance(payload, str):
         body = payload.encode("utf-8")
-        content_type = "text/plain; version=0.0.4; charset=utf-8"
+        content_type = PROMETHEUS_CONTENT_TYPE
     else:
         body = json.dumps(payload).encode("utf-8")
         content_type = "application/json"

@@ -1,0 +1,62 @@
+"""Sharded streaming TRACLUS: parallel shard ingest, incremental label
+deltas, and a consistent merged label view.
+
+The single-stream pipeline (:mod:`repro.stream`) is serial by
+construction.  This subsystem scales it out without giving up the
+repo's central guarantee — labels bitwise identical to a batch refit:
+
+* :mod:`repro.shard.router` pins each trajectory to one of K shards
+  (``traj_id mod K``) and stamps appends with a global sequence;
+* :mod:`repro.shard.worker` runs a full streaming session per shard
+  (phase-1 MDL partitioning and all intra-shard ε-edges happen here,
+  in parallel across shards) and emits
+  :class:`~repro.shard.wire.ShardDiff` messages;
+* :mod:`repro.shard.wire` is the numpy-only codec those messages (and
+  the routed tasks) cross process boundaries in;
+* :mod:`repro.shard.merge` folds the diffs in sequence order into one
+  merged ε-graph — shipped intra-shard edges spliced verbatim, only
+  the cross-shard boundary pairs re-evaluated by the shared distance
+  kernel — and maintains the merged labels incrementally;
+* :mod:`repro.shard.coordinator` glues it together as
+  :class:`ShardedStream`, with in-process and one-process-per-shard
+  modes, lag/diff-rate metrics, and a directory checkpoint that
+  resumes mid-stream in either mode.
+
+See the "Sharded streaming" section of the README for the equivalence
+argument and the operational surface.
+"""
+
+from repro.shard.coordinator import SHARD_CHECKPOINT_FORMAT, ShardedStream
+from repro.shard.merge import (
+    MergedNeighborGraph,
+    ShardMerger,
+    validate_sharded_config,
+)
+from repro.shard.router import ShardRouter, shard_of
+from repro.shard.wire import (
+    AppendTask,
+    ShardDiff,
+    decode_diff,
+    decode_task,
+    encode_diff,
+    encode_task,
+)
+from repro.shard.worker import ShardWorker, shard_worker_main
+
+__all__ = [
+    "AppendTask",
+    "MergedNeighborGraph",
+    "SHARD_CHECKPOINT_FORMAT",
+    "ShardDiff",
+    "ShardMerger",
+    "ShardRouter",
+    "ShardWorker",
+    "ShardedStream",
+    "decode_diff",
+    "decode_task",
+    "encode_diff",
+    "encode_task",
+    "shard_of",
+    "shard_worker_main",
+    "validate_sharded_config",
+]

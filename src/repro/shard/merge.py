@@ -1,0 +1,409 @@
+"""Folding shard diffs into one globally consistent label view.
+
+:class:`MergedNeighborGraph` is a
+:class:`~repro.stream.dynamic_graph.DynamicNeighborGraph` whose
+same-shard edges arrive over the wire: every slot carries its shard of
+origin, candidate queries are filtered to **cross-shard** mates only,
+and the shipped intra-shard edges are spliced in verbatim.  The union
+is exactly the ε-graph a single-stream session builds, bitwise:
+
+* *slot ids* — the merger allocates global slots by walking diffs in
+  sequence order, which is the order a single-stream session would
+  have ingested the same appends, so every segment gets the same id;
+* *same-shard distances* — within a shard, local slot order equals
+  global slot order restricted to that shard, and the pair kernel's
+  equal-length tie-break depends only on relative id order, so worker
+  distances are bit-identical to what the merger would recompute;
+* *cross-shard distances* — evaluated here, by the same kernel over
+  the same grid candidate superset the single-stream graph queries,
+  minus the same-shard pairs already covered.
+
+:class:`ShardMerger` drives an
+:class:`~repro.stream.online_dbscan.OnlineDBSCAN` over that graph.
+Diffs are buffered until contiguous in sequence, then applied as one
+batch: all inserts first (one grid join + one kernel call for the
+cross-shard pairs), then the retractions.  Deferring a retraction past
+later inserts is safe because labels are a pure function of the final
+ε-graph and alive set — an edge to a doomed slot is added and then
+removed with no trace — while batching keeps the merger's per-segment
+cost flat.  One :class:`~repro.stream.view.LabelDiff` is flushed per
+drain; the merger's own :class:`~repro.stream.view.LabelView` folds
+them into the consistent merged assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import StreamConfig
+from repro.exceptions import ClusteringError
+from repro.obs import NULL_REGISTRY
+from repro.stream.dynamic_graph import DynamicNeighborGraph
+from repro.stream.online_dbscan import OnlineDBSCAN
+from repro.stream.view import LabelDiff, LabelView
+from repro.shard.wire import ShardDiff
+
+
+def validate_sharded_config(config: StreamConfig) -> None:
+    """Sharded sessions disallow the sliding windows and compaction:
+    count/horizon eviction is a *global* property no shard can decide
+    locally, and compaction renames the slot ids the wire protocol
+    keys on."""
+    for name in ("max_segments", "horizon", "compact_dead_fraction"):
+        if getattr(config, name) is not None:
+            raise ClusteringError(
+                f"sharded streaming does not support {name}; windows "
+                f"and compaction need a global view no shard has "
+                f"(run a single-stream session for windowed feeds)"
+            )
+
+
+class MergedNeighborGraph(DynamicNeighborGraph):
+    """ε-graph whose same-shard edges are spliced in from the wire."""
+
+    def __init__(
+        self,
+        eps: float,
+        distance=None,
+        dim: int = 2,
+        cell_size: Optional[float] = None,
+    ):
+        super().__init__(eps, distance, dim=dim, cell_size=cell_size)
+        self._shard_of = np.full(64, -1, dtype=np.int64)
+
+    def shard_of_slot(self, slot: int) -> int:
+        return int(self._shard_of[slot])
+
+    def _note_shard(self, slot: int, shard: int) -> None:
+        if slot >= self._shard_of.size:
+            grown = np.full(
+                max(self._shard_of.size * 2, slot + 1), -1, dtype=np.int64
+            )
+            grown[: self._shard_of.size] = self._shard_of
+            self._shard_of = grown
+        self._shard_of[slot] = shard
+
+    def insert_merged_batch(
+        self,
+        shards: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        traj_ids: np.ndarray,
+        weights: np.ndarray,
+        stamps: np.ndarray,
+        shipped: Sequence[Sequence[Tuple[int, float]]],
+    ) -> List[Tuple[int, np.ndarray]]:
+        """Insert many segments, computing only cross-shard candidates;
+        *shipped* carries each record's intra-shard edges as
+        ``(global mate, distance)`` with every mate already allocated.
+        Returns ``(slot, insertion_time_neighbors)`` per record in
+        order, neighbors ascending — the same rows
+        :meth:`DynamicNeighborGraph.insert_batch` would have produced
+        had it recomputed everything."""
+        n = int(starts.shape[0])
+        slots: List[int] = []
+        for i in range(n):
+            slot = self.store.append(
+                starts[i], ends[i], int(traj_ids[i]),
+                float(weights[i]), float(stamps[i]),
+            )
+            self._note_shard(slot, int(shards[i]))
+            slots.append(slot)
+        if not slots:
+            return []
+        slot_arr = np.asarray(slots, dtype=np.int64)
+        shard_arr = np.asarray(shards, dtype=np.int64)
+        if self._grid is not None:
+            for slot in slots:
+                self._grid.insert(slot)
+            query_pos, candidates = self._grid.candidates_near_many(
+                slot_arr, self._radius
+            )
+            query_slots = slot_arr[query_pos]
+            keep = (
+                self.store.alive_mask[candidates]
+                & (candidates < query_slots)
+                & (self._shard_of[candidates] != shard_arr[query_pos])
+            )
+            query_slots = query_slots[keep]
+            candidates = candidates[keep]
+        else:
+            alive = self.store.alive_slots()
+            query_chunks: List[np.ndarray] = []
+            candidate_chunks: List[np.ndarray] = []
+            for i, slot in enumerate(slots):
+                mates = alive[alive < slot]
+                mates = mates[self._shard_of[mates] != int(shard_arr[i])]
+                query_chunks.append(
+                    np.full(mates.size, slot, dtype=np.int64)
+                )
+                candidate_chunks.append(mates)
+            query_slots = np.concatenate(query_chunks)
+            candidates = np.concatenate(candidate_chunks)
+        for slot in slots:
+            self._adjacency[slot] = {}
+        mates_of: Dict[int, List[int]] = {slot: [] for slot in slots}
+        for i, slot in enumerate(slots):
+            row = self._adjacency[slot]
+            for mate, dist in shipped[i]:
+                mate = int(mate)
+                dist = float(dist)
+                row[mate] = dist
+                self._adjacency[mate][slot] = dist
+                mates_of[slot].append(mate)
+        if query_slots.size:
+            dists = self.distance.pairs(self.store, query_slots, candidates)
+            mask = dists <= self.eps
+            for slot, mate, dist in zip(
+                query_slots[mask].tolist(),
+                candidates[mask].tolist(),
+                dists[mask].tolist(),
+            ):
+                self._adjacency[slot][mate] = dist
+                self._adjacency[mate][slot] = dist
+                mates_of[slot].append(mate)
+        return [
+            (slot, np.sort(np.asarray(mates_of[slot], dtype=np.int64)))
+            for slot in slots
+        ]
+
+
+class ShardMerger:
+    """Applies :class:`~repro.shard.wire.ShardDiff` streams in global
+    sequence order onto one merged clustering."""
+
+    def __init__(
+        self, config: StreamConfig, n_shards: int, metrics=None
+    ):
+        validate_sharded_config(config)
+        self.config = config
+        self.n_shards = int(n_shards)
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_diffs = self._metrics.counter(
+            "repro_shard_diffs_applied_total",
+            help="Shard diffs folded into the merged label view.",
+        )
+        self._m_records = self._metrics.counter(
+            "repro_shard_records_merged_total",
+            help="Segment records inserted into the merged store.",
+        )
+        self._m_shipped_edges = self._metrics.counter(
+            "repro_shard_edges_shipped_total",
+            help="Intra-shard eps-edges accepted verbatim from workers.",
+        )
+        self._m_cross_edges = self._metrics.counter(
+            "repro_shard_edges_cross_total",
+            help="Cross-shard eps-edges evaluated by the merger.",
+        )
+        self.graph = MergedNeighborGraph(
+            config.eps, config.distance(), dim=config.dim
+        )
+        self.clusterer = OnlineDBSCAN(
+            eps=config.eps,
+            min_lns=config.min_lns,
+            distance=config.distance(),
+            cardinality_threshold=config.cardinality_threshold,
+            use_weights=config.use_weights,
+            dim=config.dim,
+            graph=self.graph,
+        )
+        #: Fold of every merged diff — the consistent global view.
+        self.view = LabelView()
+        self._local_to_global: List[Dict[int, int]] = [
+            {} for _ in range(self.n_shards)
+        ]
+        self.applied_seq = -1
+        self._pending: Dict[int, ShardDiff] = {}
+        #: Latest cumulative metrics snapshot shipped by each worker.
+        self.worker_metrics: Dict[int, dict] = {}
+
+    @property
+    def lag(self) -> int:
+        """Diffs received but not yet applicable (sequence holes)."""
+        return len(self._pending)
+
+    def offer(self, diff: ShardDiff) -> None:
+        """Buffer one diff; apply with :meth:`drain` once contiguous."""
+        if diff.seq <= self.applied_seq:
+            raise ClusteringError(
+                f"diff seq {diff.seq} already applied "
+                f"(applied_seq={self.applied_seq})"
+            )
+        if diff.metrics is not None:
+            self.worker_metrics[diff.shard] = diff.metrics
+        self._pending[diff.seq] = diff
+
+    def drain(self, max_diffs: Optional[int] = None) -> Optional[LabelDiff]:
+        """Apply the longest contiguous run of buffered diffs — at most
+        *max_diffs* of them when given; returns the merged label diff
+        (``None`` when nothing was applicable).  Capping the run keeps
+        the working set of deferred retractions small: a backlog folds
+        as several medium batches instead of one huge one whose
+        transient slots would bloat every repair."""
+        run: List[ShardDiff] = []
+        while self.applied_seq + 1 + len(run) in self._pending:
+            if max_diffs is not None and len(run) >= max_diffs:
+                break
+            run.append(self._pending.pop(self.applied_seq + 1 + len(run)))
+        if not run:
+            return None
+        return self._apply_run(run)
+
+    def _apply_run(self, diffs: List[ShardDiff]) -> LabelDiff:
+        base = len(self.graph.store)
+        next_global = base
+        shards: List[int] = []
+        starts: List[np.ndarray] = []
+        ends: List[np.ndarray] = []
+        traj_ids: List[int] = []
+        weights: List[float] = []
+        stamps: List[float] = []
+        shipped: List[List[Tuple[int, float]]] = []
+        evictions: List[int] = []
+        n_shipped_edges = 0
+        for diff in diffs:
+            local_to_global = self._local_to_global[diff.shard]
+            for local in diff.retracted.tolist():
+                evictions.append(local_to_global[local])
+            offset = len(shipped)
+            for i in range(diff.n_records):
+                local_to_global[int(diff.local_slots[i])] = next_global
+                next_global += 1
+                shards.append(diff.shard)
+                starts.append(diff.starts[i])
+                ends.append(diff.ends[i])
+                traj_ids.append(int(diff.traj_ids[i]))
+                weights.append(float(diff.weights[i]))
+                stamps.append(float(diff.stamps[i]))
+                shipped.append([])
+            for pos, mate, dist in zip(
+                diff.edge_src.tolist(),
+                diff.edge_mate.tolist(),
+                diff.edge_dist.tolist(),
+            ):
+                shipped[offset + pos].append(
+                    (local_to_global[mate], float(dist))
+                )
+                n_shipped_edges += 1
+            self.applied_seq = diff.seq
+        if shards:
+            inserted = self.graph.insert_merged_batch(
+                np.asarray(shards, dtype=np.int64),
+                np.asarray(starts, dtype=np.float64),
+                np.asarray(ends, dtype=np.float64),
+                np.asarray(traj_ids, dtype=np.int64),
+                np.asarray(weights, dtype=np.float64),
+                np.asarray(stamps, dtype=np.float64),
+                shipped,
+            )
+            if inserted[0][0] != base:
+                raise ClusteringError(
+                    "merged store allocation diverged from the sequence "
+                    "walk; was the graph mutated outside the merger?"
+                )
+            self.clusterer.register_inserted(inserted)
+            n_edges = sum(mates.size for _, mates in inserted)
+            if self._metrics.enabled:
+                self._m_records.inc(float(len(shards)))
+                self._m_shipped_edges.inc(float(n_shipped_edges))
+                self._m_cross_edges.inc(float(n_edges - n_shipped_edges))
+        for slot in evictions:
+            self.clusterer.evict(slot)
+        if self._metrics.enabled:
+            self._m_diffs.inc(float(len(diffs)))
+        merged = self.clusterer.flush_diff()
+        self.view.apply(merged)
+        return merged
+
+    # -- checkpointing -----------------------------------------------------
+    def save_to(self, path: str) -> None:
+        """Write the merged state (store, edges, shard origins, stable
+        tokens, local -> global slot maps) to one ``.npz`` file."""
+        import json
+
+        store = self.graph.store
+        edges_u, edges_v, edges_d = self.graph.edge_arrays()
+        token_pairs, next_token = self.clusterer.export_tokens()
+        arrays = {
+            "store_starts": store.starts.copy(),
+            "store_ends": store.ends.copy(),
+            "store_traj_ids": store.traj_ids.copy(),
+            "store_weights": store.weights.copy(),
+            "store_stamps": store.stamps.copy(),
+            "store_alive": store.alive_mask.copy(),
+            "edges_u": edges_u,
+            "edges_v": edges_v,
+            "edges_d": edges_d,
+            "shard_of": self.graph._shard_of[: len(store)].copy(),
+            "comp_tokens": token_pairs,
+        }
+        for shard, mapping in enumerate(self._local_to_global):
+            arrays[f"l2g_{shard}"] = np.array(
+                sorted(mapping.items()), dtype=np.int64
+            ).reshape(-1, 2)
+        meta = {
+            "format": "repro-shard-merger-v1",
+            "applied_seq": self.applied_seq,
+            "next_token": int(next_token),
+        }
+        arrays["meta"] = np.array(json.dumps(meta))
+        np.savez_compressed(path, **arrays)
+
+    def restore_from(self, path: str) -> None:
+        """Refill an *empty* merger from :meth:`save_to` output; labels,
+        stable tokens, and future diffs continue identically."""
+        import json
+
+        from repro.exceptions import ReproError
+
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            if meta.get("format") != "repro-shard-merger-v1":
+                raise ReproError(
+                    f"not a shard merger checkpoint "
+                    f"(format={meta.get('format')!r})"
+                )
+            self.graph.restore_slots(
+                archive["store_starts"],
+                archive["store_ends"],
+                archive["store_traj_ids"],
+                archive["store_weights"],
+                archive["store_stamps"],
+                archive["store_alive"],
+                archive["edges_u"],
+                archive["edges_v"],
+                archive["edges_d"],
+            )
+            shard_of = archive["shard_of"]
+            for slot in range(shard_of.size):
+                self.graph._note_shard(slot, int(shard_of[slot]))
+            self.clusterer.rebuild_from_graph()
+            self.clusterer.adopt_tokens(
+                archive["comp_tokens"], int(meta["next_token"])
+            )
+            for shard in range(self.n_shards):
+                self._local_to_global[shard] = {
+                    int(local): int(global_slot)
+                    for local, global_slot in archive[f"l2g_{shard}"]
+                }
+        self.view = self.clusterer.snapshot_view()
+        self.applied_seq = int(meta["applied_seq"])
+
+    # -- queries -----------------------------------------------------------
+    def labels(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(slots, labels)`` of the merged clustering — bitwise what a
+        single-stream session fed the same appends answers."""
+        return self.clusterer.labels()
+
+    @property
+    def n_alive(self) -> int:
+        return self.graph.store.n_alive
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMerger(n_shards={self.n_shards}, "
+            f"applied_seq={self.applied_seq}, n_alive={self.n_alive}, "
+            f"pending={len(self._pending)})"
+        )

@@ -1,0 +1,52 @@
+"""Routing the input firehose onto K shard workers.
+
+The partitioner is a pure function: a trajectory always lands on the
+shard ``traj_id mod K``.  Pinning a whole trajectory to one shard is
+load-balancing *and* correctness — phase-1 MDL partitioning is a
+per-trajectory scan with resumable state, so the scan must see every
+append of its trajectory, in order, in one place.
+
+Each routed append is stamped with a global **sequence number**.  The
+merger applies shard diffs strictly in sequence order, which makes the
+merged store's slot allocation — and with it every slot id, every
+distance tie-break, and every label — identical to a single-stream
+session fed the same appends (see :mod:`repro.shard.merge`).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ClusteringError
+from repro.shard.wire import AppendTask
+
+
+def shard_of(traj_id: int, n_shards: int) -> int:
+    """The shard a trajectory is pinned to."""
+    return int(traj_id) % int(n_shards)
+
+
+class ShardRouter:
+    """Stamps appends with sequence numbers and routes them to shards."""
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ClusteringError(
+                f"n_shards must be positive, got {n_shards}"
+            )
+        self.n_shards = int(n_shards)
+        self.next_seq = 0
+
+    def route(self, traj_id, points, times=None, weight=None):
+        """Returns ``(shard, AppendTask)`` for one append."""
+        seq = self.next_seq
+        self.next_seq += 1
+        task = AppendTask(
+            seq=seq, traj_id=int(traj_id), points=points,
+            times=times, weight=weight,
+        )
+        return shard_of(traj_id, self.n_shards), task
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(n_shards={self.n_shards}, "
+            f"next_seq={self.next_seq})"
+        )

@@ -1,0 +1,215 @@
+"""Wire format of the sharded streaming subsystem.
+
+Two message kinds cross process boundaries:
+
+* :class:`AppendTask` — one routed append (global sequence number,
+  trajectory id, points, optional timestamps, optional opening
+  weight), coordinator -> shard worker;
+* :class:`ShardDiff` — what one task did to a shard's local session,
+  worker -> merger: the retracted local slots, the inserted segment
+  records (geometry, trajectory, weight, stamp — the worker already
+  ran phase-1 partitioning, so these are *segments*, not points), and
+  every surviving **intra-shard ε-edge** incident to an inserted slot
+  with its computed distance.
+
+Shipping the intra-shard edges is what makes the merger cheap *and*
+exact: within a shard, local slot order equals the global insertion
+order restricted to that shard (the router preserves per-shard task
+order and slots are allocation-ordered in both spaces), and the pair
+kernel's equal-length tie-break depends only on the *relative* order
+of its two ids — so a distance computed between local ids is bitwise
+the distance the single-stream session computes between the
+corresponding global ids.  The merger re-evaluates only cross-shard
+candidate pairs.
+
+Payloads are a fixed 8-byte frame (magic + header length), one JSON
+header (metadata plus each array's name/dtype/shape), then the raw
+C-contiguous array bytes concatenated in header order — NumPy and the
+standard library only, no pickle, so they are portable, inspectable,
+and safe to decode from untrusted shards.  Dtypes are written with an
+explicit byte order (``dtype.str``), and decoding is a zero-copy
+``np.frombuffer`` walk; this framing is ~50x cheaper per message than
+the ``np.savez`` zip container it replaced, which dominated the
+coordinator's hot path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+#: Format markers written into every payload.
+TASK_FORMAT = "repro-shard-task-v1"
+DIFF_FORMAT = "repro-shard-diff-v1"
+
+#: Leading frame bytes of every wire payload.
+WIRE_MAGIC = b"RSW1"
+
+
+@dataclass(frozen=True)
+class AppendTask:
+    """One routed append: ``seq`` is the global order the merger must
+    apply the resulting diff in."""
+
+    seq: int
+    traj_id: int
+    points: np.ndarray
+    times: Optional[np.ndarray] = None
+    weight: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ShardDiff:
+    """One task's effect on a shard-local streaming session.
+
+    ``retracted`` holds local slots in retraction order; the record
+    arrays are parallel (one row per inserted segment, local slot ids
+    ascending).  ``edge_src`` indexes into the record arrays;
+    ``edge_mate`` is the mate's *local* slot (always smaller than the
+    source record's local slot — these are insertion-time rows).
+    ``n_changed``/``touched`` are the shard-local label-diff stats the
+    coordinator turns into diff-rate metrics; ``metrics`` optionally
+    carries the worker's cumulative registry snapshot.
+    """
+
+    shard: int
+    seq: int
+    retracted: np.ndarray
+    local_slots: np.ndarray
+    traj_ids: np.ndarray
+    starts: np.ndarray
+    ends: np.ndarray
+    weights: np.ndarray
+    stamps: np.ndarray
+    edge_src: np.ndarray
+    edge_mate: np.ndarray
+    edge_dist: np.ndarray
+    n_changed: int = 0
+    touched: int = 0
+    metrics: Optional[dict] = field(default=None, compare=False)
+
+    @property
+    def n_records(self) -> int:
+        return int(self.local_slots.size)
+
+
+def _pack(meta: dict, arrays: dict) -> bytes:
+    specs = []
+    chunks = [b"", b""]  # magic + header, patched below
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        specs.append([name, array.dtype.str, list(array.shape)])
+        chunks.append(array.tobytes())
+    header = json.dumps({"meta": meta, "arrays": specs}).encode("utf-8")
+    chunks[0] = WIRE_MAGIC + len(header).to_bytes(4, "little")
+    chunks[1] = header
+    return b"".join(chunks)
+
+
+def _unpack(payload: bytes, expected_format: str):
+    if payload[:4] != WIRE_MAGIC:
+        raise ReproError(
+            f"not a shard wire payload (bad magic {payload[:4]!r})"
+        )
+    header_len = int.from_bytes(payload[4:8], "little")
+    try:
+        header = json.loads(payload[8:8 + header_len].decode("utf-8"))
+    except ValueError as error:
+        raise ReproError(
+            f"corrupt shard wire header: {error}"
+        ) from error
+    meta = header["meta"]
+    if meta.get("format") != expected_format:
+        raise ReproError(
+            f"expected a {expected_format!r} payload, got "
+            f"{meta.get('format')!r}"
+        )
+    arrays = {}
+    offset = 8 + header_len
+    for name, dtype_str, shape in header["arrays"]:
+        dtype = np.dtype(dtype_str)
+        count = 1
+        for extent in shape:
+            count *= int(extent)
+        arrays[name] = np.frombuffer(
+            payload, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+        offset += dtype.itemsize * count
+    return meta, arrays
+
+
+def encode_task(task: AppendTask) -> bytes:
+    meta = {
+        "format": TASK_FORMAT,
+        "seq": int(task.seq),
+        "traj_id": int(task.traj_id),
+        "weight": None if task.weight is None else float(task.weight),
+        "timed": task.times is not None,
+    }
+    arrays = {"points": np.asarray(task.points, dtype=np.float64)}
+    if task.times is not None:
+        arrays["times"] = np.asarray(task.times, dtype=np.float64)
+    return _pack(meta, arrays)
+
+
+def decode_task(payload: bytes) -> AppendTask:
+    meta, archive = _unpack(payload, TASK_FORMAT)
+    # Tasks feed straight into a pipeline; hand over writable copies
+    # rather than the zero-copy read-only views _unpack returns.
+    return AppendTask(
+        seq=int(meta["seq"]),
+        traj_id=int(meta["traj_id"]),
+        points=archive["points"].copy(),
+        times=archive["times"].copy() if meta["timed"] else None,
+        weight=meta["weight"],
+    )
+
+
+def encode_diff(diff: ShardDiff) -> bytes:
+    meta = {
+        "format": DIFF_FORMAT,
+        "shard": int(diff.shard),
+        "seq": int(diff.seq),
+        "n_changed": int(diff.n_changed),
+        "touched": int(diff.touched),
+        "metrics": diff.metrics,
+    }
+    arrays = {
+        "retracted": np.asarray(diff.retracted, dtype=np.int64),
+        "local_slots": np.asarray(diff.local_slots, dtype=np.int64),
+        "traj_ids": np.asarray(diff.traj_ids, dtype=np.int64),
+        "starts": np.asarray(diff.starts, dtype=np.float64),
+        "ends": np.asarray(diff.ends, dtype=np.float64),
+        "weights": np.asarray(diff.weights, dtype=np.float64),
+        "stamps": np.asarray(diff.stamps, dtype=np.float64),
+        "edge_src": np.asarray(diff.edge_src, dtype=np.int64),
+        "edge_mate": np.asarray(diff.edge_mate, dtype=np.int64),
+        "edge_dist": np.asarray(diff.edge_dist, dtype=np.float64),
+    }
+    return _pack(meta, arrays)
+
+
+def decode_diff(payload: bytes) -> ShardDiff:
+    meta, archive = _unpack(payload, DIFF_FORMAT)
+    return ShardDiff(
+        shard=int(meta["shard"]),
+        seq=int(meta["seq"]),
+        retracted=archive["retracted"],
+        local_slots=archive["local_slots"],
+        traj_ids=archive["traj_ids"],
+        starts=archive["starts"],
+        ends=archive["ends"],
+        weights=archive["weights"],
+        stamps=archive["stamps"],
+        edge_src=archive["edge_src"],
+        edge_mate=archive["edge_mate"],
+        edge_dist=archive["edge_dist"],
+        n_changed=int(meta["n_changed"]),
+        touched=int(meta["touched"]),
+        metrics=meta["metrics"],
+    )

@@ -17,10 +17,17 @@ append-only point streams and sliding-window eviction:
   incrementally (core promotion/demotion, union-find merges, bounded
   local reclustering on splits) and reproduce a fresh batch
   :class:`~repro.cluster.dbscan.LineSegmentDBSCAN` refit exactly;
+* :mod:`repro.stream.view` — every update is described by a
+  :class:`LabelDiff` in *stable* cluster ids (O(delta), not O(live));
+  a :class:`LabelView` folds diffs back into the dense batch-identical
+  label map;
 * :mod:`repro.stream.pipeline` — :class:`StreamingTRACLUS` glues the
-  three together and applies the eviction window;
+  pieces together and applies the eviction window;
 * :mod:`repro.stream.checkpoint` — snapshot/restore of the whole
-  streaming state.
+  streaming state, stable cluster identities included.
+
+The sharded scale-out (K worker processes, one merger) lives in
+:mod:`repro.shard` and is built entirely on these diffs.
 """
 
 from repro.stream.checkpoint import load_checkpoint, save_checkpoint
@@ -28,9 +35,12 @@ from repro.stream.dynamic_graph import DynamicNeighborGraph, StreamSegmentStore
 from repro.stream.ingest import SegmentRecord, StreamDelta, TrajectoryStream
 from repro.stream.online_dbscan import OnlineDBSCAN
 from repro.stream.pipeline import StreamingTRACLUS, StreamUpdate
+from repro.stream.view import LabelDiff, LabelView
 
 __all__ = [
     "DynamicNeighborGraph",
+    "LabelDiff",
+    "LabelView",
     "OnlineDBSCAN",
     "SegmentRecord",
     "StreamDelta",

@@ -9,6 +9,14 @@ stored: :meth:`OnlineDBSCAN.rebuild_from_graph` reconstructs it in one
 O(V + E) pass, guaranteeing a restored session answers :meth:`labels`
 identically and continues identically under further appends.
 
+The v2 format additionally records the stable cluster tokens (one
+``(token, anchor core member)`` pair per component plus the mint
+counter): after the rebuild, :meth:`OnlineDBSCAN.adopt_tokens` renames
+the reconstructed components back to their checkpointed identities, so
+the *label diffs* a restored session emits — not just its labels — are
+identical to the original session's.  v1 checkpoints still load; their
+sessions get fresh (but internally consistent) tokens.
+
 Only NumPy and the standard library are used (``np.savez_compressed``
 plus one JSON metadata string) — no pickle, so checkpoints are
 portable and inspectable.
@@ -29,7 +37,10 @@ from repro.stream.ingest import _TrajectoryState
 from repro.stream.pipeline import StreamingTRACLUS
 
 #: Format marker written into every checkpoint.
-CHECKPOINT_FORMAT = "repro-stream-checkpoint-v1"
+CHECKPOINT_FORMAT = "repro-stream-checkpoint-v2"
+
+#: Formats :func:`load_checkpoint` accepts (v1 lacks stable tokens).
+_ACCEPTED_FORMATS = ("repro-stream-checkpoint-v1", CHECKPOINT_FORMAT)
 
 
 def save_checkpoint(pipeline: StreamingTRACLUS, path: Union[str, "object"]) -> None:
@@ -50,6 +61,8 @@ def save_checkpoint(pipeline: StreamingTRACLUS, path: Union[str, "object"]) -> N
             sorted(pipeline._key_to_slot.items()), dtype=np.int64
         ).reshape(-1, 2),
     }
+    token_pairs, next_token = pipeline.clusterer.export_tokens()
+    arrays["comp_tokens"] = token_pairs
     trajectories = []
     for traj_id, state in pipeline.stream._trajectories.items():
         partitioner = state.partitioner
@@ -75,6 +88,7 @@ def save_checkpoint(pipeline: StreamingTRACLUS, path: Union[str, "object"]) -> N
     meta = {
         "format": CHECKPOINT_FORMAT,
         "config": asdict(pipeline.config),
+        "next_token": int(next_token),
         "next_key": pipeline.stream._next_key,
         "evict_cursor": pipeline._evict_cursor,
         "max_stamp": (
@@ -87,15 +101,23 @@ def save_checkpoint(pipeline: StreamingTRACLUS, path: Union[str, "object"]) -> N
     np.savez_compressed(path, **arrays)
 
 
-def load_checkpoint(path: Union[str, "object"]) -> StreamingTRACLUS:
-    """Rebuild a :class:`StreamingTRACLUS` from a checkpoint file."""
+def load_checkpoint(
+    path: Union[str, "object"], metrics=None
+) -> StreamingTRACLUS:
+    """Rebuild a :class:`StreamingTRACLUS` from a checkpoint file.
+
+    *metrics* optionally hands the restored pipeline a
+    :class:`~repro.obs.MetricsRegistry` (restored shard workers keep
+    reporting)."""
     with np.load(path, allow_pickle=False) as archive:
         meta = json.loads(str(archive["meta"]))
-        if meta.get("format") != CHECKPOINT_FORMAT:
+        if meta.get("format") not in _ACCEPTED_FORMATS:
             raise ReproError(
                 f"not a stream checkpoint (format={meta.get('format')!r})"
             )
-        pipeline = StreamingTRACLUS(StreamConfig(**meta["config"]))
+        pipeline = StreamingTRACLUS(
+            StreamConfig(**meta["config"]), metrics=metrics
+        )
         pipeline.clusterer.graph.restore_slots(
             archive["store_starts"],
             archive["store_ends"],
@@ -108,6 +130,10 @@ def load_checkpoint(path: Union[str, "object"]) -> StreamingTRACLUS:
             archive["edges_d"],
         )
         pipeline.clusterer.rebuild_from_graph()
+        if "comp_tokens" in archive.files:
+            pipeline.clusterer.adopt_tokens(
+                archive["comp_tokens"], int(meta["next_token"])
+            )
         for entry in meta["trajectories"]:
             traj_id = int(entry["traj_id"])
             partitioner = IncrementalPartitioner.restore(
@@ -131,6 +157,5 @@ def load_checkpoint(path: Union[str, "object"]) -> StreamingTRACLUS:
     )
     pipeline._key_to_slot = {int(k): int(s) for k, s in key_map}
     pipeline._slot_to_key = {s: k for k, s in pipeline._key_to_slot.items()}
-    slots, labels = pipeline.clusterer.labels()
-    pipeline._last_labels = dict(zip(slots.tolist(), labels.tolist()))
+    pipeline.view = pipeline.clusterer.snapshot_view()
     return pipeline

@@ -337,6 +337,91 @@ class DynamicNeighborGraph:
             np.fromiter(row, dtype=np.int64, count=len(row))
         )
 
+    def insert_batch(
+        self,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        traj_ids: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        stamps: Optional[np.ndarray] = None,
+    ) -> List[Tuple[int, np.ndarray]]:
+        """Add many segments through one grid join and one kernel call;
+        returns ``(slot, insertion_time_neighbors)`` per segment in
+        input order, neighbors ascending.
+
+        The result is *identical* to sequential :meth:`insert` calls in
+        array order.  All segments enter the store and grid first, then
+        candidates come from one
+        :meth:`~repro.index.grid.SegmentGrid.candidates_near_many` join;
+        filtering them to ``candidate < slot`` recovers exactly the
+        alive-at-insertion-time set sequential insertion would have
+        queried (slot ids are allocation-ordered and nothing is evicted
+        mid-batch).  The pair kernel is elementwise, so one call over
+        the concatenated pairs produces the same distances, and edges
+        are folded query-major with candidates ascending — the same
+        adjacency-row insertion order as sequential inserts.
+        """
+        starts = np.asarray(starts, dtype=np.float64)
+        ends = np.asarray(ends, dtype=np.float64)
+        n = starts.shape[0]
+        if weights is None:
+            weights = np.ones(n, dtype=np.float64)
+        if stamps is None:
+            stamps = np.zeros(n, dtype=np.float64)
+        slots = [
+            self.store.append(
+                starts[i], ends[i], int(traj_ids[i]),
+                float(weights[i]), float(stamps[i]),
+            )
+            for i in range(n)
+        ]
+        if not slots:
+            return []
+        slot_arr = np.asarray(slots, dtype=np.int64)
+        if self._grid is not None:
+            for slot in slots:
+                self._grid.insert(slot)
+            query_pos, candidates = self._grid.candidates_near_many(
+                slot_arr, self._radius
+            )
+            query_slots = slot_arr[query_pos]
+            keep = (
+                self.store.alive_mask[candidates]
+                & (candidates < query_slots)
+            )
+            query_slots = query_slots[keep]
+            candidates = candidates[keep]
+        else:
+            alive = self.store.alive_slots()
+            query_chunks: List[np.ndarray] = []
+            candidate_chunks: List[np.ndarray] = []
+            for slot in slots:
+                mates = alive[alive < slot]
+                query_chunks.append(
+                    np.full(mates.size, slot, dtype=np.int64)
+                )
+                candidate_chunks.append(mates)
+            query_slots = np.concatenate(query_chunks)
+            candidates = np.concatenate(candidate_chunks)
+        for slot in slots:
+            self._adjacency[slot] = {}
+        mates_of: Dict[int, List[int]] = {slot: [] for slot in slots}
+        if query_slots.size:
+            dists = self.distance.pairs(self.store, query_slots, candidates)
+            mask = dists <= self.eps
+            for slot, mate, dist in zip(
+                query_slots[mask].tolist(),
+                candidates[mask].tolist(),
+                dists[mask].tolist(),
+            ):
+                self._adjacency[slot][mate] = dist
+                self._adjacency[mate][slot] = dist
+                mates_of[slot].append(mate)
+        return [
+            (slot, np.asarray(mates_of[slot], dtype=np.int64))
+            for slot in slots
+        ]
+
     def evict(self, slot: int) -> np.ndarray:
         """Remove a live segment; returns its former proper neighbors
         (ascending)."""

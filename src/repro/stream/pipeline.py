@@ -9,23 +9,27 @@ what changed — the streaming analogue of one batch
 :meth:`TRACLUS.fit <repro.core.traclus.TRACLUS.fit>` call, at the cost
 of only the touched neighborhood.
 
+Updates are built from first-class label diffs: the clusterer's
+:meth:`~repro.stream.online_dbscan.OnlineDBSCAN.flush_diff` re-derives
+only the slots the append could have moved and reports transitions in
+*stable* cluster ids (``StreamUpdate.diff``, a
+:class:`~repro.stream.view.LabelDiff` carrying merge/split/visibility
+events), so per-append label cost is O(delta) rather than O(live).  The
+pipeline folds every diff into a :class:`~repro.stream.view.LabelView`;
+``StreamUpdate.labels`` derives the dense batch-identical map from that
+view lazily, only when a caller asks.
+
 Two scale features complete the picture: :meth:`bulk_load` seeds a
 session from a whole corpus through the lock-step batched phase-1
 engine (identical end state to sequential appends, at corpus speed),
 and slot-store compaction (``StreamConfig.compact_dead_fraction``)
 reclaims dead slots via a monotone id remap so unbounded sessions stop
 growing with total ingested history.
-
-Cluster ids in consecutive updates are comparable only through the
-label maps (renumbering can shift ids when clusters form, merge, or
-fall to the Step-3 filter); ``StreamUpdate.changed`` reports exactly
-the slots whose label moved.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -38,33 +42,93 @@ from repro.obs import NULL_REGISTRY
 from repro.representative.sweep import RepresentativeConfig
 from repro.stream.ingest import TrajectoryStream
 from repro.stream.online_dbscan import OnlineDBSCAN
+from repro.stream.view import LabelDiff, LabelView
 
 #: Compaction never fires below this slot count — renumbering a tiny
 #: store would cost more churn than the dead slots it reclaims.
 _COMPACT_MIN_SLOTS = 128
 
+#: Batched insertion (one candidate join for the whole delta) kicks in
+#: from this many inserted segments per update.
+_BATCH_INSERT_MIN = 2
 
-@dataclass(frozen=True)
+
 class StreamUpdate:
     """What one append (or bulk load) did to the clustering.
 
-    ``changed`` maps slot -> (old label, new label); ``None`` stands
-    for "not in the window" on either side.  ``labels`` is the full
-    current slot -> label map (-1 noise).
+    ``changed`` maps slot -> (old label, new label) in *stable* cluster
+    ids (``diff.changed`` verbatim); ``None`` stands for "not in the
+    window" on either side and ``-1`` is noise.  ``diff`` is the full
+    :class:`~repro.stream.view.LabelDiff`, including merge/split and
+    Step-3 visibility events.  ``n_alive``/``n_clusters`` summarize the
+    post-update state.
+
+    ``labels`` is the full current slot -> dense label map (-1 noise),
+    identical to what a batch refit over the window would produce.  It
+    is derived from the pipeline's label view *lazily* — appends no
+    longer pay O(live) for it — and therefore must be read before the
+    next update is applied (later access raises).
 
     When slot-store compaction ran after this update
     (``StreamConfig.compact_dead_fraction``), ``remapped`` maps every
     live slot's pre-compaction id to its new id; the other fields keep
-    the pre-compaction ids the caller has been seeing.  ``None`` means
-    no compaction happened and all reported ids remain valid.
+    the pre-compaction ids the caller has been seeing (``labels`` is
+    materialized eagerly in that case).  ``None`` means no compaction
+    happened and all reported ids remain valid.
     """
 
-    inserted: Tuple[int, ...]
-    evicted: Tuple[int, ...]
-    labels: Dict[int, int]
-    changed: Dict[int, Tuple[Optional[int], Optional[int]]]
-    n_clusters: int
-    remapped: Optional[Dict[int, int]] = None
+    __slots__ = (
+        "inserted",
+        "evicted",
+        "changed",
+        "diff",
+        "n_clusters",
+        "n_alive",
+        "remapped",
+        "_view",
+        "_version",
+        "_labels",
+    )
+
+    def __init__(
+        self,
+        inserted: Tuple[int, ...],
+        evicted: Tuple[int, ...],
+        diff: LabelDiff,
+        n_clusters: int,
+        n_alive: int,
+        view: LabelView,
+    ):
+        self.inserted = inserted
+        self.evicted = evicted
+        self.diff = diff
+        self.changed = diff.changed
+        self.n_clusters = n_clusters
+        self.n_alive = n_alive
+        self.remapped: Optional[Dict[int, int]] = None
+        self._view = view
+        self._version = view.version
+        self._labels: Optional[Dict[int, int]] = None
+
+    @property
+    def labels(self) -> Dict[int, int]:
+        if self._labels is None:
+            if self._view.version != self._version:
+                raise ClusteringError(
+                    "StreamUpdate.labels read after later updates were "
+                    "applied; the dense map is derived lazily from the "
+                    "live view — read it before the next append, or "
+                    "fold StreamUpdate.diff into your own LabelView"
+                )
+            self._labels = self._view.dense_map()
+        return self._labels
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamUpdate(inserted={len(self.inserted)}, "
+            f"evicted={len(self.evicted)}, changed={len(self.changed)}, "
+            f"n_alive={self.n_alive}, n_clusters={self.n_clusters})"
+        )
 
 
 class StreamingTRACLUS:
@@ -77,6 +141,14 @@ class StreamingTRACLUS:
             "repro_stream_append_seconds",
             help="Wall seconds per streaming append (ingest + recluster).",
         )
+        self._m_diff_changed = self._metrics.counter(
+            "repro_stream_diff_changed_total",
+            help="Per-slot label transitions emitted across all updates.",
+        )
+        self._m_flush_touched = self._metrics.histogram(
+            "repro_stream_flush_touched",
+            help="Slots re-derived per update (the O(delta) label cost).",
+        )
         self.stream = TrajectoryStream(suppression=config.suppression)
         self.clusterer = OnlineDBSCAN(
             eps=config.eps,
@@ -86,9 +158,11 @@ class StreamingTRACLUS:
             use_weights=config.use_weights,
             dim=config.dim,
         )
+        #: The pipeline's own fold of every emitted diff; consumers can
+        #: keep an identical one from the diffs alone.
+        self.view = LabelView()
         self._key_to_slot: Dict[int, int] = {}
         self._slot_to_key: Dict[int, int] = {}
-        self._last_labels: Dict[int, int] = {}
         self._evict_cursor = 0
         self._max_stamp = -np.inf
 
@@ -176,7 +250,12 @@ class StreamingTRACLUS:
 
     def _apply_delta(self, delta) -> Tuple[List[int], List[int]]:
         """Retract-then-insert one :class:`StreamDelta` into the
-        clusterer; returns the touched ``(inserted, evicted)`` slots."""
+        clusterer; returns the touched ``(inserted, evicted)`` slots.
+
+        Multi-segment deltas go through the clusterer's batched insert
+        (one grid candidate join for the whole delta) — the resulting
+        state is identical to sequential insertion in record order.
+        """
         evicted: List[int] = []
         for key in delta.retracted:
             slot = self._key_to_slot.pop(key, None)
@@ -185,8 +264,23 @@ class StreamingTRACLUS:
             del self._slot_to_key[slot]
             self.clusterer.evict(slot)
             evicted.append(slot)
+        records = delta.inserted
         inserted: List[int] = []
-        for record in delta.inserted:
+        if len(records) >= _BATCH_INSERT_MIN:
+            inserted = self.clusterer.insert_batch(
+                np.stack([record.start for record in records]),
+                np.stack([record.end for record in records]),
+                np.array([record.traj_id for record in records], dtype=np.int64),
+                np.array([record.weight for record in records], dtype=np.float64),
+                np.array([record.stamp for record in records], dtype=np.float64),
+            )
+            for record, slot in zip(records, inserted):
+                self._key_to_slot[record.key] = slot
+                self._slot_to_key[slot] = record.key
+                if record.stamp > self._max_stamp:
+                    self._max_stamp = record.stamp
+            return inserted, evicted
+        for record in records:
             slot = self.clusterer.insert(
                 record.start,
                 record.end,
@@ -231,26 +325,27 @@ class StreamingTRACLUS:
     def _build_update(
         self, inserted: List[int], evicted: List[int]
     ) -> StreamUpdate:
-        slots, labels = self.clusterer.labels()
-        current = dict(zip(slots.tolist(), labels.tolist()))
-        changed: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
-        for slot, label in current.items():
-            old = self._last_labels.get(slot)
-            if old != label:
-                changed[slot] = (old, label)
-        for slot, old in self._last_labels.items():
-            if slot not in current:
-                changed[slot] = (old, None)
-        self._last_labels = current
-        n_clusters = int(labels.max()) + 1 if labels.size else 0
-        return StreamUpdate(
+        diff = self.clusterer.flush_diff()
+        self.view.apply(diff)
+        if self._metrics.enabled:
+            self._m_diff_changed.inc(float(len(diff.changed)))
+            self._m_flush_touched.observe(float(diff.touched))
+        update = StreamUpdate(
             inserted=tuple(inserted),
             evicted=tuple(evicted),
-            labels=current,
-            changed=changed,
-            n_clusters=max(n_clusters, 0),
-            remapped=self._maybe_compact(),
+            diff=diff,
+            n_clusters=self.view.n_clusters,
+            n_alive=self.view.n_live,
+            view=self.view,
         )
+        remapped = self._maybe_compact()
+        if remapped is not None:
+            # Pin the documented pre-compaction ids before the view
+            # follows the remap.
+            update.labels
+            self.view.remap(remapped)
+            update.remapped = remapped
+        return update
 
     # -- compaction --------------------------------------------------------
     def _maybe_compact(self) -> Optional[Dict[int, int]]:
@@ -260,9 +355,9 @@ class StreamingTRACLUS:
         The remap is monotone over live slots, so relative slot order —
         and with it the distance kernel's id tie-break, every computed
         distance, and every label — is preserved bitwise; only the ids
-        change.  Internal key/label maps are remapped here; the
-        returned old -> new map is surfaced on the update so callers
-        can follow.
+        change.  Internal key maps are remapped here (the label view in
+        :meth:`_build_update`, which also surfaces the old -> new map
+        on the update so callers can follow).
         """
         fraction = self.config.compact_dead_fraction
         store = self.clusterer.store
@@ -282,9 +377,6 @@ class StreamingTRACLUS:
         }
         self._slot_to_key = {
             slot: key for key, slot in self._key_to_slot.items()
-        }
-        self._last_labels = {
-            live[slot]: label for slot, label in self._last_labels.items()
         }
         # All dead slots are gone: the oldest live slot is found from 0.
         self._evict_cursor = 0

@@ -15,11 +15,16 @@ temp (``FileNotFoundError`` on replace).
 
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+import repro.sweep.engine as sweep_engine_module
 from repro.api.cache import ArtifactStore
+from repro.api.workspace import Workspace
+from repro.core.config import TraclusConfig
+from repro.datasets.synthetic import generate_corridor_set
 from repro.io.artifacts import load_artifact, save_artifact
 
 
@@ -172,3 +177,150 @@ class TestMultiProcessWrites:
                         loaded[0][name].view(np.uint8),
                         array.view(np.uint8),
                     )
+
+
+class TestWorkspaceBuildLocks:
+    """Per-artifact build locks inside :class:`Workspace`.
+
+    Same fingerprint requested from many threads must collapse to ONE
+    engine build (double-checked locking); distinct fingerprints must
+    keep their own locks and build genuinely in parallel — the
+    pre-lock regression was the inverse race: threads building
+    *distinct* keys were safe only because nothing locked, while the
+    same key built N times."""
+
+    def _workspace(self):
+        return Workspace(
+            generate_corridor_set(n_trajectories=10, seed=5),
+            TraclusConfig(compute_representatives=False),
+        )
+
+    def test_same_key_builds_once(self):
+        ws = self._workspace()
+        barrier = threading.Barrier(8)
+        results = [None] * 8
+        errors = []
+
+        def worker(index):
+            try:
+                barrier.wait()
+                results[index] = ws.labels(2.2, 4.0)
+            except BaseException as error:  # noqa: BLE001 - collected
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert ws.stats.build_count("labels") == 1
+        assert ws.stats.build_count("graph") == 1
+        assert ws.stats.build_count("partition") == 1
+        for labels in results[1:]:
+            assert np.array_equal(labels, results[0])
+
+    def test_distinct_keys_build_once_each(self):
+        ws = self._workspace()
+        min_lns_values = [3.0, 4.0, 5.0, 6.0]
+        barrier = threading.Barrier(len(min_lns_values) * 3)
+        errors = []
+
+        def worker(min_lns):
+            try:
+                barrier.wait()
+                ws.labels(2.2, min_lns)
+            except BaseException as error:  # noqa: BLE001 - collected
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(m,))
+            for m in min_lns_values
+            for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # 3 threads raced on each of the 4 keys: 4 builds, not 12.
+        assert ws.stats.build_count("labels") == len(min_lns_values)
+        reference = self._workspace()
+        for min_lns in min_lns_values:
+            assert np.array_equal(
+                ws.labels(2.2, min_lns), reference.labels(2.2, min_lns)
+            )
+
+    def test_distinct_keys_overlap_in_time(self, monkeypatch):
+        """Two threads building different label grids hold different
+        locks: with a slowed engine build, both must be inside the
+        build section at once (per-key locks, not one big lock)."""
+        ws = self._workspace()
+        # Pre-build shared upstream artifacts so the timed section
+        # below covers only the per-key labels builds.
+        ws._ensure_graph(2.5)
+        active = {"now": 0, "peak": 0}
+        gate = threading.Lock()
+        real = sweep_engine_module.SweepEngine.labels_grid
+
+        def slowed(self, *args, **kwargs):
+            with gate:
+                active["now"] += 1
+                active["peak"] = max(active["peak"], active["now"])
+            time.sleep(0.2)
+            try:
+                return real(self, *args, **kwargs)
+            finally:
+                with gate:
+                    active["now"] -= 1
+
+        monkeypatch.setattr(
+            sweep_engine_module.SweepEngine, "labels_grid", slowed
+        )
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def worker(min_lns):
+            try:
+                barrier.wait()
+                ws.labels(2.2, min_lns)
+            except BaseException as error:  # noqa: BLE001 - collected
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(m,)) for m in (3.0, 5.0)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert active["peak"] == 2, "distinct-key builds were serialized"
+
+    def test_quality_and_representatives_build_once(self):
+        ws = Workspace(
+            generate_corridor_set(n_trajectories=10, seed=5),
+            TraclusConfig(),
+        )
+        barrier = threading.Barrier(6)
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait()
+                ws.quality(2.2, 4.0)
+                ws.representatives(2.2, 4.0)
+            except BaseException as error:  # noqa: BLE001 - collected
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert ws.stats.build_count("quality") == 1
+        assert ws.stats.build_count("representatives") == 1
+        assert ws.stats.build_count("labels") == 1

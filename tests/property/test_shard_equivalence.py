@@ -1,0 +1,125 @@
+"""Hypothesis property tests: sharded == single-stream == batch, always.
+
+For ANY interleaved append feed, ANY shard count, and ANY mid-stream
+checkpoint cut, the merged label view of a :class:`ShardedStream` is
+bitwise identical to a single :class:`StreamingTRACLUS` session fed
+the same appends in the same order — and hence (by the stream
+equivalence suite) to a batch refit over the union of all shards.
+
+The generator leans on the same half-unit lattice coordinates as
+``test_stream_equivalence``: pair distances land exactly on the ε
+boundary, the regime where any asymmetry between the shipped
+intra-shard edges, the merger's cross-shard kernel calls, and the
+single-stream path would flip a membership.
+"""
+
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.dbscan import LineSegmentDBSCAN
+from repro.core.config import StreamConfig
+from repro.shard import ShardedStream
+from repro.stream.pipeline import StreamingTRACLUS
+
+coarse_coordinate = st.integers(min_value=-12, max_value=12).map(
+    lambda v: v / 2.0
+)
+
+eps_values = st.integers(min_value=1, max_value=10).map(lambda v: v / 2.0)
+
+
+@st.composite
+def append_feeds(draw):
+    """An interleaved multi-trajectory point feed: (traj_id, points)
+    in arrival order, every chunk 1..4 lattice points."""
+    n_appends = draw(st.integers(min_value=1, max_value=14))
+    n_trajectories = draw(st.integers(min_value=1, max_value=5))
+    feed = []
+    for _ in range(n_appends):
+        traj_id = draw(st.integers(0, n_trajectories - 1))
+        n_points = draw(st.integers(min_value=1, max_value=4))
+        points = np.array(
+            [
+                [draw(coarse_coordinate), draw(coarse_coordinate)]
+                for _ in range(n_points)
+            ]
+        )
+        feed.append((traj_id, points))
+    return feed
+
+
+def assert_sharded_matches(sharded, single):
+    sharded_slots, sharded_labels = sharded.labels()
+    single_slots, single_labels = single.labels()
+    assert np.array_equal(sharded_slots, single_slots)
+    assert np.array_equal(sharded_labels, single_labels), (
+        f"merged {sharded_labels.tolist()} != "
+        f"single {single_labels.tolist()}"
+    )
+    view_slots, view_labels = sharded.view.dense_labels()
+    assert np.array_equal(view_slots, sharded_slots)
+    assert np.array_equal(view_labels, sharded_labels)
+
+
+def assert_matches_batch_refit(sharded):
+    clusterer = sharded.merger.clusterer
+    segments, slots = clusterer.store.compact()
+    batch = LineSegmentDBSCAN(
+        eps=clusterer.eps,
+        min_lns=clusterer.min_lns,
+        distance=clusterer.distance,
+        cardinality_threshold=clusterer.cardinality_threshold,
+        use_weights=clusterer.use_weights,
+    )
+    _, expected = batch.fit(segments)
+    merged_slots, merged_labels = sharded.labels()
+    assert np.array_equal(merged_slots, slots)
+    assert np.array_equal(merged_labels, expected)
+
+
+class TestShardedEquivalence:
+    @given(
+        append_feeds(),
+        st.integers(min_value=1, max_value=4),
+        eps_values,
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_feed_any_shard_count_matches_single_stream(
+        self, feed, n_shards, eps, min_lns
+    ):
+        config = StreamConfig(eps=eps, min_lns=min_lns)
+        single = StreamingTRACLUS(config)
+        with ShardedStream(config, n_shards) as sharded:
+            for traj_id, points in feed:
+                single.append(traj_id, points)
+                sharded.append(traj_id, points)
+                assert_sharded_matches(sharded, single)
+            assert_matches_batch_refit(sharded)
+
+    @given(
+        append_feeds(),
+        st.integers(min_value=2, max_value=3),
+        eps_values,
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_checkpoint_restore_mid_stream_is_invisible(
+        self, feed, n_shards, eps
+    ):
+        config = StreamConfig(eps=eps, min_lns=2)
+        cut = len(feed) // 2
+        single = StreamingTRACLUS(config)
+        for traj_id, points in feed:
+            single.append(traj_id, points)
+        with tempfile.TemporaryDirectory() as directory:
+            with ShardedStream(config, n_shards) as original:
+                for traj_id, points in feed[:cut]:
+                    original.append(traj_id, points)
+                original.checkpoint(directory)
+            with ShardedStream.restore(directory) as resumed:
+                for traj_id, points in feed[cut:]:
+                    resumed.append(traj_id, points)
+                assert_sharded_matches(resumed, single)
+                assert_matches_batch_refit(resumed)

@@ -1,0 +1,112 @@
+"""Sharded checkpoint/restore: a resumed session continues
+label-identically to one that never stopped, in either execution mode."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import StreamConfig
+from repro.exceptions import ReproError
+from repro.shard import SHARD_CHECKPOINT_FORMAT, ShardedStream
+from repro.stream.pipeline import StreamingTRACLUS
+
+from test_sharded_stream import assert_matches_single_stream, make_appends
+
+
+def run_reference(config, appends):
+    single = StreamingTRACLUS(config)
+    for traj_id, points in appends:
+        single.append(traj_id, points)
+    return single
+
+
+class TestShardedCheckpoint:
+    def test_restore_mid_stream_continues_identically(self, tmp_path):
+        config = StreamConfig(eps=2.0, min_lns=3)
+        appends = make_appends(n_appends=36, seed=11)
+        cut = 20
+        directory = str(tmp_path / "ckpt")
+
+        with ShardedStream(config, 3) as original:
+            for traj_id, points in appends[:cut]:
+                original.append(traj_id, points)
+            original.checkpoint(directory)
+        assert sorted(os.listdir(directory)) == [
+            "manifest.json", "merger.npz", "shard-0.npz", "shard-1.npz",
+            "shard-2.npz",
+        ]
+
+        single = run_reference(config, appends)
+        with ShardedStream.restore(directory) as resumed:
+            # The restored view already matches the prefix.
+            prefix = run_reference(config, appends[:cut])
+            assert_matches_single_stream(resumed, prefix)
+            for traj_id, points in appends[cut:]:
+                resumed.append(traj_id, points)
+            assert_matches_single_stream(resumed, single)
+            view_slots, view_labels = resumed.view.dense_labels()
+            slots, labels = resumed.labels()
+            assert np.array_equal(view_slots, slots)
+            assert np.array_equal(view_labels, labels)
+
+    def test_restore_into_process_mode(self, tmp_path):
+        config = StreamConfig(eps=2.0, min_lns=3)
+        appends = make_appends(n_appends=24, seed=13)
+        cut = 12
+        directory = str(tmp_path / "ckpt")
+
+        with ShardedStream(config, 2) as original:
+            for traj_id, points in appends[:cut]:
+                original.append(traj_id, points)
+            original.checkpoint(directory)
+
+        single = run_reference(config, appends)
+        with ShardedStream.restore(directory, processes=True) as resumed:
+            for traj_id, points in appends[cut:]:
+                resumed.append(traj_id, points)
+            resumed.sync()
+            assert_matches_single_stream(resumed, single)
+
+    def test_process_mode_checkpoint_restores_in_process(self, tmp_path):
+        config = StreamConfig(eps=2.0, min_lns=3)
+        appends = make_appends(n_appends=24, seed=17)
+        cut = 14
+        directory = str(tmp_path / "ckpt")
+
+        with ShardedStream(config, 2, processes=True) as original:
+            for traj_id, points in appends[:cut]:
+                original.append(traj_id, points)
+            original.checkpoint(directory)
+
+        single = run_reference(config, appends)
+        with ShardedStream.restore(directory) as resumed:
+            for traj_id, points in appends[cut:]:
+                resumed.append(traj_id, points)
+            assert_matches_single_stream(resumed, single)
+
+    def test_manifest_format_is_checked(self, tmp_path):
+        directory = str(tmp_path)
+        with open(
+            os.path.join(directory, "manifest.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump({"format": "something-else"}, handle)
+        with pytest.raises(ReproError):
+            ShardedStream.restore(directory)
+
+    def test_manifest_records_format_and_seq(self, tmp_path):
+        config = StreamConfig(eps=2.0, min_lns=3)
+        directory = str(tmp_path / "ckpt")
+        with ShardedStream(config, 2) as stream:
+            for traj_id, points in make_appends(n_appends=8, seed=19):
+                stream.append(traj_id, points)
+            stream.checkpoint(directory)
+        with open(
+            os.path.join(directory, "manifest.json"), encoding="utf-8"
+        ) as handle:
+            manifest = json.load(handle)
+        assert manifest["format"] == SHARD_CHECKPOINT_FORMAT
+        assert manifest["n_shards"] == 2
+        assert manifest["next_seq"] == 8
+        assert manifest["applied_seq"] == 7

@@ -1,0 +1,191 @@
+"""Sharded streaming: merged labels are bitwise the single-stream
+(and hence batch-refit) labels over the union of all shards."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.dbscan import LineSegmentDBSCAN
+from repro.core.config import StreamConfig
+from repro.exceptions import ClusteringError
+from repro.obs import MetricsRegistry
+from repro.shard import ShardedStream, shard_of, validate_sharded_config
+from repro.stream.pipeline import StreamingTRACLUS
+
+
+def make_appends(n_appends=40, n_trajectories=6, seed=0, chunk=4):
+    """An interleaved append feed: (traj_id, points) in arrival order."""
+    rng = np.random.default_rng(seed)
+    appends = []
+    for index in range(n_appends):
+        traj_id = int(rng.integers(0, n_trajectories))
+        base = index * 2.0
+        points = np.column_stack(
+            [
+                base + np.linspace(0.0, 6.0, chunk),
+                3.0 * (traj_id % 3) + rng.normal(0.0, 0.3, chunk),
+            ]
+        )
+        appends.append((traj_id, points))
+    return appends
+
+
+def assert_matches_single_stream(sharded, single):
+    sharded_slots, sharded_labels = sharded.labels()
+    single_slots, single_labels = single.labels()
+    assert np.array_equal(sharded_slots, single_slots)
+    assert np.array_equal(sharded_labels, single_labels)
+
+
+def assert_matches_batch_refit(sharded):
+    clusterer = sharded.merger.clusterer
+    segments, slots = clusterer.store.compact()
+    batch = LineSegmentDBSCAN(
+        eps=clusterer.eps,
+        min_lns=clusterer.min_lns,
+        distance=clusterer.distance,
+        cardinality_threshold=clusterer.cardinality_threshold,
+        use_weights=clusterer.use_weights,
+    )
+    _, expected = batch.fit(segments)
+    merged_slots, merged_labels = sharded.labels()
+    assert np.array_equal(merged_slots, slots)
+    assert np.array_equal(merged_labels, expected)
+
+
+class TestInProcessEquivalence:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5])
+    def test_matches_single_stream_after_every_append(self, n_shards):
+        config = StreamConfig(eps=2.0, min_lns=3)
+        single = StreamingTRACLUS(config)
+        with ShardedStream(config, n_shards) as sharded:
+            for traj_id, points in make_appends():
+                single.append(traj_id, points)
+                sharded.append(traj_id, points)
+                assert sharded.lag == 0
+                assert_matches_single_stream(sharded, single)
+            assert_matches_batch_refit(sharded)
+
+    def test_view_fold_equals_labels(self):
+        config = StreamConfig(eps=2.0, min_lns=3)
+        with ShardedStream(config, 3) as sharded:
+            for traj_id, points in make_appends(n_appends=24, seed=1):
+                sharded.append(traj_id, points)
+            view_slots, view_labels = sharded.view.dense_labels()
+            slots, labels = sharded.labels()
+            assert np.array_equal(view_slots, slots)
+            assert np.array_equal(view_labels, labels)
+
+    def test_weighted_and_threshold_config(self):
+        config = StreamConfig(
+            eps=2.0, min_lns=2.5, use_weights=True,
+            cardinality_threshold=1.2,
+        )
+        single = StreamingTRACLUS(config)
+        weights = {traj_id: [0.5, 1.0, 2.0][traj_id % 3] for traj_id in range(6)}
+        with ShardedStream(config, 2) as sharded:
+            for traj_id, points in make_appends(n_appends=20, seed=7):
+                weight = weights[traj_id]
+                single.append(traj_id, points, weight=weight)
+                sharded.append(traj_id, points, weight=weight)
+            assert_matches_single_stream(sharded, single)
+            assert_matches_batch_refit(sharded)
+
+    def test_timed_appends(self):
+        config = StreamConfig(eps=2.0, min_lns=3)
+        single = StreamingTRACLUS(config)
+        with ShardedStream(config, 3) as sharded:
+            for index, (traj_id, points) in enumerate(
+                make_appends(n_appends=16, seed=3)
+            ):
+                times = float(index) + np.linspace(0.0, 0.9, len(points))
+                single.append(traj_id, points, times=times)
+                sharded.append(traj_id, points, times=times)
+            assert_matches_single_stream(sharded, single)
+
+
+class TestProcessMode:
+    def test_four_shard_processes_match_single_stream(self):
+        config = StreamConfig(eps=2.0, min_lns=3)
+        single = StreamingTRACLUS(config)
+        appends = make_appends(n_appends=30, n_trajectories=8, seed=5)
+        with ShardedStream(config, 4, processes=True) as sharded:
+            for traj_id, points in appends:
+                single.append(traj_id, points)
+                assert sharded.append(traj_id, points) is None
+            sharded.sync()
+            assert sharded.lag == 0
+            assert_matches_single_stream(sharded, single)
+            assert_matches_batch_refit(sharded)
+
+    def test_drain_returns_merged_diffs(self):
+        config = StreamConfig(eps=2.0, min_lns=3)
+        with ShardedStream(config, 2, processes=True) as sharded:
+            for traj_id, points in make_appends(n_appends=10, seed=9):
+                sharded.append(traj_id, points)
+            merged = sharded.drain(block=True)
+            assert sharded.lag == 0
+            # Every fold produced a LabelDiff; their union covers the
+            # live slots.
+            folded = set()
+            for diff in merged:
+                folded.update(diff.changed)
+            slots, _ = sharded.labels()
+            assert folded >= set(slots.tolist())
+
+
+def _series(snapshot, name, **labels):
+    key = json.dumps([name, sorted(labels.items())])
+    return snapshot["series"].get(key, 0.0)
+
+
+class TestMetricsAndValidation:
+    def test_coordinator_metrics(self):
+        registry = MetricsRegistry()
+        config = StreamConfig(eps=2.0, min_lns=3)
+        rng = np.random.default_rng(2)
+        with ShardedStream(config, 2, metrics=registry) as sharded:
+            # A shared corridor: every trajectory walks the same x
+            # range, so eps-edges exist within AND across shards.
+            for traj_id in range(6):
+                points = np.column_stack(
+                    [np.linspace(0.0, 30.0, 10), rng.normal(0.0, 0.3, 10)]
+                )
+                sharded.append(traj_id, points)
+            snapshot = sharded.metrics_snapshot()
+        assert _series(snapshot, "repro_shard_appends_total") == 6.0
+        assert _series(snapshot, "repro_shard_lag") == 0.0
+        assert _series(snapshot, "repro_shard_diffs_applied_total") == 6.0
+        assert _series(snapshot, "repro_shard_records_merged_total") > 0
+        assert _series(snapshot, "repro_shard_edges_shipped_total") > 0
+        assert _series(snapshot, "repro_shard_edges_cross_total") > 0
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ClusteringError):
+            ShardedStream(StreamConfig(eps=2.0, min_lns=3), 0)
+
+    def test_rejects_windowed_configs(self):
+        for kwargs in (
+            {"max_segments": 10},
+            {"horizon": 5.0},
+            {"compact_dead_fraction": 0.5},
+        ):
+            config = StreamConfig(eps=2.0, min_lns=3, **kwargs)
+            with pytest.raises(ClusteringError):
+                validate_sharded_config(config)
+            with pytest.raises(ClusteringError):
+                ShardedStream(config, 2)
+
+    def test_closed_stream_rejects_appends(self):
+        stream = ShardedStream(StreamConfig(eps=2.0, min_lns=3), 2)
+        stream.close()
+        with pytest.raises(ClusteringError):
+            stream.append(0, np.zeros((2, 2)))
+
+    def test_router_pins_trajectories(self):
+        from repro.shard import ShardRouter
+
+        assert [shard_of(t, 3) for t in range(6)] == [0, 1, 2, 0, 1, 2]
+        with pytest.raises(ClusteringError):
+            ShardRouter(0)

@@ -1,0 +1,118 @@
+"""Wire codec roundtrips for the sharded streaming protocol."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.shard.wire import (
+    AppendTask,
+    ShardDiff,
+    decode_diff,
+    decode_task,
+    encode_diff,
+    encode_task,
+)
+
+
+def make_diff(**overrides):
+    fields = dict(
+        shard=2,
+        seq=17,
+        retracted=np.array([4, 1], dtype=np.int64),
+        local_slots=np.array([7, 8], dtype=np.int64),
+        traj_ids=np.array([3, 3], dtype=np.int64),
+        starts=np.array([[0.0, 0.0], [1.0, 2.0]]),
+        ends=np.array([[1.0, 2.0], [3.0, 4.0]]),
+        weights=np.array([1.0, 2.5]),
+        stamps=np.array([10.0, 11.0]),
+        edge_src=np.array([1], dtype=np.int64),
+        edge_mate=np.array([7], dtype=np.int64),
+        edge_dist=np.array([0.75]),
+        n_changed=3,
+        touched=5,
+    )
+    fields.update(overrides)
+    return ShardDiff(**fields)
+
+
+class TestTaskCodec:
+    def test_roundtrip_plain(self):
+        task = AppendTask(
+            seq=5, traj_id=12,
+            points=np.array([[0.0, 1.0], [2.0, 3.5]]),
+        )
+        decoded = decode_task(encode_task(task))
+        assert decoded.seq == 5
+        assert decoded.traj_id == 12
+        assert decoded.times is None
+        assert decoded.weight is None
+        assert np.array_equal(
+            decoded.points.view(np.uint8), task.points.view(np.uint8)
+        )
+
+    def test_roundtrip_timed_weighted(self):
+        task = AppendTask(
+            seq=0, traj_id=3,
+            points=np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]]),
+            times=np.array([1.0, 2.0, 3.0]),
+            weight=2.5,
+        )
+        decoded = decode_task(encode_task(task))
+        assert decoded.weight == 2.5
+        assert np.array_equal(decoded.times, task.times)
+
+    def test_rejects_wrong_format(self):
+        diff_payload = encode_diff(make_diff())
+        with pytest.raises(ReproError):
+            decode_task(diff_payload)
+
+
+class TestDiffCodec:
+    def test_roundtrip(self):
+        diff = make_diff()
+        decoded = decode_diff(encode_diff(diff))
+        assert decoded.shard == diff.shard
+        assert decoded.seq == diff.seq
+        assert decoded.n_changed == diff.n_changed
+        assert decoded.touched == diff.touched
+        assert decoded.n_records == 2
+        for name in (
+            "retracted", "local_slots", "traj_ids", "starts", "ends",
+            "weights", "stamps", "edge_src", "edge_mate", "edge_dist",
+        ):
+            assert np.array_equal(
+                np.asarray(getattr(decoded, name)).view(np.uint8),
+                np.asarray(getattr(diff, name)).view(np.uint8),
+            ), name
+
+    def test_roundtrip_metrics_snapshot(self):
+        snapshot = {"series": {"x": 1.0}, "types": {"x": "counter"}}
+        decoded = decode_diff(encode_diff(make_diff(metrics=snapshot)))
+        assert decoded.metrics == snapshot
+        assert decode_diff(encode_diff(make_diff())).metrics is None
+
+    def test_roundtrip_empty(self):
+        empty = make_diff(
+            retracted=np.empty(0, dtype=np.int64),
+            local_slots=np.empty(0, dtype=np.int64),
+            traj_ids=np.empty(0, dtype=np.int64),
+            starts=np.empty((0, 2)),
+            ends=np.empty((0, 2)),
+            weights=np.empty(0),
+            stamps=np.empty(0),
+            edge_src=np.empty(0, dtype=np.int64),
+            edge_mate=np.empty(0, dtype=np.int64),
+            edge_dist=np.empty(0),
+            n_changed=0,
+            touched=0,
+        )
+        decoded = decode_diff(encode_diff(empty))
+        assert decoded.n_records == 0
+        assert decoded.retracted.size == 0
+
+    def test_rejects_wrong_format(self):
+        task_payload = encode_task(
+            AppendTask(seq=0, traj_id=0, points=np.zeros((2, 2)))
+        )
+        with pytest.raises(ReproError):
+            decode_diff(task_payload)

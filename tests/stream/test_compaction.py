@@ -121,7 +121,7 @@ class TestPipelineCompaction:
         store = pipeline.clusterer.store
         live = set(store.alive_slots().tolist())
         assert set(pipeline._slot_to_key) == live
-        assert set(pipeline._last_labels) == live
+        assert set(pipeline.view.dense_map()) == live
         for key, slot in pipeline._key_to_slot.items():
             assert pipeline._slot_to_key[slot] == key
 

@@ -1,0 +1,127 @@
+"""LabelDiff / LabelView: O(delta) diffs that fold back to the exact
+dense batch labels, and the batched-insert bitwise pin."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import StreamConfig
+from repro.exceptions import ClusteringError
+from repro.stream.online_dbscan import OnlineDBSCAN
+from repro.stream.pipeline import StreamingTRACLUS
+from repro.stream.view import LabelDiff, LabelView
+
+
+def feed(pipeline, n_appends=30, n_trajectories=5, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(n_appends):
+        traj_id = int(rng.integers(0, n_trajectories))
+        points = np.column_stack(
+            [np.linspace(0.0, 12.0, 4), rng.normal(0.0, 0.4, 4)]
+        )
+        yield pipeline.append(traj_id, points)
+
+
+class TestViewFold:
+    def test_folded_view_equals_labels_after_every_update(self):
+        pipeline = StreamingTRACLUS(StreamConfig(eps=2.0, min_lns=3))
+        view = LabelView()
+        for update in feed(pipeline):
+            view.apply(update.diff)
+            view_slots, view_labels = view.dense_labels()
+            slots, labels = pipeline.labels()
+            assert np.array_equal(view_slots, slots)
+            assert np.array_equal(view_labels, labels)
+            assert view.n_live == pipeline.n_alive
+
+    def test_folded_view_survives_evictions(self):
+        pipeline = StreamingTRACLUS(
+            StreamConfig(eps=2.0, min_lns=3, max_segments=12)
+        )
+        view = LabelView()
+        for update in feed(pipeline, n_appends=40, seed=3):
+            view.apply(update.diff)
+        view_slots, view_labels = view.dense_labels()
+        slots, labels = pipeline.labels()
+        assert np.array_equal(view_slots, slots)
+        assert np.array_equal(view_labels, labels)
+        assert view.n_live <= 12
+
+    def test_snapshot_view_equals_folded_view(self):
+        pipeline = StreamingTRACLUS(StreamConfig(eps=2.0, min_lns=3))
+        view = LabelView()
+        for update in feed(pipeline, n_appends=20, seed=5):
+            view.apply(update.diff)
+        snapshot = pipeline.clusterer.snapshot_view()
+        assert np.array_equal(
+            np.asarray(snapshot.dense_labels()),
+            np.asarray(view.dense_labels()),
+        )
+
+    def test_out_of_order_fold_is_detected(self):
+        view = LabelView()
+        # A slot joins cluster 7 but the diff carrying 7's formation
+        # key never arrived: dense ranking must refuse, not guess.
+        view.apply(LabelDiff(changed={0: (None, 7)}))
+        with pytest.raises(ClusteringError):
+            view.dense_labels()
+
+
+class TestDeltaCost:
+    def test_flush_touches_only_the_delta(self):
+        """The per-update label work is O(changed slots), not O(live):
+        an append far away from a settled cluster re-derives only its
+        own slots."""
+        clusterer = OnlineDBSCAN(eps=1.0, min_lns=2)
+        # A settled far-away cluster of 30 parallel segments.
+        for i in range(30):
+            clusterer.insert(
+                np.array([100.0 + 0.01 * i, 0.0]),
+                np.array([104.0, 0.0]),
+                traj_id=i,
+            )
+        clusterer.flush_diff()
+        # One isolated segment at the origin.
+        clusterer.insert(np.array([0.0, 0.0]), np.array([1.0, 0.0]), 99)
+        clusterer.flush_diff()
+        assert clusterer.last_flush_touched <= 2
+        assert clusterer.store.n_alive == 31
+
+    def test_update_labels_lazy_and_single_read(self):
+        pipeline = StreamingTRACLUS(StreamConfig(eps=2.0, min_lns=3))
+        updates = list(feed(pipeline, n_appends=3, seed=1))
+        stale = updates[0]
+        with pytest.raises(ClusteringError):
+            _ = stale.labels  # superseded by later updates
+        fresh = updates[-1]
+        slots, labels = pipeline.labels()
+        assert fresh.labels == dict(zip(slots.tolist(), labels.tolist()))
+
+
+class TestBatchedInsertPin:
+    def test_insert_batch_bitwise_equals_sequential(self):
+        rng = np.random.default_rng(9)
+        n = 24
+        starts = np.column_stack(
+            [rng.integers(-8, 8, n) / 2.0, rng.integers(-8, 8, n) / 2.0]
+        )
+        ends = starts + np.column_stack(
+            [rng.integers(-4, 5, n) / 2.0, rng.integers(-4, 5, n) / 2.0]
+        )
+        traj_ids = rng.integers(0, 4, n)
+        weights = rng.choice([0.5, 1.0, 2.0], n)
+
+        sequential = OnlineDBSCAN(eps=1.5, min_lns=2, use_weights=True)
+        for i in range(n):
+            sequential.insert(
+                starts[i], ends[i], int(traj_ids[i]),
+                weight=float(weights[i]),
+            )
+        batched = OnlineDBSCAN(eps=1.5, min_lns=2, use_weights=True)
+        batched.insert_batch(
+            starts.astype(np.float64), ends.astype(np.float64),
+            traj_ids.astype(np.int64), weights.astype(np.float64),
+        )
+        seq_slots, seq_labels = sequential.labels()
+        bat_slots, bat_labels = batched.labels()
+        assert np.array_equal(seq_slots, bat_slots)
+        assert np.array_equal(seq_labels, bat_labels)
